@@ -1,0 +1,360 @@
+//! AdaptSearch: adaptive prefix filtering for ad-hoc set-similarity
+//! search, after Wang, Li & Feng ("Can we beat the prefix filtering?",
+//! SIGMOD 2012) — the competitor of the paper's Section 7.
+//!
+//! Rankings are treated as plain sets under a global total order (items
+//! sorted by corpus frequency, rarest first). The **delta inverted index**
+//! stores, for every item, the rankings in which the item occupies prefix
+//! position `ℓ` of the reordered record — the incremental (`delta`) lists
+//! whose unions form the ℓ-prefix indices of AdaptJoin.
+//!
+//! At query time the required overlap `c` follows from the Footrule
+//! overlap bound (`ω` of the paper's Section 6.1, the same quantity the
+//! authors plug into their AdaptSearch implementation). The *ℓ-prefix
+//! scheme* then states: a ranking overlapping the query in `≥ c` items
+//! shares at least `ℓ` items with the query within both `(k − c + ℓ)`-
+//! prefixes. Larger `ℓ` means longer prefixes (more postings scanned) but
+//! stronger filtering (count threshold `ℓ`); the cost model picks the
+//! sweet spot per query:
+//!
+//! ```text
+//! cost(ℓ) = posting_cost · S(ℓ) + candidate_cost · S(ℓ)/ℓ
+//! ```
+//!
+//! where `S(ℓ)` is the total number of postings in the probed delta lists
+//! (computable in O(k) from per-item offset arrays) and `S(ℓ)/ℓ` is a
+//! sound upper bound on the candidate count (every surviving candidate
+//! consumes at least `ℓ` postings).
+
+use ranksim_invindex::drop::omega;
+use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
+use ranksim_rankings::{ItemId, PositionMap, QueryStats, RankingId, RankingStore};
+
+/// Cost-model constants for the adaptive prefix-length choice.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptCostParams {
+    /// Cost of scanning one posting.
+    pub posting_cost: f64,
+    /// Cost of verifying one candidate (hash aggregation + Footrule).
+    pub candidate_cost: f64,
+}
+
+impl Default for AdaptCostParams {
+    fn default() -> Self {
+        // Verification is roughly an order of magnitude more expensive
+        // than streaming one posting; the exact ratio only shifts the
+        // chosen ℓ by ±1 and can be calibrated by the caller.
+        AdaptCostParams {
+            posting_cost: 1.0,
+            candidate_cost: 12.0,
+        }
+    }
+}
+
+/// Per-item delta lists in a blocked layout: postings sorted by prefix
+/// position with `k + 1` offsets.
+#[derive(Debug, Clone)]
+struct DeltaList {
+    ids: Vec<RankingId>,
+    offsets: Vec<u32>,
+}
+
+/// The delta inverted index plus the global frequency order.
+#[derive(Debug, Clone)]
+pub struct AdaptSearchIndex {
+    k: usize,
+    /// Corpus frequency of every item (defines the global order).
+    freq: FxHashMap<ItemId, u32>,
+    delta: FxHashMap<ItemId, DeltaList>,
+    indexed: usize,
+    params: AdaptCostParams,
+}
+
+impl AdaptSearchIndex {
+    /// Indexes every ranking of the store with default cost parameters.
+    pub fn build(store: &RankingStore) -> Self {
+        Self::build_with(store, AdaptCostParams::default())
+    }
+
+    /// Indexes every ranking of the store.
+    pub fn build_with(store: &RankingStore, params: AdaptCostParams) -> Self {
+        let k = store.k();
+        // Pass 1: global item frequencies.
+        let mut freq: FxHashMap<ItemId, u32> = fx_map_with_capacity(1024);
+        for id in store.ids() {
+            for &item in store.items(id) {
+                *freq.entry(item).or_insert(0) += 1;
+            }
+        }
+        // Pass 2: reorder each record by (freq, item) and fill delta lists.
+        let mut staging: FxHashMap<ItemId, Vec<(u32, RankingId)>> = fx_map_with_capacity(freq.len());
+        let mut record: Vec<ItemId> = Vec::with_capacity(k);
+        for id in store.ids() {
+            record.clear();
+            record.extend_from_slice(store.items(id));
+            record.sort_unstable_by_key(|i| (freq[i], *i));
+            for (pos, &item) in record.iter().enumerate() {
+                staging.entry(item).or_default().push((pos as u32, id));
+            }
+        }
+        let mut delta = fx_map_with_capacity(staging.len());
+        for (item, mut postings) in staging {
+            postings.sort_unstable_by_key(|&(pos, id)| (pos, id.0));
+            let mut offsets = Vec::with_capacity(k + 1);
+            let mut ids = Vec::with_capacity(postings.len());
+            let mut cursor = 0usize;
+            for pos in 0..k as u32 {
+                offsets.push(cursor as u32);
+                while cursor < postings.len() && postings[cursor].0 == pos {
+                    ids.push(postings[cursor].1);
+                    cursor += 1;
+                }
+            }
+            offsets.push(cursor as u32);
+            delta.insert(item, DeltaList { ids, offsets });
+        }
+        AdaptSearchIndex {
+            k,
+            freq,
+            delta,
+            indexed: store.len(),
+            params,
+        }
+    }
+
+    /// The ranking size the index was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of rankings indexed.
+    pub fn indexed(&self) -> usize {
+        self.indexed
+    }
+
+    /// The query items sorted by the global (frequency, id) order; unseen
+    /// items have frequency 0 and sort to the front (rarest).
+    fn reorder_query(&self, query: &[ItemId]) -> Vec<ItemId> {
+        let mut q: Vec<ItemId> = query.to_vec();
+        q.sort_unstable_by_key(|i| (self.freq.get(i).copied().unwrap_or(0), *i));
+        q
+    }
+
+    /// `S(ℓ)`: postings in delta lists `1..=k−c+ℓ` of the first `k−c+ℓ`
+    /// query-prefix items.
+    fn scan_volume(&self, qsorted: &[ItemId], prefix_len: usize) -> u64 {
+        let mut total = 0u64;
+        for &item in &qsorted[..prefix_len] {
+            if let Some(dl) = self.delta.get(&item) {
+                total += dl.offsets[prefix_len] as u64;
+            }
+        }
+        total
+    }
+
+    /// Picks the prefix extension `ℓ ∈ 1..=c` minimizing the modeled cost.
+    fn choose_ell(&self, qsorted: &[ItemId], c: usize) -> usize {
+        let mut best = (1usize, f64::INFINITY);
+        for ell in 1..=c {
+            let prefix_len = (self.k - c + ell).min(self.k);
+            let s = self.scan_volume(qsorted, prefix_len) as f64;
+            let cost =
+                self.params.posting_cost * s + self.params.candidate_cost * (s / ell as f64);
+            if cost < best.1 {
+                best = (ell, cost);
+            }
+        }
+        best.0
+    }
+
+    /// AdaptSearch: all indexed rankings within `theta_raw` of the query.
+    pub fn search(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        stats: &mut QueryStats,
+    ) -> Vec<RankingId> {
+        debug_assert_eq!(self.k, query.len());
+        // Required overlap from the Footrule bound; every result overlaps
+        // the query in at least one item for θ < d_max, hence max(1, ω).
+        let c = omega(self.k, theta_raw).max(1);
+        let qsorted = self.reorder_query(query);
+        let ell = self.choose_ell(&qsorted, c);
+        let prefix_len = (self.k - c + ell).min(self.k);
+
+        // Probe phase: count prefix co-occurrences per candidate.
+        let mut counts: FxHashMap<u32, u32> = fx_map_with_capacity(256);
+        for &item in &qsorted[..prefix_len] {
+            if let Some(dl) = self.delta.get(&item) {
+                let end = dl.offsets[prefix_len] as usize;
+                stats.count_list(end);
+                for &id in &dl.ids[..end] {
+                    *counts.entry(id.0).or_insert(0) += 1;
+                }
+            } else {
+                stats.count_list(0);
+            }
+        }
+
+        // Verify phase: Footrule per candidate passing the count filter.
+        let qmap = PositionMap::new(query);
+        let mut out = Vec::new();
+        for (id, cnt) in counts {
+            if (cnt as usize) < ell {
+                continue;
+            }
+            stats.candidates += 1;
+            stats.count_distance();
+            if qmap.distance_to(store.items(RankingId(id))) <= theta_raw {
+                out.push(RankingId(id));
+            }
+        }
+        stats.results += out.len() as u64;
+        out
+    }
+
+    /// Approximate heap footprint in bytes (Table 6's "Delta Inverted
+    /// Index" row).
+    pub fn heap_bytes(&self) -> usize {
+        let freq = self.freq.capacity() * (std::mem::size_of::<ItemId>() + 4);
+        let buckets = self.delta.capacity()
+            * (std::mem::size_of::<ItemId>() + std::mem::size_of::<DeltaList>());
+        let payload: usize = self
+            .delta
+            .values()
+            .map(|d| d.ids.capacity() * 4 + d.offsets.capacity() * 4)
+            .sum();
+        freq + buckets + payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use ranksim_rankings::raw_threshold;
+
+    fn random_store(n: usize, k: usize, domain: u32, seed: u64) -> RankingStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = RankingStore::with_capacity(k, n);
+        let mut base: Vec<Vec<u32>> = Vec::new();
+        for i in 0..n {
+            let items: Vec<u32> = if !base.is_empty() && rng.random_bool(0.5) {
+                let mut items = base[rng.random_range(0..base.len())].clone();
+                let a = rng.random_range(0..k);
+                let b = rng.random_range(0..k);
+                items.swap(a, b);
+                if rng.random_bool(0.4) {
+                    let p = rng.random_range(0..k);
+                    let mut cand = rng.random_range(0..domain);
+                    while items.contains(&cand) {
+                        cand = rng.random_range(0..domain);
+                    }
+                    items[p] = cand;
+                }
+                items
+            } else {
+                let mut pool: Vec<u32> = (0..domain).collect();
+                pool.shuffle(&mut rng);
+                pool.truncate(k);
+                pool
+            };
+            if i % 4 == 0 {
+                base.push(items.clone());
+            }
+            let ids: Vec<ItemId> = items.into_iter().map(ItemId).collect();
+            store.push_items_unchecked(&ids);
+        }
+        store
+    }
+
+    fn scan(store: &RankingStore, query: &[ItemId], theta_raw: u32) -> Vec<RankingId> {
+        let q = PositionMap::new(query);
+        store
+            .ids()
+            .filter(|&id| q.distance_to(store.items(id)) <= theta_raw)
+            .collect()
+    }
+
+    #[test]
+    fn adaptsearch_equals_scan() {
+        let store = random_store(400, 7, 60, 77);
+        let index = AdaptSearchIndex::build(&store);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..15 {
+            let base = rng.random_range(0..400u32);
+            let mut q: Vec<ItemId> = store.items(RankingId(base)).to_vec();
+            q.swap(0, 3);
+            for theta in [0.0, 0.1, 0.2, 0.3] {
+                let raw = raw_threshold(theta, 7);
+                let mut stats = QueryStats::new();
+                let mut got = index.search(&store, &q, raw, &mut stats);
+                let mut expect = scan(&store, &q, raw);
+                got.sort_unstable();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "θ={theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_probing_scans_fewer_postings_than_full_index() {
+        let store = random_store(600, 10, 100, 99);
+        let index = AdaptSearchIndex::build(&store);
+        let q: Vec<ItemId> = store.items(RankingId(11)).to_vec();
+        let raw = raw_threshold(0.1, 10);
+        let mut stats = QueryStats::new();
+        let _ = index.search(&store, &q, raw, &mut stats);
+        let full: u64 = q.iter().map(|i| index.freq.get(i).copied().unwrap_or(0) as u64).sum();
+        assert!(
+            stats.entries_scanned < full,
+            "prefix probing ({}) must beat scanning all k lists ({full})",
+            stats.entries_scanned
+        );
+    }
+
+    #[test]
+    fn exact_search_uses_maximal_filtering() {
+        // θ = 0 ⇒ c = k ⇒ prefix length ℓ with strong count filter; all
+        // returned rankings equal the query.
+        let store = random_store(300, 6, 50, 55);
+        let index = AdaptSearchIndex::build(&store);
+        let q: Vec<ItemId> = store.items(RankingId(8)).to_vec();
+        let mut stats = QueryStats::new();
+        let got = index.search(&store, &q, 0, &mut stats);
+        assert!(got.contains(&RankingId(8)));
+        for id in got {
+            assert_eq!(store.items(id), q.as_slice());
+        }
+    }
+
+    #[test]
+    fn cost_model_prefers_small_scan_volume() {
+        let store = random_store(500, 8, 70, 31);
+        let index = AdaptSearchIndex::build(&store);
+        let q: Vec<ItemId> = store.items(RankingId(0)).to_vec();
+        let qsorted = index.reorder_query(&q);
+        // S(ℓ) grows with prefix length.
+        let c = 4usize;
+        let mut prev = 0u64;
+        for ell in 1..=c {
+            let s = index.scan_volume(&qsorted, 8 - c + ell);
+            assert!(s >= prev);
+            prev = s;
+        }
+        let ell = index.choose_ell(&qsorted, c);
+        assert!((1..=c).contains(&ell));
+    }
+
+    #[test]
+    fn disjoint_query_returns_empty() {
+        let store = random_store(100, 5, 30, 3);
+        let index = AdaptSearchIndex::build(&store);
+        let q: Vec<ItemId> = (500..505u32).map(ItemId).collect();
+        let mut stats = QueryStats::new();
+        assert!(index.search(&store, &q, 8, &mut stats).is_empty());
+    }
+}

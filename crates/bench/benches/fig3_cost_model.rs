@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 3: evaluating the analytical cost model
+//! (model construction and a full θC sweep must be cheap enough to run
+//! at query-planning time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ranksim_bench::{fig3, Bench, ExpConfig, Family};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let cfg = ExpConfig::small();
+    let nyt = Bench::load(&cfg, Family::Nyt, 10);
+    let yago = Bench::load(&cfg, Family::Yago, 10);
+    let mut g = c.benchmark_group("fig3_cost_model");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("nyt_sweep_theta_c", |b| {
+        b.iter(|| std::hint::black_box(fig3(&nyt, 0.2, false)))
+    });
+    g.bench_function("yago_sweep_theta_c", |b| {
+        b.iter(|| std::hint::black_box(fig3(&yago, 0.2, false)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

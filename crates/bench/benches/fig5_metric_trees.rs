@@ -1,0 +1,57 @@
+//! Criterion bench for Figure 5: M-tree vs BK-tree range queries on the
+//! NYT-like corpus (k = 10, θ = 0.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ranksim_bench::{Bench, ExpConfig, Family};
+use ranksim_metricspace::{query_pairs, BkTree, MTree, VpTree};
+use ranksim_rankings::{raw_threshold, QueryStats};
+
+fn bench_metric_trees(c: &mut Criterion) {
+    let cfg = ExpConfig::small();
+    let bench = Bench::load(&cfg, Family::Nyt, 10);
+    let store = bench.store();
+    let raw = raw_threshold(0.1, 10);
+    let bk = BkTree::build(store);
+    let mtree = MTree::build(store);
+    let vp = VpTree::build(store, 5);
+    let queries: Vec<_> = bench.queries.iter().take(20).map(|q| query_pairs(q)).collect();
+
+    let mut g = c.benchmark_group("fig5_metric_trees");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("bk_tree", |b| {
+        b.iter(|| {
+            let mut stats = QueryStats::new();
+            let mut n = 0;
+            for q in &queries {
+                n += bk.range_query(store, q, raw, &mut stats).len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.bench_function("m_tree", |b| {
+        b.iter(|| {
+            let mut stats = QueryStats::new();
+            let mut n = 0;
+            for q in &queries {
+                n += mtree.range_query(store, q, raw, &mut stats).len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.bench_function("vp_tree", |b| {
+        b.iter(|| {
+            let mut stats = QueryStats::new();
+            let mut n = 0;
+            for q in &queries {
+                n += vp.range_query(store, q, raw, &mut stats).len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_metric_trees);
+criterion_main!(benches);

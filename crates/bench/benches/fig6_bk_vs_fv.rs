@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 6: BK-tree vs the plain inverted index
+//! (F&V) on the NYT-like corpus (k = 10, θ = 0.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ranksim_bench::{Bench, ExpConfig, Family};
+use ranksim_invindex::{fv, PlainInvertedIndex};
+use ranksim_metricspace::{query_pairs, BkTree};
+use ranksim_rankings::{raw_threshold, QueryStats};
+
+fn bench_bk_vs_fv(c: &mut Criterion) {
+    let cfg = ExpConfig::small();
+    let bench = Bench::load(&cfg, Family::Nyt, 10);
+    let store = bench.store();
+    let raw = raw_threshold(0.1, 10);
+    let bk = BkTree::build(store);
+    let index = PlainInvertedIndex::build(store);
+    let queries: Vec<_> = bench.queries.iter().take(20).cloned().collect();
+
+    let mut g = c.benchmark_group("fig6_bk_vs_fv");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("bk_tree", |b| {
+        b.iter(|| {
+            let mut stats = QueryStats::new();
+            let mut n = 0;
+            for q in &queries {
+                n += bk.range_query(store, &query_pairs(q), raw, &mut stats).len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.bench_function("fv_inverted_index", |b| {
+        b.iter(|| {
+            let mut stats = QueryStats::new();
+            let mut n = 0;
+            for q in &queries {
+                n += fv::filter_validate(&index, store, q, raw, &mut stats).len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bk_vs_fv);
+criterion_main!(benches);

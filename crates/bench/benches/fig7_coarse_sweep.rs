@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 7: coarse-index query time at three
+//! representative θC settings (under-, well-, and over-coarsened).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksim_bench::{Bench, ExpConfig, Family};
+use ranksim_core::CoarseIndex;
+use ranksim_rankings::{raw_threshold, QueryStats};
+
+fn bench_coarse_sweep(c: &mut Criterion) {
+    let cfg = ExpConfig::small();
+    let bench = Bench::load(&cfg, Family::Nyt, 10);
+    let store = bench.store();
+    let theta = raw_threshold(0.2, 10);
+    let queries: Vec<_> = bench.queries.iter().take(20).cloned().collect();
+
+    let mut g = c.benchmark_group("fig7_coarse_sweep");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for theta_c in [0.05f64, 0.3, 0.7] {
+        let index = CoarseIndex::build(store, raw_threshold(theta_c, 10));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("theta_c_{theta_c}")),
+            &index,
+            |b, index| {
+                b.iter(|| {
+                    let mut stats = QueryStats::new();
+                    let mut n = 0;
+                    for q in &queries {
+                        n += index.query(store, q, theta, false, &mut stats).len();
+                    }
+                    std::hint::black_box(n)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_coarse_sweep);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 9: the all-algorithm comparison on the
+//! Yago-like corpus (k = 10, θ = 0.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksim_bench::{ComparisonSetup, ExpConfig, Family, Technique};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let cfg = ExpConfig::small();
+    let setup = ComparisonSetup::build(&cfg, Family::Yago, 10, &[0.1]);
+    let mut g = c.benchmark_group("fig9_algorithms_yago");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for tech in Technique::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(tech.name().replace(['&', '+', ' '], "_")),
+            &tech,
+            |b, &tech| b.iter(|| std::hint::black_box(setup.measure(tech, 0.1).results)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

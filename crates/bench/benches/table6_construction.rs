@@ -1,0 +1,46 @@
+//! Criterion bench for Table 6: index construction times on a scaled
+//! NYT-like corpus (k = 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ranksim_adaptsearch::AdaptSearchIndex;
+use ranksim_bench::{Bench, ExpConfig, Family};
+use ranksim_core::CoarseIndex;
+use ranksim_invindex::{AugmentedInvertedIndex, PlainInvertedIndex};
+use ranksim_metricspace::{BkTree, MTree};
+use ranksim_rankings::raw_threshold;
+
+fn bench_construction(c: &mut Criterion) {
+    let cfg = ExpConfig::small();
+    let bench = Bench::load(&cfg, Family::Nyt, 10);
+    let store = bench.store();
+    let mut g = c.benchmark_group("table6_construction");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("plain_inverted_index", |b| {
+        b.iter(|| std::hint::black_box(PlainInvertedIndex::build(store).num_items()))
+    });
+    g.bench_function("augmented_inverted_index", |b| {
+        b.iter(|| std::hint::black_box(AugmentedInvertedIndex::build(store).num_items()))
+    });
+    g.bench_function("delta_inverted_index", |b| {
+        b.iter(|| std::hint::black_box(AdaptSearchIndex::build(store).indexed()))
+    });
+    g.bench_function("bk_tree", |b| {
+        b.iter(|| std::hint::black_box(BkTree::build(store).len()))
+    });
+    g.bench_function("m_tree", |b| {
+        b.iter(|| std::hint::black_box(MTree::build(store).len()))
+    });
+    g.bench_function("coarse_index", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                CoarseIndex::build(store, raw_threshold(0.5, 10)).num_partitions(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,293 @@
+//! `repro` — regenerates every table and figure of the EDBT 2015
+//! evaluation as text reports.
+//!
+//! ```sh
+//! cargo run -p ranksim-bench --release --bin repro -- all
+//! cargo run -p ranksim-bench --release --bin repro -- fig8
+//! RANKSIM_NYT_N=100000 cargo run -p ranksim-bench --release --bin repro -- fig7
+//! ```
+
+use ranksim_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let cfg = ExpConfig::from_env();
+    eprintln!(
+        "# config: nyt_n={} yago_n={} queries={} (override via RANKSIM_NYT_N / RANKSIM_YAGO_N / RANKSIM_QUERIES)",
+        cfg.nyt_n, cfg.yago_n, cfg.queries
+    );
+    let t0 = std::time::Instant::now();
+    match what {
+        "verify" => run_verify(&cfg),
+        "fig3" => run_fig3(&cfg),
+        "fig5" => run_fig56(&cfg, true),
+        "fig6" => run_fig56(&cfg, false),
+        "fig7" => run_fig7(&cfg),
+        "table5" => run_table5(&cfg),
+        "fig8" => run_fig89(&cfg, Family::Nyt),
+        "fig9" => run_fig89(&cfg, Family::Yago),
+        "fig10" => run_fig10(&cfg),
+        "table6" => run_table6(&cfg),
+        "ablation" => run_ablation(&cfg),
+        "all" => {
+            run_verify(&cfg);
+            run_fig3(&cfg);
+            run_fig56(&cfg, true);
+            run_fig56(&cfg, false);
+            run_fig7(&cfg);
+            run_table5(&cfg);
+            run_fig89(&cfg, Family::Nyt);
+            run_fig89(&cfg, Family::Yago);
+            run_fig10(&cfg);
+            run_table6(&cfg);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation all"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("# total wall time: {:.1?}", t0.elapsed());
+}
+
+fn run_verify(cfg: &ExpConfig) {
+    println!("== verify: all algorithms agree before anything is timed ==");
+    let thetas = [0.0, 0.1, 0.2, 0.3];
+    for family in [Family::Nyt, Family::Yago] {
+        let mut small = *cfg;
+        small.nyt_n = small.nyt_n.min(5000);
+        small.yago_n = small.yago_n.min(5000);
+        let setup = ComparisonSetup::build(&small, family, 10, &thetas);
+        let checked = verify(&setup, &thetas);
+        println!("{:<5}: {checked} (query, θ) pairs consistent across all 8 algorithms", family.name());
+    }
+    println!();
+}
+
+fn run_fig3(cfg: &ExpConfig) {
+    println!("== Figure 3: modeled cost for varying θC (k=10, θ=0.2) ==");
+    for family in [Family::Nyt, Family::Yago] {
+        let bench = Bench::load(cfg, family, 10);
+        let (rows, opt) = fig3(&bench, 0.2, true);
+        println!("-- {} rankings, k=10, θ=0.2 --", family.name());
+        println!("{:>6} {:>14} {:>14} {:>14}", "θC", "filter", "validate", "overall(+)");
+        for r in rows {
+            println!(
+                "{:>6.2} {:>14.2} {:>14.2} {:>14.2}",
+                r.theta_c,
+                r.filter_ms,
+                r.validate_ms,
+                r.filter_ms + r.validate_ms
+            );
+        }
+        println!("model-optimal θC = {opt:.2}\n");
+    }
+}
+
+fn run_fig56(cfg: &ExpConfig, fig5: bool) {
+    let (title, structures): (&str, Vec<Structure>) = if fig5 {
+        (
+            "Figure 5: M-tree vs BK-tree (NYT)",
+            vec![Structure::BkTree, Structure::MTree, Structure::VpTree],
+        )
+    } else {
+        (
+            "Figure 6: BK-tree vs inverted index / F&V (NYT)",
+            vec![Structure::BkTree, Structure::Fv],
+        )
+    };
+    println!("== {title} ==");
+    println!("-- (a) θ=0.1, varying k — seconds per 1000 queries --");
+    let ks = [5usize, 10, 15, 20, 25];
+    let by_k = sweep_k(cfg, Family::Nyt, &structures, &ks, 0.1);
+    print!("{:>10}", "k");
+    for (s, _) in &by_k {
+        print!(" {:>12}", s.name());
+    }
+    println!();
+    for (i, &k) in ks.iter().enumerate() {
+        print!("{k:>10}");
+        for (_, pts) in &by_k {
+            print!(" {:>12.3}", pts[i].seconds);
+        }
+        println!();
+    }
+    println!("-- (b) k=10, varying θ — seconds per 1000 queries --");
+    let thetas = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3];
+    let by_t = sweep_theta(cfg, Family::Nyt, &structures, 10, &thetas);
+    print!("{:>10}", "θ");
+    for (s, _) in &by_t {
+        print!(" {:>12}", s.name());
+    }
+    println!();
+    for (i, &t) in thetas.iter().enumerate() {
+        print!("{t:>10.2}");
+        for (_, pts) in &by_t {
+            print!(" {:>12.3}", pts[i].seconds);
+        }
+        println!();
+    }
+    println!();
+}
+
+const THETA_C_GRID: [f64; 13] = [
+    0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8,
+];
+
+fn run_fig7(cfg: &ExpConfig) {
+    println!("== Figure 7: measured filter/validation time vs θC (k=10, θ=0.2) ==");
+    for family in [Family::Nyt, Family::Yago] {
+        let bench = Bench::load(cfg, family, 10);
+        let rows = fig7_sweep(&bench, 0.2, &THETA_C_GRID);
+        let (model_rows, model_opt) = fig3(&bench, 0.2, true);
+        let _ = model_rows;
+        println!("-- {} — ms per 1000 queries --", family.name());
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12}",
+            "θC", "filter", "validation", "overall", "partitions"
+        );
+        for r in &rows {
+            println!(
+                "{:>6.2} {:>12.2} {:>12.2} {:>12.2} {:>12}",
+                r.theta_c,
+                r.filter_ms,
+                r.validate_ms,
+                r.filter_ms + r.validate_ms,
+                r.partitions
+            );
+        }
+        let nearest = rows
+            .iter()
+            .min_by(|a, b| {
+                (a.theta_c - model_opt)
+                    .abs()
+                    .total_cmp(&(b.theta_c - model_opt).abs())
+            })
+            .unwrap();
+        println!(
+            "model-chosen θC = {model_opt:.2} -> measured {:.2} ms (marker ▫ in the paper's plot)\n",
+            nearest.filter_ms + nearest.validate_ms
+        );
+    }
+}
+
+fn run_table5(cfg: &ExpConfig) {
+    println!("== Table 5: measured-best vs model-chosen θC (k=10) — ms per 1000 queries ==");
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "data", "θ", "best θC", "model θC", "best ms", "model ms", "gap ms"
+    );
+    for family in [Family::Nyt, Family::Yago] {
+        let bench = Bench::load(cfg, family, 10);
+        for row in table5(&bench, &[0.1, 0.2, 0.3], &THETA_C_GRID) {
+            println!(
+                "{:>6} {:>6.1} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>8.2}",
+                family.name(),
+                row.theta,
+                row.best_theta_c,
+                row.model_theta_c,
+                row.best_ms,
+                row.model_ms,
+                row.gap_ms()
+            );
+        }
+    }
+    println!();
+}
+
+fn run_fig89(cfg: &ExpConfig, family: Family) {
+    let fig = if family == Family::Nyt { 8 } else { 9 };
+    println!("== Figure {fig}: algorithm comparison ({}) — ms per 1000 queries ==", family.name());
+    let thetas = [0.0, 0.1, 0.2, 0.3];
+    for k in [10usize, 20] {
+        let setup = ComparisonSetup::build(cfg, family, k, &thetas);
+        println!("-- k={k}; Coarse θC=0.5, Coarse+Drop θC=0.06 --");
+        print!("{:<20}", "algorithm");
+        for t in thetas {
+            print!(" {:>10}", format!("θ={t}"));
+        }
+        println!();
+        for tech in Technique::ALL {
+            print!("{:<20}", tech.name());
+            for &t in &thetas {
+                let cell = setup.measure(tech, t);
+                print!(" {:>10.1}", cell.time_ms);
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+fn run_fig10(cfg: &ExpConfig) {
+    println!("== Figure 10: distance function calls (thousands, whole workload scaled to 1000 queries) ==");
+    let thetas = [0.0, 0.1, 0.2, 0.3];
+    let dfc_techs = [
+        Technique::Engine(ranksim_core::engine::Algorithm::Fv),
+        Technique::Engine(ranksim_core::engine::Algorithm::FvDrop),
+        Technique::Engine(ranksim_core::engine::Algorithm::BlockedPruneDrop),
+        Technique::Engine(ranksim_core::engine::Algorithm::Coarse),
+        Technique::Engine(ranksim_core::engine::Algorithm::CoarseDrop),
+        Technique::MinimalFv,
+    ];
+    for family in [Family::Nyt, Family::Yago] {
+        for k in [10usize, 20] {
+            let setup = ComparisonSetup::build(cfg, family, k, &thetas);
+            let scale = 1000.0 / cfg.queries as f64;
+            println!("-- {}, k={k} --", family.name());
+            print!("{:<20}", "algorithm");
+            for t in thetas {
+                print!(" {:>10}", format!("θ={t}"));
+            }
+            println!();
+            for tech in dfc_techs {
+                print!("{:<20}", tech.name());
+                for &t in &thetas {
+                    let cell = setup.measure(tech, t);
+                    print!(" {:>10.1}", cell.dfc as f64 * scale / 1000.0);
+                }
+                println!();
+            }
+        }
+    }
+    println!();
+}
+
+fn run_table6(cfg: &ExpConfig) {
+    println!("== Table 6: index size and construction time (k=10) ==");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>12}",
+        "index", "NYT MB", "Yago MB", "NYT sec", "Yago sec"
+    );
+    let nyt = Bench::load(cfg, Family::Nyt, 10);
+    let yago = Bench::load(cfg, Family::Yago, 10);
+    let rows_nyt = table6(&nyt);
+    let rows_yago = table6(&yago);
+    for (a, b) in rows_nyt.iter().zip(&rows_yago) {
+        println!(
+            "{:<28} {:>10.1} {:>10.1} {:>12.2} {:>12.2}",
+            a.index, a.size_mb, b.size_mb, a.construction_s, b.construction_s
+        );
+    }
+    println!();
+}
+
+fn run_ablation(cfg: &ExpConfig) {
+    println!("== Ablations: design choices behind the paper's heuristics (k=10, θ=0.2) ==");
+    for family in [Family::Nyt, Family::Yago] {
+        let bench = Bench::load(cfg, family, 10);
+        println!("-- {} — Lemma 2 list-selection policy --", family.name());
+        println!("{:<36} {:>12} {:>12}", "arm", "ms/1000q", "DFC");
+        for row in ablation_drop_policy(&bench, 0.2) {
+            println!("{:<36} {:>12.1} {:>12}", row.arm, row.time_ms, row.dfc);
+        }
+        println!("-- {} — coarse-index partitioning scheme (θC=0.3) --", family.name());
+        println!("{:<64} {:>12} {:>12}", "arm", "ms/1000q", "DFC");
+        for row in ablation_partitioner(&bench, 0.2, 0.3) {
+            println!("{:<64} {:>12.1} {:>12}", row.arm, row.time_ms, row.dfc);
+        }
+    }
+    println!();
+}

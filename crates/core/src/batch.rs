@@ -1,0 +1,183 @@
+//! Batch query processing (the paper's Section 8 outlook, implemented).
+//!
+//! "The query batch can be partitioned into related medoid rankings to
+//! prune the search space of potential result rankings": queries are
+//! grouped by greedy leader clustering at radius `ρ`; each group probes
+//! the medoid inverted index **once** through its leader with the doubly
+//! relaxed threshold `θ + θ_C + ρ` (triangle inequality twice: result →
+//! medoid → query → leader), then every member query checks only the
+//! retrieved partitions.
+//!
+//! Results are bit-identical to processing each query individually; the
+//! saving is one inverted-index probe per *group* instead of per query.
+
+use crate::coarse::CoarseIndex;
+use ranksim_metricspace::query_pairs;
+use ranksim_rankings::{footrule_items, footrule_pairs, ItemId, QueryStats, RankingId, RankingStore};
+
+/// A batch of queries sharing one threshold.
+#[derive(Debug, Clone)]
+pub struct QueryBatch<'a> {
+    /// The query rankings.
+    pub queries: &'a [Vec<ItemId>],
+    /// The shared raw query threshold.
+    pub theta_raw: u32,
+}
+
+/// One leader-clustered group of query indices.
+#[derive(Debug, Clone)]
+struct Group {
+    leader: usize,
+    members: Vec<usize>,
+}
+
+/// Greedy leader clustering of the queries at radius `rho_raw`.
+fn cluster_queries(queries: &[Vec<ItemId>], rho_raw: u32) -> Vec<Group> {
+    let mut groups: Vec<Group> = Vec::new();
+    'next: for (qi, q) in queries.iter().enumerate() {
+        for g in &mut groups {
+            if footrule_items(&queries[g.leader], q) <= rho_raw {
+                g.members.push(qi);
+                continue 'next;
+            }
+        }
+        groups.push(Group {
+            leader: qi,
+            members: vec![qi],
+        });
+    }
+    groups
+}
+
+/// Processes a batch over the coarse index. Returns per-query result sets
+/// in input order. `rho_raw` is the query-clustering radius (0 disables
+/// sharing within distinct queries; duplicates still share).
+pub fn batch_query(
+    index: &CoarseIndex,
+    store: &RankingStore,
+    batch: &QueryBatch<'_>,
+    rho_raw: u32,
+    stats: &mut QueryStats,
+) -> Vec<Vec<RankingId>> {
+    let theta = batch.theta_raw;
+    let theta_c = index.theta_c_raw();
+    let groups = cluster_queries(batch.queries, rho_raw);
+    let mut results: Vec<Vec<RankingId>> = vec![Vec::new(); batch.queries.len()];
+
+    for g in &groups {
+        // One shared filter probe through the leader: any partition a
+        // member query needs has d(medoid, leader) ≤ θ + θ_C + ρ.
+        let leader = &batch.queries[g.leader];
+        let shared = index.filter(
+            store,
+            leader,
+            theta.saturating_add(rho_raw),
+            false,
+            stats,
+        );
+        for &qi in &g.members {
+            let q = &batch.queries[qi];
+            let qp = query_pairs(q);
+            let mut out = Vec::new();
+            for &(pi, leader_dist) in &shared {
+                // Per-member refinement: the member's own medoid distance
+                // decides whether the partition is relevant (Lemma 1).
+                let medoid = index.partitioning().partitions()[pi as usize].medoid;
+                let d = if qi == g.leader {
+                    leader_dist
+                } else {
+                    stats.count_distance();
+                    footrule_pairs(&qp, store.sorted_pairs(medoid), store.k())
+                };
+                if d <= theta + theta_c {
+                    index.partitioning().validate_into(
+                        store,
+                        pi as usize,
+                        &qp,
+                        theta,
+                        Some(d),
+                        stats,
+                        &mut out,
+                    );
+                }
+            }
+            results[qi] = out;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksim_datasets::{nyt_like, workload, WorkloadParams};
+    use ranksim_rankings::raw_threshold;
+
+    #[test]
+    fn batch_results_equal_individual_queries() {
+        let ds = nyt_like(900, 10, 55);
+        let index = CoarseIndex::build(&ds.store, raw_threshold(0.3, 10));
+        let wl = workload(
+            &ds.store,
+            ds.params.domain,
+            WorkloadParams {
+                num_queries: 30,
+                seed: 8,
+                ..Default::default()
+            },
+        );
+        let theta = raw_threshold(0.2, 10);
+        for rho in [0u32, 8, 20] {
+            let batch = QueryBatch {
+                queries: &wl.queries,
+                theta_raw: theta,
+            };
+            let mut stats = QueryStats::new();
+            let got = batch_query(&index, &ds.store, &batch, rho, &mut stats);
+            for (qi, q) in wl.queries.iter().enumerate() {
+                let mut s = QueryStats::new();
+                let mut expect = index.query(&ds.store, q, theta, false, &mut s);
+                let mut g = got[qi].clone();
+                expect.sort_unstable();
+                g.sort_unstable();
+                assert_eq!(g, expect, "query {qi} at ρ={rho}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_queries_share_one_probe() {
+        let ds = nyt_like(400, 10, 66);
+        let index = CoarseIndex::build(&ds.store, raw_threshold(0.3, 10));
+        let q: Vec<ItemId> = ds.store.items(RankingId(7)).to_vec();
+        let queries = vec![q.clone(), q.clone(), q];
+        let theta = raw_threshold(0.2, 10);
+        let batch = QueryBatch {
+            queries: &queries,
+            theta_raw: theta,
+        };
+        let mut batched = QueryStats::new();
+        let res = batch_query(&index, &ds.store, &batch, 0, &mut batched);
+        assert_eq!(res[0], res[1]);
+        assert_eq!(res[1], res[2]);
+        let mut individual = QueryStats::new();
+        for q in &queries {
+            let _ = index.query(&ds.store, q, theta, false, &mut individual);
+        }
+        assert!(
+            batched.lists_accessed < individual.lists_accessed,
+            "batching must save index probes ({} vs {})",
+            batched.lists_accessed,
+            individual.lists_accessed
+        );
+    }
+
+    #[test]
+    fn clustering_radius_zero_groups_only_identical() {
+        let a: Vec<ItemId> = (0..5u32).map(ItemId).collect();
+        let b: Vec<ItemId> = (5..10u32).map(ItemId).collect();
+        let groups = cluster_queries(&[a.clone(), b, a], 0);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].members, vec![0, 2]);
+    }
+}

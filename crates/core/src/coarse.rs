@@ -1,0 +1,309 @@
+//! The coarse hybrid index (paper Section 4).
+//!
+//! Construction: partition the corpus at radius `θ_C` with the BK-subtree
+//! partitioner (Figure 1) and put only the partition medoids into an
+//! inverted index. Querying (Algorithm 1): retrieve medoids within the
+//! *relaxed* threshold `θ + θ_C` through plain F&V — optionally with
+//! Lemma 2 list dropping (`Coarse+Drop`) — then validate each hit
+//! partition against the original `θ` through its BK-subtrees.
+//!
+//! Lemma 1 (no false negatives): a result `τ` with `d(τ, q) ≤ θ` lives in
+//! a partition whose medoid satisfies `d(τ_m, q) ≤ d(τ_m, τ) + d(τ, q) ≤
+//! θ_C + θ`, so the relaxed filter retrieves its partition. Medoids with
+//! zero query overlap are invisible to the inverted index, which is safe
+//! exactly while `θ + θ_C < d_max` (their distance is then provably above
+//! the relaxed threshold); beyond that the index falls back to a medoid
+//! scan, preserving correctness at degraded speed.
+
+use ranksim_invindex::fv::filter_validate_relaxed;
+use ranksim_invindex::PlainInvertedIndex;
+use ranksim_metricspace::{query_pairs, BkPartitioner, Partitioning};
+use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
+use ranksim_rankings::{
+    footrule_pairs, ItemId, QueryStats, RankingId, RankingStore,
+};
+
+/// Construction-time statistics (Table 6 reporting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoarseBuildStats {
+    /// Footrule evaluations spent building the BK-tree / partitions.
+    pub distance_calls: u64,
+    /// Number of partitions (= medoids in the inverted index).
+    pub num_partitions: usize,
+}
+
+/// The coarse hybrid index.
+#[derive(Debug, Clone)]
+pub struct CoarseIndex {
+    theta_c_raw: u32,
+    partitioning: Partitioning,
+    medoid_index: PlainInvertedIndex,
+    medoid_to_partition: FxHashMap<u32, u32>,
+    build: CoarseBuildStats,
+}
+
+impl CoarseIndex {
+    /// Builds the index at partitioning radius `theta_c_raw` using the
+    /// BK-subtree partitioner.
+    pub fn build(store: &RankingStore, theta_c_raw: u32) -> Self {
+        let partitioning = BkPartitioner::partition(store, theta_c_raw);
+        Self::from_partitioning(store, partitioning)
+    }
+
+    /// Builds the index from an existing partitioning (any scheme whose
+    /// partitions respect the radius guarantee works).
+    pub fn from_partitioning(store: &RankingStore, partitioning: Partitioning) -> Self {
+        let mut medoids: Vec<(RankingId, u32)> = partitioning
+            .medoids()
+            .enumerate()
+            .map(|(pi, m)| (m, pi as u32))
+            .collect();
+        medoids.sort_unstable_by_key(|&(m, _)| m);
+        let medoid_index =
+            PlainInvertedIndex::build_from(store, medoids.iter().map(|&(m, _)| m));
+        let mut medoid_to_partition = fx_map_with_capacity(medoids.len());
+        for (m, pi) in medoids {
+            medoid_to_partition.insert(m.0, pi);
+        }
+        let build = CoarseBuildStats {
+            distance_calls: partitioning.build_distance_calls,
+            num_partitions: partitioning.num_partitions(),
+        };
+        CoarseIndex {
+            theta_c_raw: partitioning.theta_c_raw(),
+            partitioning,
+            medoid_index,
+            medoid_to_partition,
+            build,
+        }
+    }
+
+    /// The partitioning radius in raw Footrule units.
+    pub fn theta_c_raw(&self) -> u32 {
+        self.theta_c_raw
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitioning.num_partitions()
+    }
+
+    /// Construction statistics.
+    pub fn build_stats(&self) -> CoarseBuildStats {
+        self.build
+    }
+
+    /// The underlying partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// **Filtering phase** (Algorithm 1, line 1): the partitions whose
+    /// medoid lies within `θ + θ_C` of the query, with the medoid
+    /// distances already computed.
+    pub fn filter(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        drop_lists: bool,
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, u32)> {
+        let relaxed = theta_raw.saturating_add(self.theta_c_raw);
+        if relaxed >= store.max_distance() {
+            // Inverted-index retrieval incomplete: scan the medoids.
+            let qp = query_pairs(query);
+            let mut out = Vec::new();
+            for (pi, p) in self.partitioning.partitions().iter().enumerate() {
+                stats.count_distance();
+                let d = footrule_pairs(&qp, store.sorted_pairs(p.medoid), store.k());
+                if d <= relaxed {
+                    out.push((pi as u32, d));
+                }
+            }
+            return out;
+        }
+        filter_validate_relaxed(&self.medoid_index, store, query, relaxed, drop_lists, stats)
+            .into_iter()
+            .map(|(medoid, d)| (self.medoid_to_partition[&medoid.0], d))
+            .collect()
+    }
+
+    /// **Validation phase** (Algorithm 1, lines 2–4): runs the original
+    /// threshold through each retrieved partition's BK-subtrees.
+    pub fn validate(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        filtered: &[(u32, u32)],
+        stats: &mut QueryStats,
+    ) -> Vec<RankingId> {
+        let qp = query_pairs(query);
+        let mut out = Vec::new();
+        for &(pi, medoid_dist) in filtered {
+            self.partitioning.validate_into(
+                store,
+                pi as usize,
+                &qp,
+                theta_raw,
+                Some(medoid_dist),
+                stats,
+                &mut out,
+            );
+        }
+        stats.results += out.len() as u64;
+        out
+    }
+
+    /// Full query: `Coarse` (`drop_lists = false`) or `Coarse+Drop`.
+    pub fn query(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        drop_lists: bool,
+        stats: &mut QueryStats,
+    ) -> Vec<RankingId> {
+        let filtered = self.filter(store, query, theta_raw, drop_lists, stats);
+        self.validate(store, query, theta_raw, &filtered, stats)
+    }
+
+    /// Approximate heap footprint in bytes (Table 6's "Coarse Index" row:
+    /// partition trees plus the medoid inverted index).
+    pub fn heap_bytes(&self) -> usize {
+        self.partitioning.heap_bytes()
+            + self.medoid_index.heap_bytes()
+            + self.medoid_to_partition.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksim_datasets::{nyt_like, workload, WorkloadParams};
+    use ranksim_metricspace::linear_scan;
+    use ranksim_rankings::raw_threshold;
+
+    fn check_against_scan(theta_c: f64, thetas: &[f64]) {
+        let ds = nyt_like(1200, 10, 21);
+        let store = &ds.store;
+        let index = CoarseIndex::build(store, raw_threshold(theta_c, 10));
+        let wl = workload(
+            store,
+            ds.params.domain,
+            WorkloadParams {
+                num_queries: 15,
+                seed: 77,
+                ..Default::default()
+            },
+        );
+        for q in &wl.queries {
+            let qp = query_pairs(q);
+            for &theta in thetas {
+                let raw = raw_threshold(theta, 10);
+                let mut s1 = QueryStats::new();
+                let mut s2 = QueryStats::new();
+                let mut s3 = QueryStats::new();
+                let mut expect = linear_scan(store, &qp, raw, &mut s1);
+                let mut got = index.query(store, q, raw, false, &mut s2);
+                let mut got_drop = index.query(store, q, raw, true, &mut s3);
+                expect.sort_unstable();
+                got.sort_unstable();
+                got_drop.sort_unstable();
+                assert_eq!(got, expect, "Coarse θ={theta} θC={theta_c}");
+                assert_eq!(got_drop, expect, "Coarse+Drop θ={theta} θC={theta_c}");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_equals_scan_small_theta_c() {
+        check_against_scan(0.06, &[0.0, 0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn coarse_equals_scan_paper_theta_c() {
+        check_against_scan(0.5, &[0.0, 0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn coarse_handles_infeasible_relaxed_threshold() {
+        // θ + θC ≥ d_max triggers the medoid-scan fallback; results must
+        // still be exact.
+        check_against_scan(0.8, &[0.3]);
+    }
+
+    #[test]
+    fn theta_c_zero_degenerates_to_plain_fv() {
+        // Every non-duplicate ranking becomes its own medoid.
+        let ds = nyt_like(500, 10, 5);
+        let index = CoarseIndex::build(&ds.store, 0);
+        assert!(index.num_partitions() <= 500);
+        let wl = workload(
+            &ds.store,
+            ds.params.domain,
+            WorkloadParams {
+                num_queries: 5,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        for q in &wl.queries {
+            let raw = raw_threshold(0.2, 10);
+            let qp = query_pairs(q);
+            let mut s1 = QueryStats::new();
+            let mut s2 = QueryStats::new();
+            let mut expect = linear_scan(&ds.store, &qp, raw, &mut s1);
+            let mut got = index.query(&ds.store, q, raw, false, &mut s2);
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn larger_theta_c_means_fewer_medoids() {
+        let ds = nyt_like(1000, 10, 9);
+        let mut prev = usize::MAX;
+        for theta_c in [0.0, 0.1, 0.3, 0.5] {
+            let idx = CoarseIndex::build(&ds.store, raw_threshold(theta_c, 10));
+            assert!(idx.num_partitions() <= prev);
+            prev = idx.num_partitions();
+        }
+    }
+
+    #[test]
+    fn filter_distances_are_exact_medoid_distances() {
+        let ds = nyt_like(800, 10, 13);
+        let index = CoarseIndex::build(&ds.store, raw_threshold(0.3, 10));
+        let q: Vec<ItemId> = ds.store.items(RankingId(17)).to_vec();
+        let qp = query_pairs(&q);
+        let mut stats = QueryStats::new();
+        for (pi, d) in index.filter(&ds.store, &q, raw_threshold(0.2, 10), false, &mut stats) {
+            let medoid = index.partitioning().partitions()[pi as usize].medoid;
+            let truth = footrule_pairs(&qp, ds.store.sorted_pairs(medoid), 10);
+            assert_eq!(d, truth);
+        }
+    }
+
+    #[test]
+    fn exact_duplicate_partitions_save_distance_calls() {
+        // Figure 10's Coarse effect: exact duplicates of the medoid are
+        // reported from the BK edge-0 subtree; they cost tree traversal
+        // but the medoid itself is never re-evaluated in validation.
+        let mut store = RankingStore::new(4);
+        for _ in 0..50 {
+            store.push_items_unchecked(&[1, 2, 3, 4].map(ItemId));
+        }
+        let index = CoarseIndex::build(&store, 8);
+        assert_eq!(index.num_partitions(), 1);
+        let q: Vec<ItemId> = [1u32, 2, 3, 4].map(ItemId).to_vec();
+        let mut stats = QueryStats::new();
+        let res = index.query(&store, &q, 0, false, &mut stats);
+        assert_eq!(res.len(), 50);
+        // Filter evaluates the medoid once; validation walks the 49-node
+        // duplicate chain — 50 total, never more than one per ranking.
+        assert!(stats.distance_calls <= 50, "DFC = {}", stats.distance_calls);
+    }
+}

@@ -1,0 +1,123 @@
+//! Machine-cost calibration.
+//!
+//! The paper brings the filter and validation estimates to a common unit
+//! by pre-measuring the runtime of a single Footrule computation,
+//! `Cost_footrule(k)`, and of merging postings lists, `Cost_merge(k,
+//! size)` (modelled here as a per-posting cost). [`CalibratedCosts::measure`]
+//! performs those micro-measurements on the current machine; a fixed
+//! [`CalibratedCosts::nominal`] variant keeps unit tests deterministic.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ranksim_rankings::hash::fx_set_with_capacity;
+use ranksim_rankings::{ItemId, PositionMap};
+
+/// Calibrated machine primitives, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibratedCosts {
+    /// One Footrule evaluation at the calibrated `k`.
+    pub footrule_ns: f64,
+    /// Streaming one posting through the filtering merge.
+    pub merge_posting_ns: f64,
+}
+
+impl CalibratedCosts {
+    /// Fixed nominal costs (a 2010s-class core): deterministic for tests.
+    /// The *ratio* footrule : posting ≈ 10 : 1 is what shapes the curve.
+    pub fn nominal(k: usize) -> Self {
+        CalibratedCosts {
+            footrule_ns: 12.0 * k as f64,
+            merge_posting_ns: 8.0,
+        }
+    }
+
+    /// Micro-measures both primitives for rankings of size `k`.
+    pub fn measure(k: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(0xCA11B);
+
+        // Footrule: PositionMap vs random candidates, averaged.
+        let q: Vec<ItemId> = (0..k as u32).map(ItemId).collect();
+        let qmap = PositionMap::new(&q);
+        let candidates: Vec<Vec<ItemId>> = (0..64)
+            .map(|_| {
+                let mut c: Vec<ItemId> = Vec::with_capacity(k);
+                while c.len() < k {
+                    let cand = ItemId(rng.random_range(0..(4 * k) as u32));
+                    if !c.contains(&cand) {
+                        c.push(cand);
+                    }
+                }
+                c
+            })
+            .collect();
+        let iters = 200_000usize;
+        let mut acc = 0u64;
+        let start = Instant::now();
+        for i in 0..iters {
+            acc = acc.wrapping_add(qmap.distance_to(&candidates[i & 63]) as u64);
+        }
+        let footrule_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        std::hint::black_box(acc);
+
+        // Merge: hash-union of k synthetic postings lists.
+        let list_len = 2000usize;
+        let lists: Vec<Vec<u32>> = (0..k)
+            .map(|li| {
+                (0..list_len)
+                    .map(|j| (j * k + li) as u32 % (list_len as u32 * 2))
+                    .collect()
+            })
+            .collect();
+        let rounds = 50usize;
+        let start = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..rounds {
+            let mut set = fx_set_with_capacity::<u32>(list_len * 2);
+            for l in &lists {
+                set.extend(l.iter().copied());
+            }
+            sink = sink.wrapping_add(set.len());
+        }
+        let total_postings = (rounds * k * list_len) as f64;
+        let merge_posting_ns = start.elapsed().as_nanos() as f64 / total_postings;
+        std::hint::black_box(sink);
+
+        CalibratedCosts {
+            footrule_ns: footrule_ns.max(1.0),
+            merge_posting_ns: merge_posting_ns.max(0.1),
+        }
+    }
+
+    /// `Cost_merge(k, size)`: merging `k` lists of `size` postings each.
+    pub fn merge_cost(&self, k: usize, size: f64) -> f64 {
+        self.merge_posting_ns * k as f64 * size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_ratio_is_sane() {
+        let c = CalibratedCosts::nominal(10);
+        assert!(c.footrule_ns > c.merge_posting_ns);
+        assert!(c.merge_cost(10, 100.0) > 0.0);
+    }
+
+    #[test]
+    fn measured_costs_are_positive_and_ordered() {
+        let c = CalibratedCosts::measure(10);
+        assert!(c.footrule_ns >= 1.0);
+        assert!(c.merge_posting_ns >= 0.1);
+        assert!(
+            c.footrule_ns > c.merge_posting_ns,
+            "one distance evaluation must cost more than streaming one posting \
+             (footrule {} ns vs posting {} ns)",
+            c.footrule_ns,
+            c.merge_posting_ns
+        );
+    }
+}

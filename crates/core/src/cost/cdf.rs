@@ -1,0 +1,127 @@
+//! Empirical CDF of pairwise Footrule distances.
+//!
+//! The cost model's only distributional input: `P[X ≤ x]` for the distance
+//! `X` between two random corpus rankings. Estimated from a seeded sample
+//! of pairs (exact enumeration is `O(n²)` and unnecessary).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ranksim_rankings::{footrule_pairs, RankingId, RankingStore};
+
+/// Histogram-backed empirical distance CDF.
+#[derive(Debug, Clone)]
+pub struct DistanceCdf {
+    /// `counts[d]` = observed pairs at distance exactly `d` (`0..=d_max`).
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DistanceCdf {
+    /// Estimates the CDF from `num_pairs` random (unequal) pairs.
+    pub fn sample(store: &RankingStore, num_pairs: usize, seed: u64) -> Self {
+        assert!(store.len() >= 2, "need at least two rankings");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; store.max_distance() as usize + 1];
+        let n = store.len() as u32;
+        let k = store.k();
+        for _ in 0..num_pairs {
+            let a = rng.random_range(0..n);
+            let mut b = rng.random_range(0..n);
+            while b == a {
+                b = rng.random_range(0..n);
+            }
+            let d = footrule_pairs(
+                store.sorted_pairs(RankingId(a)),
+                store.sorted_pairs(RankingId(b)),
+                k,
+            );
+            counts[d as usize] += 1;
+        }
+        DistanceCdf {
+            counts,
+            total: num_pairs as u64,
+        }
+    }
+
+    /// Exact CDF over all pairs (tests only; `O(n²)`).
+    pub fn exhaustive(store: &RankingStore) -> Self {
+        let mut counts = vec![0u64; store.max_distance() as usize + 1];
+        let mut total = 0u64;
+        let k = store.k();
+        for a in 0..store.len() as u32 {
+            for b in (a + 1)..store.len() as u32 {
+                let d = footrule_pairs(
+                    store.sorted_pairs(RankingId(a)),
+                    store.sorted_pairs(RankingId(b)),
+                    k,
+                );
+                counts[d as usize] += 1;
+                total += 1;
+            }
+        }
+        DistanceCdf { counts, total }
+    }
+
+    /// `P[X ≤ d]` (clamped beyond the histogram).
+    pub fn p_leq(&self, d: u32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let d = (d as usize).min(self.counts.len() - 1);
+        let below: u64 = self.counts[..=d].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// The largest representable distance.
+    pub fn d_max(&self) -> u32 {
+        (self.counts.len() - 1) as u32
+    }
+
+    /// Number of sampled pairs.
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksim_datasets::nyt_like;
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let ds = nyt_like(800, 8, 1);
+        let cdf = DistanceCdf::sample(&ds.store, 20_000, 7);
+        let mut prev = 0.0;
+        for d in 0..=cdf.d_max() {
+            let p = cdf.p_leq(d);
+            assert!(p >= prev && (0.0..=1.0).contains(&p));
+            prev = p;
+        }
+        assert!((cdf.p_leq(cdf.d_max()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_tracks_exhaustive() {
+        let ds = nyt_like(300, 8, 2);
+        let exact = DistanceCdf::exhaustive(&ds.store);
+        let approx = DistanceCdf::sample(&ds.store, 40_000, 3);
+        for d in (0..=exact.d_max()).step_by(8) {
+            assert!(
+                (exact.p_leq(d) - approx.p_leq(d)).abs() < 0.03,
+                "d={d}: exact {:.4} vs sampled {:.4}",
+                exact.p_leq(d),
+                approx.p_leq(d)
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_data_has_low_distance_mass() {
+        // The NYT-like generator plants near-duplicates: there must be
+        // measurable probability mass well below d_max/2.
+        let ds = nyt_like(600, 10, 3);
+        let cdf = DistanceCdf::sample(&ds.store, 30_000, 5);
+        assert!(cdf.p_leq(cdf.d_max() / 4) > 0.01);
+    }
+}

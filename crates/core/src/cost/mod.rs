@@ -1,0 +1,20 @@
+//! The analytical cost model of the coarse index (paper Section 5).
+//!
+//! The model is "assumption-lean": it needs only
+//!
+//! * the CDF of pairwise Footrule distances ([`cdf::DistanceCdf`],
+//!   estimated from a sample),
+//! * the Zipf exponent `s` of item popularity (estimated from the corpus),
+//! * two calibrated machine primitives: the runtime of one Footrule
+//!   evaluation and of merging one posting
+//!   ([`calibrate::CalibratedCosts`]).
+//!
+//! From these it derives the expected medoid count `M(n, θ_C)` via a
+//! batched coupon-collector argument ([`coupon`]), the expected inverted-
+//! index list length over the medoids, and finally the filtering and
+//! validation costs whose sum the tuner minimizes ([`model::CostModel`]).
+
+pub mod calibrate;
+pub mod cdf;
+pub mod coupon;
+pub mod model;

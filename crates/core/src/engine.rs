@@ -1,0 +1,267 @@
+//! The unified query engine: every algorithm of the paper's evaluation
+//! behind one dispatch enum.
+//!
+//! [`Engine`] owns the corpus and all index structures; [`Algorithm`]
+//! names the paper's processing techniques (Section 7, "Algorithms under
+//! Investigation") minus `Minimal F&V`, which is a workload-dependent
+//! oracle rather than an ad-hoc index (see
+//! [`ranksim_invindex::MinimalFv`]).
+
+use crate::coarse::CoarseIndex;
+use ranksim_adaptsearch::AdaptSearchIndex;
+use ranksim_invindex::{
+    blocked_prune, fv, listmerge, AugmentedInvertedIndex, BlockedInvertedIndex,
+    PlainInvertedIndex,
+};
+use ranksim_rankings::{raw_threshold, ItemId, QueryStats, Ranking, RankingId, RankingStore};
+
+/// The query-processing techniques of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Filter & validate over the plain inverted index (baseline).
+    Fv,
+    /// F&V with Lemma 2 list dropping.
+    FvDrop,
+    /// Merge of id-sorted augmented lists with on-the-fly aggregation
+    /// (threshold-agnostic baseline).
+    ListMerge,
+    /// Blocked access with NRA-style pruning.
+    BlockedPrune,
+    /// Blocked access with pruning and list dropping.
+    BlockedPruneDrop,
+    /// The coarse hybrid index.
+    Coarse,
+    /// The coarse hybrid index with list dropping in the filter phase.
+    CoarseDrop,
+    /// The AdaptSearch competitor (adaptive prefix filtering).
+    AdaptSearch,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Fv,
+        Algorithm::ListMerge,
+        Algorithm::AdaptSearch,
+        Algorithm::Coarse,
+        Algorithm::CoarseDrop,
+        Algorithm::BlockedPrune,
+        Algorithm::BlockedPruneDrop,
+        Algorithm::FvDrop,
+    ];
+
+    /// The paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Fv => "F&V",
+            Algorithm::FvDrop => "F&V+Drop",
+            Algorithm::ListMerge => "ListMerge",
+            Algorithm::BlockedPrune => "Blocked+Prune",
+            Algorithm::BlockedPruneDrop => "Blocked+Prune+Drop",
+            Algorithm::Coarse => "Coarse",
+            Algorithm::CoarseDrop => "Coarse+Drop",
+            Algorithm::AdaptSearch => "AdaptSearch",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder for [`Engine`].
+pub struct EngineBuilder {
+    store: RankingStore,
+    coarse_theta_c: f64,
+    coarse_theta_c_drop: Option<f64>,
+}
+
+impl EngineBuilder {
+    /// Starts from a corpus.
+    pub fn new(store: RankingStore) -> Self {
+        EngineBuilder {
+            store,
+            coarse_theta_c: 0.5,
+            coarse_theta_c_drop: None,
+        }
+    }
+
+    /// Normalized partitioning threshold `θ_C` for the `Coarse` index
+    /// (paper default for the comparison figures: 0.5).
+    pub fn coarse_threshold(mut self, theta_c: f64) -> Self {
+        self.coarse_theta_c = theta_c;
+        self
+    }
+
+    /// Separate `θ_C` for `Coarse+Drop` (the paper measured 0.06 as
+    /// optimal there). Defaults to the `Coarse` threshold when unset.
+    pub fn coarse_drop_threshold(mut self, theta_c: f64) -> Self {
+        self.coarse_theta_c_drop = Some(theta_c);
+        self
+    }
+
+    /// Builds every index structure.
+    pub fn build(self) -> Engine {
+        let k = self.store.k();
+        let plain = PlainInvertedIndex::build(&self.store);
+        let augmented = AugmentedInvertedIndex::build(&self.store);
+        let blocked = BlockedInvertedIndex::build(&self.store);
+        let adapt = AdaptSearchIndex::build(&self.store);
+        let coarse = CoarseIndex::build(&self.store, raw_threshold(self.coarse_theta_c, k));
+        let coarse_drop = match self.coarse_theta_c_drop {
+            Some(t) if t != self.coarse_theta_c => {
+                Some(CoarseIndex::build(&self.store, raw_threshold(t, k)))
+            }
+            _ => None,
+        };
+        Engine {
+            store: self.store,
+            plain,
+            augmented,
+            blocked,
+            adapt,
+            coarse,
+            coarse_drop,
+        }
+    }
+}
+
+/// The all-algorithms query engine.
+pub struct Engine {
+    store: RankingStore,
+    plain: PlainInvertedIndex,
+    augmented: AugmentedInvertedIndex,
+    blocked: BlockedInvertedIndex,
+    adapt: AdaptSearchIndex,
+    coarse: CoarseIndex,
+    /// Separately tuned coarse index for `CoarseDrop`, if configured.
+    coarse_drop: Option<CoarseIndex>,
+}
+
+impl Engine {
+    /// The corpus.
+    pub fn store(&self) -> &RankingStore {
+        &self.store
+    }
+
+    /// The coarse index (for `Coarse`).
+    pub fn coarse_index(&self) -> &CoarseIndex {
+        &self.coarse
+    }
+
+    /// Runs `algorithm` for a query ranking at normalized threshold
+    /// `theta ∈ [0, 1]`.
+    pub fn query(
+        &self,
+        algorithm: Algorithm,
+        query: &Ranking,
+        theta: f64,
+        stats: &mut QueryStats,
+    ) -> Vec<RankingId> {
+        self.query_items(algorithm, query.items(), raw_threshold(theta, self.store.k()), stats)
+    }
+
+    /// Runs `algorithm` for raw query items at a raw threshold.
+    pub fn query_items(
+        &self,
+        algorithm: Algorithm,
+        query: &[ItemId],
+        theta_raw: u32,
+        stats: &mut QueryStats,
+    ) -> Vec<RankingId> {
+        assert_eq!(
+            query.len(),
+            self.store.k(),
+            "query size must match the corpus ranking size"
+        );
+        match algorithm {
+            Algorithm::Fv => fv::filter_validate(&self.plain, &self.store, query, theta_raw, stats),
+            Algorithm::FvDrop => {
+                fv::filter_validate_drop(&self.plain, &self.store, query, theta_raw, stats)
+            }
+            Algorithm::ListMerge => {
+                listmerge::list_merge(&self.augmented, &self.store, query, theta_raw, stats)
+            }
+            Algorithm::BlockedPrune => {
+                blocked_prune::blocked_prune(&self.blocked, &self.store, query, theta_raw, stats)
+            }
+            Algorithm::BlockedPruneDrop => blocked_prune::blocked_prune_drop(
+                &self.blocked,
+                &self.store,
+                query,
+                theta_raw,
+                stats,
+            ),
+            Algorithm::Coarse => self.coarse.query(&self.store, query, theta_raw, false, stats),
+            Algorithm::CoarseDrop => self
+                .coarse_drop
+                .as_ref()
+                .unwrap_or(&self.coarse)
+                .query(&self.store, query, theta_raw, true, stats),
+            Algorithm::AdaptSearch => self.adapt.search(&self.store, query, theta_raw, stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksim_datasets::{nyt_like, workload, WorkloadParams};
+    use ranksim_rankings::PositionMap;
+
+    #[test]
+    fn all_algorithms_agree_on_all_thresholds() {
+        let ds = nyt_like(1000, 10, 33);
+        let domain = ds.params.domain;
+        let engine = EngineBuilder::new(ds.store)
+            .coarse_threshold(0.5)
+            .coarse_drop_threshold(0.06)
+            .build();
+        let wl = workload(
+            engine.store(),
+            domain,
+            WorkloadParams {
+                num_queries: 10,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        for q in &wl.queries {
+            for theta in [0.0, 0.1, 0.2, 0.3] {
+                let raw = raw_threshold(theta, 10);
+                let qmap = PositionMap::new(q);
+                let mut expect: Vec<RankingId> = engine
+                    .store()
+                    .ids()
+                    .filter(|&id| qmap.distance_to(engine.store().items(id)) <= raw)
+                    .collect();
+                expect.sort_unstable();
+                for alg in Algorithm::ALL {
+                    let mut stats = QueryStats::new();
+                    let mut got = engine.query_items(alg, q, raw, &mut stats);
+                    got.sort_unstable();
+                    assert_eq!(got, expect, "{alg} disagrees at θ={theta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Algorithm::CoarseDrop.name(), "Coarse+Drop");
+        assert_eq!(Algorithm::BlockedPruneDrop.to_string(), "Blocked+Prune+Drop");
+        assert_eq!(Algorithm::ALL.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "query size")]
+    fn wrong_query_size_panics() {
+        let ds = nyt_like(100, 10, 1);
+        let engine = EngineBuilder::new(ds.store).build();
+        let q: Vec<ItemId> = (0..5u32).map(ItemId).collect();
+        let mut stats = QueryStats::new();
+        let _ = engine.query_items(Algorithm::Fv, &q, 10, &mut stats);
+    }
+}

@@ -1,0 +1,33 @@
+//! The coarse hybrid index for top-k-list similarity search — the primary
+//! contribution of *"The Sweet Spot between Inverted Indices and
+//! Metric-Space Indexing for Top-K-List Similarity Search"* (EDBT 2015).
+//!
+//! The coarse index blends the two classical paradigms:
+//!
+//! 1. the corpus is partitioned into groups of near-duplicate rankings,
+//!    each within Footrule distance `θ_C` of a representative *medoid*
+//!    (metric-space side, [`ranksim_metricspace::partition`]),
+//! 2. only the medoids are indexed in an inverted index (set side,
+//!    [`ranksim_invindex`]),
+//! 3. a query with threshold `θ` probes the inverted index with the
+//!    *relaxed* threshold `θ + θ_C` (Lemma 1: no false negatives) and
+//!    validates each retrieved partition through its BK-subtree.
+//!
+//! `θ_C` trades filtering work against validation work; the analytical
+//! [`CostModel`] (paper Section 5) predicts both costs from nothing but
+//! the pairwise-distance distribution and the item-popularity skew, and
+//! [`CostModel::optimal_theta_c`] picks the sweet spot the paper names.
+//!
+//! [`engine::Engine`] wraps the coarse index together with every baseline
+//! and competitor algorithm of the paper's evaluation behind one enum-
+//! dispatched API.
+
+pub mod batch;
+pub mod coarse;
+pub mod cost;
+pub mod engine;
+
+pub use coarse::{CoarseBuildStats, CoarseIndex};
+pub use cost::calibrate::CalibratedCosts;
+pub use cost::cdf::DistanceCdf;
+pub use cost::model::CostModel;

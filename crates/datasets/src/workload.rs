@@ -1,0 +1,147 @@
+//! Query workloads.
+//!
+//! The paper measures wall-clock time for batches of 1000 ad-hoc queries
+//! whose rankings come from the same distribution as the data. We derive
+//! queries by sampling corpus rankings and perturbing them lightly — near
+//! the data but rarely identical, so result sets are non-trivial at small
+//! thresholds and grow with θ.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ranksim_rankings::{ItemId, RankingId, RankingStore};
+
+/// Workload generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadParams {
+    /// Number of queries.
+    pub num_queries: usize,
+    /// Maximum adjacent swaps applied to a sampled ranking.
+    pub max_swaps: usize,
+    /// Probability of replacing one item with a fresh domain item.
+    pub replace_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            num_queries: 1000,
+            max_swaps: 3,
+            replace_prob: 0.5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A set of query rankings.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Query rankings (each of the corpus's size k).
+    pub queries: Vec<Vec<ItemId>>,
+}
+
+impl Workload {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Derives a workload from a corpus (deterministic under `params.seed`).
+///
+/// `domain` bounds the fresh items used for replacements; pass the
+/// generator's domain so query items stay inside the corpus vocabulary.
+pub fn workload(store: &RankingStore, domain: u32, params: WorkloadParams) -> Workload {
+    assert!(!store.is_empty(), "cannot derive queries from an empty corpus");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let k = store.k();
+    let queries = (0..params.num_queries)
+        .map(|_| {
+            let base = RankingId(rng.random_range(0..store.len() as u32));
+            let mut items: Vec<ItemId> = store.items(base).to_vec();
+            let swaps = rng.random_range(0..=params.max_swaps);
+            for _ in 0..swaps {
+                let a = rng.random_range(0..k.saturating_sub(1));
+                items.swap(a, a + 1);
+            }
+            if rng.random_bool(params.replace_prob) {
+                let pos = rng.random_range(0..k);
+                loop {
+                    let cand = ItemId(rng.random_range(0..domain));
+                    if !items.contains(&cand) {
+                        items[pos] = cand;
+                        break;
+                    }
+                }
+            }
+            items
+        })
+        .collect();
+    Workload { queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nyt_like;
+    use ranksim_rankings::PositionMap;
+
+    #[test]
+    fn queries_are_valid_rankings() {
+        let ds = nyt_like(800, 10, 11);
+        let wl = workload(&ds.store, ds.params.domain, WorkloadParams {
+            num_queries: 50,
+            ..Default::default()
+        });
+        assert_eq!(wl.len(), 50);
+        for q in &wl.queries {
+            assert_eq!(q.len(), 10);
+            let mut s = q.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 10, "duplicate item in query");
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let ds = nyt_like(500, 8, 3);
+        let p = WorkloadParams {
+            num_queries: 20,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = workload(&ds.store, ds.params.domain, p);
+        let b = workload(&ds.store, ds.params.domain, p);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn queries_have_nearby_corpus_rankings() {
+        // Perturbed queries should find something at moderate thresholds.
+        let ds = nyt_like(1000, 10, 5);
+        let wl = workload(&ds.store, ds.params.domain, WorkloadParams {
+            num_queries: 40,
+            ..Default::default()
+        });
+        let theta = ranksim_rankings::raw_threshold(0.3, 10);
+        let mut nonempty = 0usize;
+        for q in &wl.queries {
+            let qmap = PositionMap::new(q);
+            if ds
+                .store
+                .ids()
+                .any(|id| qmap.distance_to(ds.store.items(id)) <= theta)
+            {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty > 30, "only {nonempty}/40 queries have results");
+    }
+}

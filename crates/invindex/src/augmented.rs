@@ -1,0 +1,157 @@
+//! Rank-augmented inverted index: item → id-sorted `(ranking, rank)`
+//! postings (paper Section 6.2).
+//!
+//! Carrying the rank in the posting lets algorithms compute Footrule
+//! contributions on the fly — ListMerge finalizes exact distances during
+//! the merge and the partial-information algorithms derive their bounds —
+//! without ever touching the ranking store.
+
+use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
+use ranksim_rankings::{ItemId, RankingId, RankingStore};
+
+/// One posting: a ranking containing the item, and the rank it holds there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The ranking containing the item.
+    pub id: RankingId,
+    /// The rank (`0..k-1`) of the item inside that ranking.
+    pub rank: u32,
+}
+
+/// The rank-augmented inverted index.
+#[derive(Debug, Clone)]
+pub struct AugmentedInvertedIndex {
+    k: usize,
+    lists: FxHashMap<ItemId, Vec<Posting>>,
+    indexed: usize,
+}
+
+impl AugmentedInvertedIndex {
+    /// Indexes every ranking of the store.
+    pub fn build(store: &RankingStore) -> Self {
+        Self::build_from(store, store.ids())
+    }
+
+    /// Indexes a subset of rankings (ids in ascending order).
+    pub fn build_from<I: IntoIterator<Item = RankingId>>(store: &RankingStore, ids: I) -> Self {
+        let mut lists: FxHashMap<ItemId, Vec<Posting>> = fx_map_with_capacity(1024);
+        let mut indexed = 0usize;
+        let mut prev: Option<RankingId> = None;
+        for id in ids {
+            debug_assert!(prev.map(|p| p < id).unwrap_or(true), "ids must ascend");
+            prev = Some(id);
+            indexed += 1;
+            for (rank, &item) in store.items(id).iter().enumerate() {
+                lists.entry(item).or_default().push(Posting {
+                    id,
+                    rank: rank as u32,
+                });
+            }
+        }
+        AugmentedInvertedIndex {
+            k: store.k(),
+            lists,
+            indexed,
+        }
+    }
+
+    /// The ranking size the index was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of rankings indexed.
+    pub fn indexed(&self) -> usize {
+        self.indexed
+    }
+
+    /// Number of distinct items (= number of index lists).
+    pub fn num_items(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The id-sorted postings list for `item`, if any.
+    #[inline]
+    pub fn list(&self, item: ItemId) -> Option<&[Posting]> {
+        self.lists.get(&item).map(|v| v.as_slice())
+    }
+
+    /// Length of the postings list for `item` (0 if absent).
+    #[inline]
+    pub fn list_len(&self, item: ItemId) -> usize {
+        self.lists.get(&item).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Approximate heap footprint in bytes (Table 6 reporting).
+    pub fn heap_bytes(&self) -> usize {
+        let buckets = self.lists.capacity()
+            * (std::mem::size_of::<ItemId>() + std::mem::size_of::<Vec<Posting>>());
+        let postings: usize = self
+            .lists
+            .values()
+            .map(|v| v.capacity() * std::mem::size_of::<Posting>())
+            .sum();
+        buckets + postings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_store;
+
+    #[test]
+    fn postings_carry_correct_ranks() {
+        let store = random_store(150, 7, 60, 4);
+        let idx = AugmentedInvertedIndex::build(&store);
+        for item in 0..60u32 {
+            if let Some(list) = idx.list(ItemId(item)) {
+                assert!(list.windows(2).all(|w| w[0].id < w[1].id));
+                for p in list {
+                    assert_eq!(store.items(p.id)[p.rank as usize], ItemId(item));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_index_list() {
+        // Table 4 / Section 6.2: item 7 appears in τ3 at rank 0, τ6 at rank
+        // 4 and τ7 at rank 0.
+        let rankings: [[u32; 5]; 10] = [
+            [1, 2, 3, 4, 5],
+            [1, 2, 9, 8, 3],
+            [9, 8, 1, 2, 4],
+            [7, 1, 9, 4, 5],
+            [6, 1, 5, 2, 3],
+            [4, 5, 1, 2, 3],
+            [1, 6, 2, 3, 7],
+            [7, 1, 6, 5, 2],
+            [2, 5, 9, 8, 1],
+            [6, 3, 2, 1, 4],
+        ];
+        let mut store = RankingStore::new(5);
+        for r in rankings {
+            store.push_items_unchecked(&r.map(ItemId));
+        }
+        let idx = AugmentedInvertedIndex::build(&store);
+        let list7 = idx.list(ItemId(7)).unwrap();
+        assert_eq!(
+            list7,
+            &[
+                Posting {
+                    id: RankingId(3),
+                    rank: 0
+                },
+                Posting {
+                    id: RankingId(6),
+                    rank: 4
+                },
+                Posting {
+                    id: RankingId(7),
+                    rank: 0
+                },
+            ]
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Pruning by query-ranking overlap (paper Section 6.1, Lemma 2).
+//!
+//! A ranking within Footrule distance `θ` of the query must overlap it in
+//! at least `ω` items, where `L(k, ω) = (k−ω)(k−ω+1)` is the smallest
+//! distance achievable at overlap `ω`. Solving `L(k, ω) = θ` gives
+//!
+//! ```text
+//! ω = ⌊ 0.5 · (1 + 2k − √(1 + 4θ)) ⌋        (θ in raw Footrule units)
+//! ```
+//!
+//! Consequently `k − ω` index lists suffice to see every candidate —
+//! provided at least one retained list belongs to an item ranked in the
+//! query's top `ω` positions (Lemma 2). The positional side condition
+//! covers the boundary case `θ = L(k, ω)` exactly: an overlap-ω result
+//! then requires its ω common items to fill the query's top-ω positions
+//! perfectly, which is impossible once a top-ω item is known to be
+//! retained (any displacement costs at least 2 because top-k Footrule
+//! distances are even).
+
+use ranksim_rankings::ItemId;
+
+/// The minimum overlap `ω` a result at threshold `theta_raw` must have
+/// with a size-`k` query (floored as in the paper; clamped to `0..=k`).
+pub fn omega(k: usize, theta_raw: u32) -> usize {
+    let disc = (1.0 + 4.0 * theta_raw as f64).sqrt();
+    let w = 0.5 * (1.0 + 2.0 * k as f64 - disc);
+    w.floor().clamp(0.0, k as f64) as usize
+}
+
+/// Selects which query positions' index lists to access.
+///
+/// Keeps `max(1, k − ω)` lists, dropping the *longest* lists first (the
+/// paper's heuristic: dropped work is maximised), while guaranteeing that
+/// at least one retained item sits at a query position `< ω` whenever
+/// `ω > 0`. Returns the retained query positions, ordered by ascending
+/// query position.
+///
+/// `list_len(pos)` must report the index-list length of the item at query
+/// position `pos`.
+pub fn keep_positions<F: Fn(usize) -> usize>(
+    query: &[ItemId],
+    theta_raw: u32,
+    list_len: F,
+) -> Vec<usize> {
+    let k = query.len();
+    let w = omega(k, theta_raw);
+    let n_keep = (k - w).max(1);
+    if n_keep >= k {
+        return (0..k).collect();
+    }
+    // Sort positions by list length ascending; keep the shortest lists.
+    let mut by_len: Vec<usize> = (0..k).collect();
+    by_len.sort_by_key(|&p| (list_len(p), p));
+    let mut keep: Vec<usize> = by_len[..n_keep].to_vec();
+    // Positional condition of Lemma 2: at least one retained position < ω.
+    if w > 0 && !keep.iter().any(|&p| p < w) {
+        // Swap in the cheapest top-ω list for the most expensive kept one.
+        let cheapest_top = (0..w).min_by_key(|&p| (list_len(p), p)).expect("ω > 0");
+        let (victim_idx, _) = keep
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &p)| (list_len(p), p))
+            .expect("keep non-empty");
+        keep[victim_idx] = cheapest_top;
+    }
+    keep.sort_unstable();
+    keep.dedup();
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksim_rankings::{max_distance, min_distance_for_overlap, raw_threshold};
+
+    #[test]
+    fn omega_at_zero_threshold_is_k() {
+        assert_eq!(omega(10, 0), 10);
+        assert_eq!(omega(5, 0), 5);
+    }
+
+    #[test]
+    fn omega_shrinks_with_threshold() {
+        let k = 10;
+        let mut prev = k + 1;
+        for theta in (0..=max_distance(k)).step_by(2) {
+            let w = omega(k, theta);
+            assert!(w <= prev, "ω must be non-increasing in θ");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn omega_is_safe_lower_bound() {
+        // Any overlap < ω implies minimal distance > θ.
+        for k in [5usize, 10, 20] {
+            for theta in (0..=max_distance(k)).step_by(4) {
+                let w = omega(k, theta);
+                if w > 0 {
+                    assert!(
+                        min_distance_for_overlap(k, w - 1) > theta,
+                        "k={k} θ={theta} ω={w}: L(k, ω−1) must exceed θ"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn omega_paper_scale_values() {
+        // k=10, θ=0.1 ⇒ raw 11 ⇒ ω = ⌊0.5(21 − √45)⌋ = ⌊7.15⌋ = 7.
+        assert_eq!(omega(10, raw_threshold(0.1, 10)), 7);
+        // k=10, θ=0.2 ⇒ raw 22 ⇒ ⌊0.5(21 − √89)⌋ = ⌊5.78⌋ = 5.
+        assert_eq!(omega(10, raw_threshold(0.2, 10)), 5);
+        // k=10, θ=0.3 ⇒ raw 33 ⇒ ⌊0.5(21 − √133)⌋ = ⌊4.73⌋ = 4.
+        assert_eq!(omega(10, raw_threshold(0.3, 10)), 4);
+    }
+
+    #[test]
+    fn keep_positions_drops_longest() {
+        let q: Vec<ItemId> = (0..10u32).map(ItemId).collect();
+        // List lengths descending in position: position 0 longest.
+        let lens = [100usize, 90, 80, 70, 60, 50, 40, 30, 20, 10];
+        let kept = keep_positions(&q, 22, |p| lens[p]); // ω = 5, keep 5
+        assert_eq!(kept.len(), 5);
+        // The shortest lists are positions 5..10, but one top-ω (< 5)
+        // position must be swapped in: the cheapest of 0..5 is position 4.
+        assert!(kept.contains(&4), "kept={kept:?}");
+        assert!(kept.iter().any(|&p| p < 5));
+    }
+
+    #[test]
+    fn keep_positions_at_least_one_list() {
+        let q: Vec<ItemId> = (0..5u32).map(ItemId).collect();
+        let kept = keep_positions(&q, 0, |_| 7); // ω = k ⇒ keep max(1, 0)
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0] < 5, "the single kept list satisfies the condition");
+    }
+
+    #[test]
+    fn keep_positions_no_drop_at_huge_threshold() {
+        let q: Vec<ItemId> = (0..6u32).map(ItemId).collect();
+        let kept = keep_positions(&q, max_distance(6), |p| p);
+        assert_eq!(kept, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn keep_positions_results_sorted_unique() {
+        let q: Vec<ItemId> = (0..8u32).map(ItemId).collect();
+        let kept = keep_positions(&q, 18, |p| 8 - p);
+        let mut sorted = kept.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(kept, sorted);
+    }
+}

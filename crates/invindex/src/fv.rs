@@ -1,0 +1,190 @@
+//! Filter & Validate (paper Section 4) and its list-dropping variant
+//! (Section 6.1).
+//!
+//! **Filter**: probe the inverted index with every query item and union the
+//! postings into a candidate set — everything sharing at least one item
+//! with the query. **Validate**: evaluate the Footrule distance of each
+//! candidate against the store (one DFC per candidate) and keep those
+//! within the threshold.
+//!
+//! `F&V+Drop` accesses only the lists chosen by [`crate::drop`], skipping
+//! the longest lists the overlap bound allows; candidates and DFCs shrink
+//! accordingly with zero false negatives (Lemma 2).
+
+use crate::drop::keep_positions;
+use crate::plain::PlainInvertedIndex;
+use ranksim_rankings::hash::fx_set_with_capacity;
+use ranksim_rankings::{ItemId, PositionMap, QueryStats, RankingId, RankingStore};
+
+/// F&V: returns all indexed rankings within `theta_raw` of the query.
+pub fn filter_validate(
+    index: &PlainInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    theta_raw: u32,
+    stats: &mut QueryStats,
+) -> Vec<RankingId> {
+    let positions: Vec<usize> = (0..query.len()).collect();
+    let with_d = filter_validate_positions(index, store, query, &positions, theta_raw, stats);
+    with_d.into_iter().map(|(id, _)| id).collect()
+}
+
+/// F&V+Drop: like [`filter_validate`] but only accesses the index lists
+/// Lemma 2 requires.
+pub fn filter_validate_drop(
+    index: &PlainInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    theta_raw: u32,
+    stats: &mut QueryStats,
+) -> Vec<RankingId> {
+    let kept = keep_positions(query, theta_raw, |p| index.list_len(query[p]));
+    let with_d = filter_validate_positions(index, store, query, &kept, theta_raw, stats);
+    with_d.into_iter().map(|(id, _)| id).collect()
+}
+
+/// Shared core returning `(id, distance)` pairs — the coarse index uses
+/// the distances to seed partition validation without recomputation.
+pub fn filter_validate_positions(
+    index: &PlainInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    positions: &[usize],
+    theta_raw: u32,
+    stats: &mut QueryStats,
+) -> Vec<(RankingId, u32)> {
+    debug_assert_eq!(index.k(), query.len());
+    // Filtering phase: union of the selected postings lists.
+    let mut candidates = fx_set_with_capacity::<RankingId>(64);
+    for &p in positions {
+        if let Some(list) = index.list(query[p]) {
+            stats.count_list(list.len());
+            candidates.extend(list.iter().copied());
+        } else {
+            stats.count_list(0);
+        }
+    }
+    stats.candidates += candidates.len() as u64;
+    // Validation phase: one distance call per candidate.
+    let qmap = PositionMap::new(query);
+    let mut out = Vec::new();
+    for id in candidates {
+        stats.count_distance();
+        let d = qmap.distance_to(store.items(id));
+        if d <= theta_raw {
+            out.push((id, d));
+        }
+    }
+    stats.results += out.len() as u64;
+    out
+}
+
+/// Variant of [`filter_validate_positions`] that validates against the
+/// *relaxed* threshold but reports distances, for coarse-index filtering
+/// (query medoids with `θ + θ_C`, Section 4.2).
+pub fn filter_validate_relaxed(
+    index: &PlainInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    relaxed_theta_raw: u32,
+    drop_lists: bool,
+    stats: &mut QueryStats,
+) -> Vec<(RankingId, u32)> {
+    let positions: Vec<usize> = if drop_lists {
+        keep_positions(query, relaxed_theta_raw, |p| index.list_len(query[p]))
+    } else {
+        (0..query.len()).collect()
+    };
+    filter_validate_positions(index, store, query, &positions, relaxed_theta_raw, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_equals_scan, perturbed_query, random_store, scan};
+    use ranksim_rankings::raw_threshold;
+
+    #[test]
+    fn fv_equals_scan() {
+        let store = random_store(300, 7, 60, 100);
+        let index = PlainInvertedIndex::build(&store);
+        for seed in 0..12u64 {
+            let q = perturbed_query(&store, RankingId((seed * 23 % 300) as u32), 60, seed);
+            for theta in [0.0, 0.1, 0.2, 0.3] {
+                let raw = raw_threshold(theta, 7);
+                let mut stats = QueryStats::new();
+                let got = filter_validate(&index, &store, &q, raw, &mut stats);
+                assert_equals_scan(&store, &q, raw, got);
+            }
+        }
+    }
+
+    #[test]
+    fn fv_drop_equals_scan() {
+        let store = random_store(300, 7, 60, 200);
+        let index = PlainInvertedIndex::build(&store);
+        for seed in 0..12u64 {
+            let q = perturbed_query(&store, RankingId((seed * 31 % 300) as u32), 60, seed);
+            for theta in [0.0, 0.1, 0.2, 0.3] {
+                let raw = raw_threshold(theta, 7);
+                let mut stats = QueryStats::new();
+                let got = filter_validate_drop(&index, &store, &q, raw, &mut stats);
+                assert_equals_scan(&store, &q, raw, got);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_accesses_fewer_lists_and_distances() {
+        let store = random_store(500, 10, 80, 300);
+        let index = PlainInvertedIndex::build(&store);
+        let q = perturbed_query(&store, RankingId(123), 80, 9);
+        let raw = raw_threshold(0.1, 10);
+        let mut s_full = QueryStats::new();
+        let mut s_drop = QueryStats::new();
+        let a = filter_validate(&index, &store, &q, raw, &mut s_full);
+        let b = filter_validate_drop(&index, &store, &q, raw, &mut s_drop);
+        assert_eq!(
+            {
+                let mut a = a;
+                a.sort_unstable();
+                a
+            },
+            {
+                let mut b = b;
+                b.sort_unstable();
+                b
+            }
+        );
+        assert!(s_drop.lists_accessed < s_full.lists_accessed);
+        assert!(s_drop.distance_calls <= s_full.distance_calls);
+        // k=10, θ=0.1 ⇒ ω=7 ⇒ only 3 lists accessed.
+        assert_eq!(s_drop.lists_accessed, 3);
+    }
+
+    #[test]
+    fn relaxed_reports_correct_distances() {
+        let store = random_store(150, 6, 40, 5);
+        let index = PlainInvertedIndex::build(&store);
+        let q = perturbed_query(&store, RankingId(10), 40, 77);
+        let qmap = PositionMap::new(&q);
+        let mut stats = QueryStats::new();
+        for (id, d) in filter_validate_relaxed(&index, &store, &q, 20, false, &mut stats) {
+            assert_eq!(d, qmap.distance_to(store.items(id)));
+            assert!(d <= 20);
+        }
+    }
+
+    #[test]
+    fn zero_overlap_queries_return_empty() {
+        let store = random_store(100, 5, 30, 6);
+        let index = PlainInvertedIndex::build(&store);
+        // Items far outside the domain: no list exists.
+        let q: Vec<ItemId> = (1000..1005u32).map(ItemId).collect();
+        let mut stats = QueryStats::new();
+        let got = filter_validate(&index, &store, &q, 10, &mut stats);
+        assert!(got.is_empty());
+        assert_eq!(stats.distance_calls, 0);
+        assert_eq!(scan(&store, &q, 10).len(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! ListMerge: merge of id-sorted, rank-augmented lists with on-the-fly
+//! aggregation (paper Section 7, "Merge of Id-Sorted Lists with
+//! Aggregation").
+//!
+//! Opening a cursor on each of the query's k postings lists, the algorithm
+//! repeatedly finalizes the smallest ranking id across all cursors. Because
+//! postings carry ranks, the exact Footrule distance follows from the
+//! matched contributions alone:
+//!
+//! ```text
+//! F = Σ_matched |τ(i) − q(i)|  +  (T(k) − Σ_matched (k − q(i)))
+//!                              +  (T(k) − Σ_matched (k − τ(i)))
+//! ```
+//!
+//! No bookkeeping survives across ids (one ranking in flight at a time),
+//! no hash map, and no access to the ranking store: the algorithm is
+//! threshold-agnostic — its cost is reading the k lists once, which is why
+//! the paper's Figures 8/9 show it flat across θ.
+
+use crate::augmented::AugmentedInvertedIndex;
+use ranksim_rankings::{one_side_total, ItemId, QueryStats, RankingId, RankingStore};
+
+/// ListMerge: returns all indexed rankings within `theta_raw` of the query.
+pub fn list_merge(
+    index: &AugmentedInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    theta_raw: u32,
+    stats: &mut QueryStats,
+) -> Vec<RankingId> {
+    debug_assert_eq!(index.k(), query.len());
+    let k = store.k() as u32;
+    let t_k = one_side_total(store.k());
+    // Cursor per query position; lists are id-sorted.
+    let lists: Vec<&[crate::augmented::Posting]> = query
+        .iter()
+        .map(|&item| {
+            let l = index.list(item).unwrap_or(&[]);
+            stats.count_list(l.len());
+            l
+        })
+        .collect();
+    let mut cursors = vec![0usize; lists.len()];
+    let mut out = Vec::new();
+    loop {
+        // The next ranking to finalize: minimum id over cursor heads.
+        let mut min_id: Option<RankingId> = None;
+        for (li, &c) in cursors.iter().enumerate() {
+            if let Some(p) = lists[li].get(c) {
+                if min_id.map(|m| p.id < m).unwrap_or(true) {
+                    min_id = Some(p.id);
+                }
+            }
+        }
+        let Some(id) = min_id else { break };
+        // Aggregate every list whose head matches this id.
+        let mut exact = 0u32;
+        let mut q_side = 0u32;
+        let mut tau_side = 0u32;
+        for (li, cursor) in cursors.iter_mut().enumerate() {
+            if let Some(p) = lists[li].get(*cursor) {
+                if p.id == id {
+                    let q_rank = li as u32;
+                    exact += p.rank.abs_diff(q_rank);
+                    q_side += k - q_rank;
+                    tau_side += k - p.rank;
+                    *cursor += 1;
+                }
+            }
+        }
+        let dist = exact + (t_k - q_side) + (t_k - tau_side);
+        stats.candidates += 1;
+        if dist <= theta_raw {
+            out.push(id);
+        }
+    }
+    stats.results += out.len() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_equals_scan, perturbed_query, random_store};
+    use ranksim_rankings::raw_threshold;
+
+    #[test]
+    fn list_merge_equals_scan() {
+        let store = random_store(300, 7, 60, 400);
+        let index = AugmentedInvertedIndex::build(&store);
+        for seed in 0..12u64 {
+            let q = perturbed_query(&store, RankingId((seed * 17 % 300) as u32), 60, seed);
+            for theta in [0.0, 0.1, 0.2, 0.3, 0.6] {
+                let raw = raw_threshold(theta, 7);
+                let mut stats = QueryStats::new();
+                let got = list_merge(&index, &store, &q, raw, &mut stats);
+                assert_equals_scan(&store, &q, raw, got);
+            }
+        }
+    }
+
+    #[test]
+    fn list_merge_performs_no_distance_calls() {
+        let store = random_store(200, 6, 40, 8);
+        let index = AugmentedInvertedIndex::build(&store);
+        let q = perturbed_query(&store, RankingId(3), 40, 1);
+        let mut stats = QueryStats::new();
+        let _ = list_merge(&index, &store, &q, 12, &mut stats);
+        assert_eq!(stats.distance_calls, 0, "aggregation needs no DFC");
+        assert_eq!(stats.lists_accessed, 6);
+    }
+
+    #[test]
+    fn results_are_id_sorted() {
+        let store = random_store(250, 6, 40, 12);
+        let index = AugmentedInvertedIndex::build(&store);
+        let q = perturbed_query(&store, RankingId(100), 40, 2);
+        let mut stats = QueryStats::new();
+        let got = list_merge(&index, &store, &q, 30, &mut stats);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn candidates_counted_once_per_distinct_id() {
+        // A ranking overlapping the query in m items appears in m lists but
+        // must be aggregated exactly once.
+        let mut store = RankingStore::new(4);
+        store.push_items_unchecked(&[1, 2, 3, 4].map(ItemId));
+        store.push_items_unchecked(&[1, 2, 3, 5].map(ItemId));
+        store.push_items_unchecked(&[9, 8, 7, 6].map(ItemId));
+        let index = AugmentedInvertedIndex::build(&store);
+        let q: Vec<ItemId> = [1u32, 2, 3, 4].map(ItemId).to_vec();
+        let mut stats = QueryStats::new();
+        let got = list_merge(&index, &store, &q, 0, &mut stats);
+        assert_eq!(got, vec![RankingId(0)]);
+        assert_eq!(stats.candidates, 2, "τ0 and τ1 seen; τ2 never surfaces");
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal F&V: the per-query lower-bound oracle (paper Section 7).
+//!
+//! For each workload query the index materializes a single postings list
+//! containing *exactly* the true result rankings. Query processing is then
+//! one list lookup plus one Footrule evaluation per member — the cheapest
+//! conceivable filter-and-validate execution. Its runtime lower-bounds
+//! every algorithm under study; it is not a real index (it requires the
+//! workload at build time).
+
+use ranksim_rankings::{ItemId, PositionMap, QueryStats, RankingId, RankingStore};
+
+/// The materialized per-query oracle.
+#[derive(Debug, Clone)]
+pub struct MinimalFv {
+    lists: Vec<Vec<RankingId>>,
+}
+
+impl MinimalFv {
+    /// Materializes the true result list of every `(query, θ_raw)` pair by
+    /// brute force (build cost is irrelevant: only query time is measured).
+    pub fn build(store: &RankingStore, workload: &[(Vec<ItemId>, u32)]) -> Self {
+        let lists = workload
+            .iter()
+            .map(|(query, theta_raw)| {
+                let qmap = PositionMap::new(query);
+                store
+                    .ids()
+                    .filter(|&id| qmap.distance_to(store.items(id)) <= *theta_raw)
+                    .collect()
+            })
+            .collect();
+        MinimalFv { lists }
+    }
+
+    /// Number of materialized queries.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Whether no query was materialized.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Executes workload query `qi`: reads its list and validates each
+    /// member with one distance call (mirroring what a real F&V run would
+    /// minimally have to do).
+    pub fn query(
+        &self,
+        store: &RankingStore,
+        qi: usize,
+        query: &[ItemId],
+        theta_raw: u32,
+        stats: &mut QueryStats,
+    ) -> Vec<RankingId> {
+        let list = &self.lists[qi];
+        stats.count_list(list.len());
+        stats.candidates += list.len() as u64;
+        let qmap = PositionMap::new(query);
+        let mut out = Vec::with_capacity(list.len());
+        for &id in list {
+            stats.count_distance();
+            if qmap.distance_to(store.items(id)) <= theta_raw {
+                out.push(id);
+            }
+        }
+        stats.results += out.len() as u64;
+        out
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.lists.capacity() * std::mem::size_of::<Vec<RankingId>>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<RankingId>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{perturbed_query, random_store, scan};
+
+    #[test]
+    fn oracle_returns_exact_results() {
+        let store = random_store(200, 6, 50, 42);
+        let workload: Vec<(Vec<ItemId>, u32)> = (0..10u64)
+            .map(|s| {
+                let q = perturbed_query(&store, RankingId((s * 11 % 200) as u32), 50, s);
+                (q, 16u32)
+            })
+            .collect();
+        let oracle = MinimalFv::build(&store, &workload);
+        assert_eq!(oracle.len(), 10);
+        for (qi, (q, theta)) in workload.iter().enumerate() {
+            let mut stats = QueryStats::new();
+            let mut got = oracle.query(&store, qi, q, *theta, &mut stats);
+            let mut expect = scan(&store, q, *theta);
+            got.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+            // DFC equals result size exactly: the defining property.
+            assert_eq!(stats.distance_calls, expect.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Plain inverted index: item → id-sorted list of rankings containing it.
+
+use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
+use ranksim_rankings::{ItemId, RankingId, RankingStore};
+
+/// The classic set-valued-attribute inverted index (paper Section 4).
+///
+/// Postings carry no rank information; the validation phase must fetch the
+/// ranking content from the [`RankingStore`] to evaluate distances.
+#[derive(Debug, Clone)]
+pub struct PlainInvertedIndex {
+    k: usize,
+    lists: FxHashMap<ItemId, Vec<RankingId>>,
+    indexed: usize,
+}
+
+impl PlainInvertedIndex {
+    /// Indexes every ranking of the store.
+    pub fn build(store: &RankingStore) -> Self {
+        Self::build_from(store, store.ids())
+    }
+
+    /// Indexes a subset of rankings. Ids must be supplied in ascending
+    /// order so that postings lists stay id-sorted.
+    pub fn build_from<I: IntoIterator<Item = RankingId>>(store: &RankingStore, ids: I) -> Self {
+        let mut lists: FxHashMap<ItemId, Vec<RankingId>> = fx_map_with_capacity(1024);
+        let mut indexed = 0usize;
+        let mut prev: Option<RankingId> = None;
+        for id in ids {
+            debug_assert!(prev.map(|p| p < id).unwrap_or(true), "ids must ascend");
+            prev = Some(id);
+            indexed += 1;
+            for &item in store.items(id) {
+                lists.entry(item).or_default().push(id);
+            }
+        }
+        PlainInvertedIndex {
+            k: store.k(),
+            lists,
+            indexed,
+        }
+    }
+
+    /// The ranking size the index was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of rankings indexed.
+    pub fn indexed(&self) -> usize {
+        self.indexed
+    }
+
+    /// Number of distinct items (= number of index lists).
+    pub fn num_items(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The postings list for `item` (id-sorted), if any.
+    #[inline]
+    pub fn list(&self, item: ItemId) -> Option<&[RankingId]> {
+        self.lists.get(&item).map(|v| v.as_slice())
+    }
+
+    /// Length of the postings list for `item` (0 if absent).
+    #[inline]
+    pub fn list_len(&self, item: ItemId) -> usize {
+        self.lists.get(&item).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Mean postings-list length over all items.
+    pub fn avg_list_len(&self) -> f64 {
+        if self.lists.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.lists.values().map(|v| v.len()).sum();
+        total as f64 / self.lists.len() as f64
+    }
+
+    /// Approximate heap footprint in bytes (Table 6 reporting).
+    pub fn heap_bytes(&self) -> usize {
+        let buckets = self.lists.capacity()
+            * (std::mem::size_of::<ItemId>() + std::mem::size_of::<Vec<RankingId>>());
+        let postings: usize = self
+            .lists
+            .values()
+            .map(|v| v.capacity() * std::mem::size_of::<RankingId>())
+            .sum();
+        buckets + postings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_store;
+
+    #[test]
+    fn lists_are_id_sorted_and_complete() {
+        let store = random_store(200, 6, 50, 1);
+        let idx = PlainInvertedIndex::build(&store);
+        assert_eq!(idx.indexed(), 200);
+        let mut postings = 0usize;
+        for item in 0..50u32 {
+            if let Some(list) = idx.list(ItemId(item)) {
+                assert!(list.windows(2).all(|w| w[0] < w[1]), "unsorted list");
+                for &id in list {
+                    assert!(store.items(id).contains(&ItemId(item)));
+                }
+                postings += list.len();
+            }
+        }
+        assert_eq!(postings, 200 * 6, "every (ranking, item) pair indexed once");
+    }
+
+    #[test]
+    fn subset_build_only_covers_subset() {
+        let store = random_store(100, 5, 40, 2);
+        let subset: Vec<RankingId> = store.ids().filter(|id| id.0 % 3 == 0).collect();
+        let idx = PlainInvertedIndex::build_from(&store, subset.iter().copied());
+        assert_eq!(idx.indexed(), subset.len());
+        for item in 0..40u32 {
+            if let Some(list) = idx.list(ItemId(item)) {
+                for &id in list {
+                    assert_eq!(id.0 % 3, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avg_list_len_matches_hand_count() {
+        let mut store = RankingStore::new(2);
+        store.push_items_unchecked(&[1, 2].map(ItemId));
+        store.push_items_unchecked(&[1, 3].map(ItemId));
+        store.push_items_unchecked(&[1, 4].map(ItemId));
+        let idx = PlainInvertedIndex::build(&store);
+        // lists: 1→3 entries, 2→1, 3→1, 4→1 ⇒ avg 6/4.
+        assert_eq!(idx.num_items(), 4);
+        assert!((idx.avg_list_len() - 1.5).abs() < 1e-12);
+        assert_eq!(idx.list_len(ItemId(1)), 3);
+        assert_eq!(idx.list_len(ItemId(99)), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: every inverted-index algorithm must equal the
+//! brute-force oracle on arbitrary corpora, queries and thresholds, and
+//! the paper's lemmas must hold structurally.
+
+use proptest::prelude::*;
+use ranksim_invindex::{
+    blocked_prune::{blocked_prune, blocked_prune_drop},
+    drop::{keep_positions, omega},
+    fv::{filter_validate, filter_validate_drop},
+    listmerge::list_merge,
+    AugmentedInvertedIndex, BlockedInvertedIndex, PlainInvertedIndex,
+};
+use ranksim_rankings::{
+    min_distance_for_overlap, ItemId, PositionMap, QueryStats, RankingId, RankingStore,
+};
+
+fn store_from(rankings: &[Vec<u32>]) -> RankingStore {
+    let k = rankings[0].len();
+    let mut store = RankingStore::new(k);
+    for r in rankings {
+        let items: Vec<ItemId> = r.iter().map(|&i| ItemId(i)).collect();
+        store.push_items_unchecked(&items);
+    }
+    store
+}
+
+fn oracle(store: &RankingStore, q: &[ItemId], theta: u32) -> Vec<RankingId> {
+    let qm = PositionMap::new(q);
+    let mut v: Vec<RankingId> = store
+        .ids()
+        .filter(|&id| qm.distance_to(store.items(id)) <= theta)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn corpus(n: usize, k: usize, domain: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::sample::subsequence((0..domain).collect::<Vec<u32>>(), k).prop_shuffle(),
+        n,
+    )
+}
+
+fn query(k: usize, domain: u32) -> impl Strategy<Value = Vec<ItemId>> {
+    proptest::sample::subsequence((0..domain).collect::<Vec<u32>>(), k)
+        .prop_shuffle()
+        .prop_map(|v| v.into_iter().map(ItemId).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_algorithm_equals_oracle(
+        rankings in corpus(70, 6, 24),
+        q in query(6, 24),
+        // θ strictly below d_max = k(k+1) = 42: at θ = d_max zero-overlap
+        // rankings qualify, which no inverted index can surface (the
+        // paper's standing assumption, Section 4).
+        theta in 0u32..42,
+    ) {
+        let store = store_from(&rankings);
+        let expect = oracle(&store, &q, theta);
+        let plain = PlainInvertedIndex::build(&store);
+        let aug = AugmentedInvertedIndex::build(&store);
+        let blocked = BlockedInvertedIndex::build(&store);
+        let mut runs: Vec<(&str, Vec<RankingId>)> = Vec::new();
+        let mut s = QueryStats::new();
+        runs.push(("F&V", filter_validate(&plain, &store, &q, theta, &mut s)));
+        runs.push(("F&V+Drop", filter_validate_drop(&plain, &store, &q, theta, &mut s)));
+        runs.push(("ListMerge", list_merge(&aug, &store, &q, theta, &mut s)));
+        runs.push(("Blocked+Prune", blocked_prune(&blocked, &store, &q, theta, &mut s)));
+        runs.push(("Blocked+Prune+Drop", blocked_prune_drop(&blocked, &store, &q, theta, &mut s)));
+        for (name, mut got) in runs {
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expect, "{} disagrees at θ={}", name, theta);
+        }
+    }
+
+    #[test]
+    fn lemma2_no_false_negatives_under_any_list_choice(
+        rankings in corpus(50, 6, 20),
+        q in query(6, 20),
+        theta in 0u32..=30,
+    ) {
+        // Accessing exactly the kept lists must surface every true result
+        // through at least one posting.
+        let store = store_from(&rankings);
+        let plain = PlainInvertedIndex::build(&store);
+        let kept = keep_positions(&q, theta, |p| plain.list_len(q[p]));
+        let expect = oracle(&store, &q, theta);
+        for id in expect {
+            let items = store.items(id);
+            let surfaces = kept.iter().any(|&p| items.contains(&q[p]));
+            prop_assert!(surfaces, "result {} invisible through kept lists {:?}", id, kept);
+        }
+    }
+
+    #[test]
+    fn omega_bound_is_tightest_safe_integer(
+        k in 4usize..=12,
+        theta in 0u32..=100,
+    ) {
+        let theta = theta.min((k * (k + 1)) as u32);
+        let w = omega(k, theta);
+        // Safe: overlap below ω is impossible for results.
+        if w > 0 {
+            prop_assert!(min_distance_for_overlap(k, w - 1) > theta);
+        }
+        // Not vacuous: overlap ω itself must be feasible (ω ≤ k) and the
+        // bound at ω must permit distances ≤ θ... except for the floored
+        // boundary where L(k, ω) may exceed θ by design.
+        prop_assert!(w <= k);
+    }
+
+    #[test]
+    fn stats_candidates_bounded_by_corpus(
+        rankings in corpus(40, 5, 18),
+        q in query(5, 18),
+        theta in 0u32..=30,
+    ) {
+        let store = store_from(&rankings);
+        let plain = PlainInvertedIndex::build(&store);
+        let mut s = QueryStats::new();
+        let res = filter_validate(&plain, &store, &q, theta, &mut s);
+        prop_assert!(s.candidates <= 40);
+        prop_assert!(res.len() as u64 <= s.candidates);
+        prop_assert_eq!(s.distance_calls, s.candidates, "F&V validates every candidate once");
+    }
+}

@@ -1,0 +1,288 @@
+//! Burkhard–Keller tree over the (discrete) Footrule metric.
+//!
+//! A BK-tree node holds one ranking and one child pointer per observed
+//! distance value: every ranking inserted below the edge labelled `e` is at
+//! distance **exactly** `e` from the node (insertion routes by exact
+//! distance). This invariant is what makes BK-subtrees usable as
+//! fixed-radius partitions in the coarse index (Section 4.1 of the paper):
+//! the subtree hanging off an edge `e ≤ θ_C` is, wholesale, within `θ_C` of
+//! the node.
+//!
+//! Range queries use the triangle inequality: at a node at distance `d`
+//! from the query, only child edges in `[d − θ, d + θ]` can contain
+//! results.
+
+use ranksim_rankings::{footrule_pairs, ItemId, QueryStats, RankingId, RankingStore};
+
+/// One node of the arena-allocated BK-tree.
+#[derive(Debug, Clone)]
+pub struct BkNode {
+    /// The ranking stored at this node.
+    pub ranking: RankingId,
+    /// `(edge distance, child node index)`, sorted by distance.
+    pub children: Vec<(u32, u32)>,
+    /// Number of nodes in the subtree rooted here (including this node).
+    pub subtree_size: u32,
+}
+
+/// An arena-allocated Burkhard–Keller tree.
+///
+/// The tree stores [`RankingId`]s; ranking content is resolved through the
+/// [`RankingStore`] passed to each operation (the store must outlive and
+/// match the ids, which the coarse index guarantees by construction).
+#[derive(Debug, Clone, Default)]
+pub struct BkTree {
+    nodes: Vec<BkNode>,
+    /// Distance evaluations spent on construction (Table 6 reporting).
+    pub build_distance_calls: u64,
+}
+
+impl BkTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a tree over all rankings of `store` in id order.
+    pub fn build(store: &RankingStore) -> Self {
+        let mut t = BkTree {
+            nodes: Vec::with_capacity(store.len()),
+            build_distance_calls: 0,
+        };
+        for id in store.ids() {
+            t.insert(store, id);
+        }
+        t
+    }
+
+    /// Builds a tree over a subset of rankings.
+    pub fn build_from<I: IntoIterator<Item = RankingId>>(store: &RankingStore, ids: I) -> Self {
+        let mut t = BkTree::new();
+        for id in ids {
+            t.insert(store, id);
+        }
+        t
+    }
+
+    /// Number of rankings in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node by arena index (used by the partitioner).
+    pub fn node(&self, idx: u32) -> &BkNode {
+        &self.nodes[idx as usize]
+    }
+
+    /// The arena index of the root (0 unless the tree is empty).
+    pub fn root(&self) -> Option<u32> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    /// Inserts ranking `id`, returning its arena index.
+    pub fn insert(&mut self, store: &RankingStore, id: RankingId) -> u32 {
+        let new_idx = self.nodes.len() as u32;
+        if self.nodes.is_empty() {
+            self.nodes.push(BkNode {
+                ranking: id,
+                children: Vec::new(),
+                subtree_size: 1,
+            });
+            return new_idx;
+        }
+        let pairs = store.sorted_pairs(id);
+        let k = store.k();
+        let mut cur = 0u32;
+        loop {
+            let node = &self.nodes[cur as usize];
+            let d = footrule_pairs(pairs, store.sorted_pairs(node.ranking), k);
+            self.build_distance_calls += 1;
+            self.nodes[cur as usize].subtree_size += 1;
+            match self.nodes[cur as usize]
+                .children
+                .binary_search_by_key(&d, |&(e, _)| e)
+            {
+                Ok(pos) => cur = self.nodes[cur as usize].children[pos].1,
+                Err(pos) => {
+                    self.nodes[cur as usize].children.insert(pos, (d, new_idx));
+                    self.nodes.push(BkNode {
+                        ranking: id,
+                        children: Vec::new(),
+                        subtree_size: 1,
+                    });
+                    return new_idx;
+                }
+            }
+        }
+    }
+
+    /// Range query over the whole tree: every ranking within `theta_raw` of
+    /// the query, in no particular order.
+    pub fn range_query(
+        &self,
+        store: &RankingStore,
+        query_pairs: &[(ItemId, u32)],
+        theta_raw: u32,
+        stats: &mut QueryStats,
+    ) -> Vec<RankingId> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root() {
+            self.range_query_from(store, root, query_pairs, theta_raw, stats, &mut out);
+        }
+        stats.results += out.len() as u64;
+        out
+    }
+
+    /// Range query restricted to the subtree rooted at arena index `from`
+    /// (a full-fledged BK-tree itself) — the validation primitive of the
+    /// coarse index's partitions.
+    pub fn range_query_from(
+        &self,
+        store: &RankingStore,
+        from: u32,
+        query_pairs: &[(ItemId, u32)],
+        theta_raw: u32,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) {
+        let k = store.k();
+        let mut stack = vec![from];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx as usize];
+            stats.tree_nodes_visited += 1;
+            stats.count_distance();
+            let d = footrule_pairs(query_pairs, store.sorted_pairs(node.ranking), k);
+            if d <= theta_raw {
+                out.push(node.ranking);
+            }
+            let lo = d.saturating_sub(theta_raw);
+            let hi = d + theta_raw;
+            // children is sorted by edge distance: binary-search the window.
+            let start = node.children.partition_point(|&(e, _)| e < lo);
+            for &(e, child) in &node.children[start..] {
+                if e > hi {
+                    break;
+                }
+                stack.push(child);
+            }
+        }
+    }
+
+    /// Collects every ranking id in the subtree rooted at `from`.
+    pub fn collect_subtree(&self, from: u32, out: &mut Vec<RankingId>) {
+        let mut stack = vec![from];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx as usize];
+            out.push(node.ranking);
+            stack.extend(node.children.iter().map(|&(_, c)| c));
+        }
+    }
+
+    /// Approximate heap footprint in bytes (Table 6 reporting).
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<BkNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.capacity() * std::mem::size_of::<(u32, u32)>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_store;
+    use crate::{linear_scan, query_pairs};
+
+    #[test]
+    fn empty_tree_queries_empty() {
+        let store = RankingStore::new(4);
+        let tree = BkTree::new();
+        let q = query_pairs(&[1, 2, 3, 4].map(ItemId));
+        let mut stats = QueryStats::new();
+        assert!(tree.range_query(&store, &q, 100, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let store = random_store(300, 7, 60, 11);
+        let tree = BkTree::build(&store);
+        assert_eq!(tree.len(), 300);
+        for (qid, theta) in [(0u32, 0u32), (5, 10), (17, 24), (100, 40), (299, 56)] {
+            let q = query_pairs(store.items(RankingId(qid)));
+            let mut s1 = QueryStats::new();
+            let mut s2 = QueryStats::new();
+            let mut expect = linear_scan(&store, &q, theta, &mut s1);
+            let mut got = tree.range_query(&store, &q, theta, &mut s2);
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect, "qid={qid} θ={theta}");
+        }
+    }
+
+    #[test]
+    fn bk_invariant_subtree_distance_is_edge_label() {
+        // Every node in the subtree under edge e is at distance exactly e
+        // from the parent node — the partitioning correctness hinge.
+        let store = random_store(200, 6, 40, 5);
+        let tree = BkTree::build(&store);
+        for idx in 0..tree.len() as u32 {
+            let node = tree.node(idx);
+            for &(e, child) in &node.children {
+                let mut members = Vec::new();
+                tree.collect_subtree(child, &mut members);
+                for m in members {
+                    let d = ranksim_rankings::footrule_store(&store, node.ranking, m);
+                    assert_eq!(d, e, "subtree member at wrong distance");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_consistent() {
+        let store = random_store(150, 5, 30, 9);
+        let tree = BkTree::build(&store);
+        for idx in 0..tree.len() as u32 {
+            let node = tree.node(idx);
+            let children_total: u32 = node
+                .children
+                .iter()
+                .map(|&(_, c)| tree.node(c).subtree_size)
+                .sum();
+            assert_eq!(node.subtree_size, 1 + children_total);
+        }
+        assert_eq!(tree.node(0).subtree_size as usize, tree.len());
+    }
+
+    #[test]
+    fn duplicates_chain_under_edge_zero() {
+        let mut store = RankingStore::new(3);
+        for _ in 0..4 {
+            store.push_items_unchecked(&[1, 2, 3].map(ItemId));
+        }
+        let tree = BkTree::build(&store);
+        let q = query_pairs(&[1, 2, 3].map(ItemId));
+        let mut stats = QueryStats::new();
+        let res = tree.range_query(&store, &q, 0, &mut stats);
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn build_counts_distance_calls() {
+        let store = random_store(50, 5, 25, 2);
+        let tree = BkTree::build(&store);
+        // At least n−1 comparisons (root comparison per insert).
+        assert!(tree.build_distance_calls >= 49);
+    }
+}

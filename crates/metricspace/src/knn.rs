@@ -1,0 +1,231 @@
+//! k-nearest-neighbour search over the metric trees.
+//!
+//! The paper's related work frames KNN as the other canonical similarity
+//! query over metric data; range search is what the coarse index
+//! optimizes, but the underlying trees support best-first KNN directly.
+//! All searches are branch-and-bound: a max-heap holds the current k best
+//! candidates and its worst distance `τ` prunes subtrees exactly like a
+//! shrinking range query.
+//!
+//! Results are `(distance, id)` pairs sorted ascending; ties beyond the
+//! k-th distance are broken arbitrarily (tests therefore compare distance
+//! multisets against the linear-scan oracle).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::bktree::BkTree;
+use crate::vptree::VpTree;
+use ranksim_rankings::{footrule_pairs, ItemId, QueryStats, RankingId, RankingStore};
+
+/// A bounded max-heap of the current k best `(distance, id)` pairs.
+#[derive(Debug)]
+pub struct KnnHeap {
+    k: usize,
+    heap: BinaryHeap<(u32, RankingId)>,
+}
+
+impl KnnHeap {
+    /// An empty heap for `k ≥ 1` neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KnnHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The current pruning radius: the k-th best distance, or `u32::MAX`
+    /// while fewer than k candidates are known.
+    #[inline]
+    pub fn tau(&self) -> u32 {
+        if self.heap.len() < self.k {
+            u32::MAX
+        } else {
+            self.heap.peek().expect("non-empty").0
+        }
+    }
+
+    /// Offers a candidate.
+    #[inline]
+    pub fn offer(&mut self, dist: u32, id: RankingId) {
+        if self.heap.len() < self.k {
+            self.heap.push((dist, id));
+        } else if dist < self.tau() {
+            self.heap.push((dist, id));
+            self.heap.pop();
+        }
+    }
+
+    /// Extracts the neighbours sorted by ascending distance (ties by id).
+    pub fn into_sorted(self) -> Vec<(u32, RankingId)> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Brute-force KNN oracle.
+pub fn knn_linear(
+    store: &RankingStore,
+    query_pairs: &[(ItemId, u32)],
+    k_neighbours: usize,
+    stats: &mut QueryStats,
+) -> Vec<(u32, RankingId)> {
+    let mut heap = KnnHeap::new(k_neighbours);
+    for id in store.ids() {
+        stats.count_distance();
+        let d = footrule_pairs(query_pairs, store.sorted_pairs(id), store.k());
+        heap.offer(d, id);
+    }
+    heap.into_sorted()
+}
+
+/// Best-first KNN over a [`BkTree`].
+///
+/// Subtrees hang under exact-distance edges, so an edge `e` under a node
+/// at distance `d` from the query bounds its subtree's distances from
+/// below by `|d − e|`; subtrees are visited in ascending bound order and
+/// cut once the bound exceeds the heap's `τ`.
+pub fn knn_bktree(
+    tree: &BkTree,
+    store: &RankingStore,
+    query_pairs: &[(ItemId, u32)],
+    k_neighbours: usize,
+    stats: &mut QueryStats,
+) -> Vec<(u32, RankingId)> {
+    let mut heap = KnnHeap::new(k_neighbours);
+    let Some(root) = tree.root() else {
+        return Vec::new();
+    };
+    // Min-priority queue on the subtree lower bound.
+    let mut frontier: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    frontier.push(Reverse((0, root)));
+    while let Some(Reverse((bound, idx))) = frontier.pop() {
+        if bound > heap.tau() {
+            break; // every remaining subtree is at least this far away
+        }
+        let node = tree.node(idx);
+        stats.tree_nodes_visited += 1;
+        stats.count_distance();
+        let d = footrule_pairs(query_pairs, store.sorted_pairs(node.ranking), store.k());
+        heap.offer(d, node.ranking);
+        let tau = heap.tau();
+        for &(e, child) in &node.children {
+            let child_bound = d.abs_diff(e);
+            if child_bound <= tau {
+                frontier.push(Reverse((child_bound, child)));
+            }
+        }
+    }
+    heap.into_sorted()
+}
+
+/// Best-first KNN over a [`VpTree`].
+pub fn knn_vptree(
+    tree: &VpTree,
+    store: &RankingStore,
+    query_pairs: &[(ItemId, u32)],
+    k_neighbours: usize,
+    stats: &mut QueryStats,
+) -> Vec<(u32, RankingId)> {
+    let mut heap = KnnHeap::new(k_neighbours);
+    tree.knn_into(store, query_pairs, &mut heap, stats);
+    heap.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_store;
+    use crate::{query_pairs, MTree};
+
+    fn distances(v: &[(u32, RankingId)]) -> Vec<u32> {
+        v.iter().map(|&(d, _)| d).collect()
+    }
+
+    #[test]
+    fn heap_keeps_k_smallest() {
+        let mut h = KnnHeap::new(3);
+        for (d, i) in [(9u32, 0u32), (2, 1), (7, 2), (1, 3), (8, 4), (0, 5)] {
+            h.offer(d, RankingId(i));
+        }
+        let got = h.into_sorted();
+        assert_eq!(distances(&got), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bktree_knn_matches_linear() {
+        let store = random_store(300, 6, 40, 77);
+        let tree = BkTree::build(&store);
+        for qid in [0u32, 13, 150, 299] {
+            let q = query_pairs(store.items(RankingId(qid)));
+            for k in [1usize, 5, 20] {
+                let mut s1 = QueryStats::new();
+                let mut s2 = QueryStats::new();
+                let expect = knn_linear(&store, &q, k, &mut s1);
+                let got = knn_bktree(&tree, &store, &q, k, &mut s2);
+                assert_eq!(distances(&got), distances(&expect), "qid={qid} k={k}");
+                assert!(
+                    s2.distance_calls <= s1.distance_calls,
+                    "tree KNN must not exceed the scan's distance calls"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vptree_knn_matches_linear() {
+        let store = random_store(300, 6, 40, 88);
+        let tree = VpTree::build(&store, 4);
+        for qid in [0u32, 42, 299] {
+            let q = query_pairs(store.items(RankingId(qid)));
+            for k in [1usize, 7, 25] {
+                let mut s1 = QueryStats::new();
+                let mut s2 = QueryStats::new();
+                let expect = knn_linear(&store, &q, k, &mut s1);
+                let got = knn_vptree(&tree, &store, &q, k, &mut s2);
+                assert_eq!(distances(&got), distances(&expect), "qid={qid} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn mtree_knn_matches_linear() {
+        let store = random_store(300, 6, 40, 99);
+        let tree = MTree::build(&store);
+        for qid in [0u32, 7, 123] {
+            let q = query_pairs(store.items(RankingId(qid)));
+            for k in [1usize, 4, 16] {
+                let mut s1 = QueryStats::new();
+                let mut s2 = QueryStats::new();
+                let expect = knn_linear(&store, &q, k, &mut s1);
+                let got = tree.knn(&store, &q, k, &mut s2);
+                assert_eq!(distances(&got), distances(&expect), "qid={qid} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_k_exceeding_corpus_returns_everything() {
+        let store = random_store(20, 5, 20, 3);
+        let tree = BkTree::build(&store);
+        let q = query_pairs(store.items(RankingId(0)));
+        let mut s = QueryStats::new();
+        let got = knn_bktree(&tree, &store, &q, 50, &mut s);
+        assert_eq!(got.len(), 20);
+        assert_eq!(got[0].0, 0, "the query's own ranking is nearest");
+    }
+
+    #[test]
+    fn knn_first_neighbour_of_member_is_itself() {
+        let store = random_store(100, 5, 30, 5);
+        let tree = MTree::build(&store);
+        for qid in 0..20u32 {
+            let q = query_pairs(store.items(RankingId(qid)));
+            let mut s = QueryStats::new();
+            let got = tree.knn(&store, &q, 1, &mut s);
+            assert_eq!(got[0].0, 0);
+        }
+    }
+}

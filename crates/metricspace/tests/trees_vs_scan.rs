@@ -1,0 +1,98 @@
+//! Property tests: all metric structures equal the linear scan, and the
+//! partitioners uphold their radius/coverage invariants, on arbitrary
+//! corpora.
+
+use proptest::prelude::*;
+use ranksim_metricspace::{
+    linear_scan, query_pairs, BkPartitioner, BkTree, MTree, RandomMedoidPartitioner, VpTree,
+};
+use ranksim_rankings::{footrule_store, ItemId, QueryStats, RankingStore};
+
+fn store_from(rankings: &[Vec<u32>]) -> RankingStore {
+    let k = rankings[0].len();
+    let mut store = RankingStore::new(k);
+    for r in rankings {
+        let items: Vec<ItemId> = r.iter().map(|&i| ItemId(i)).collect();
+        store.push_items_unchecked(&items);
+    }
+    store
+}
+
+fn corpus(n: usize, k: usize, domain: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::sample::subsequence((0..domain).collect::<Vec<u32>>(), k).prop_shuffle(),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trees_equal_linear_scan(
+        rankings in corpus(60, 5, 20),
+        qpick in 0usize..60,
+        theta in 0u32..=30,
+    ) {
+        let store = store_from(&rankings);
+        let q = query_pairs(store.items(ranksim_rankings::RankingId(qpick as u32)));
+        let mut s = QueryStats::new();
+        let mut expect = linear_scan(&store, &q, theta, &mut s);
+        expect.sort_unstable();
+        let mut bk = BkTree::build(&store).range_query(&store, &q, theta, &mut s);
+        let mut mt = MTree::build(&store).range_query(&store, &q, theta, &mut s);
+        let mut vp = VpTree::build(&store, 9).range_query(&store, &q, theta, &mut s);
+        bk.sort_unstable();
+        mt.sort_unstable();
+        vp.sort_unstable();
+        prop_assert_eq!(&bk, &expect, "BK-tree");
+        prop_assert_eq!(&mt, &expect, "M-tree");
+        prop_assert_eq!(&vp, &expect, "VP-tree");
+    }
+
+    #[test]
+    fn partitioners_cover_disjointly_within_radius(
+        rankings in corpus(50, 5, 18),
+        theta_c in 0u32..=24,
+        random in proptest::bool::ANY,
+    ) {
+        let store = store_from(&rankings);
+        let part = if random {
+            RandomMedoidPartitioner::new(7).partition(&store, theta_c)
+        } else {
+            BkPartitioner::partition(&store, theta_c)
+        };
+        prop_assert_eq!(part.total_members(), store.len());
+        let mut seen = vec![false; store.len()];
+        for pi in 0..part.num_partitions() {
+            let medoid = part.partitions()[pi].medoid;
+            for m in part.members_of(pi) {
+                prop_assert!(!seen[m.index()], "duplicate membership");
+                seen[m.index()] = true;
+                prop_assert!(footrule_store(&store, medoid, m) <= theta_c);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn partition_validation_is_exhaustive(
+        rankings in corpus(45, 5, 16),
+        theta_c in 0u32..=20,
+        theta in 0u32..=24,
+        qpick in 0usize..45,
+    ) {
+        let store = store_from(&rankings);
+        let part = BkPartitioner::partition(&store, theta_c);
+        let q = query_pairs(store.items(ranksim_rankings::RankingId(qpick as u32)));
+        let mut s = QueryStats::new();
+        let mut expect = linear_scan(&store, &q, theta, &mut s);
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        for pi in 0..part.num_partitions() {
+            part.validate_into(&store, pi, &q, theta, None, &mut s, &mut got);
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,273 @@
+//! Spearman's Footrule distance adapted to top-k lists.
+//!
+//! Following Fagin, Kumar & Sivakumar ("Comparing Top k Lists", 2003), an
+//! item `i ∉ D_τ` is assigned the artificial rank `l = k` (ranks run
+//! `0..k-1`), which keeps the Footrule a metric over top-k lists. For two
+//! size-k rankings `τ₁, τ₂`:
+//!
+//! ```text
+//! F(τ₁, τ₂) =   Σ_{i ∈ D₁∩D₂} |τ₁(i) − τ₂(i)|
+//!             + Σ_{i ∈ D₁\D₂} (k − τ₁(i))
+//!             + Σ_{i ∈ D₂\D₁} (k − τ₂(i))
+//! ```
+//!
+//! The distance ranges over the **even** integers `0..=k(k+1)`; the maximum
+//! is attained exactly by disjoint rankings. Evenness holds because the
+//! signed displacements over the union domain sum to zero and a sum of
+//! absolute values has the parity of the plain sum.
+
+use crate::hash::{fx_map_with_capacity, FxHashMap};
+use crate::ranking::{ItemId, RankingStore};
+
+/// Maximum Footrule distance between two size-`k` rankings: `k·(k+1)`.
+#[inline]
+pub fn max_distance(k: usize) -> u32 {
+    (k * (k + 1)) as u32
+}
+
+/// `T(k) = k(k+1)/2`: the one-sided contribution of a ranking completely
+/// disjoint from the other (`Σ_{p=0}^{k-1} (k − p)`).
+#[inline]
+pub fn one_side_total(k: usize) -> u32 {
+    (k * (k + 1) / 2) as u32
+}
+
+/// Converts a normalized threshold `θ ∈ [0, 1]` into raw Footrule units for
+/// rankings of size `k`. Values are clamped into `[0, k(k+1)]`; a tiny
+/// epsilon guards against `0.3 * 110 = 32.999999…` style float dust.
+#[inline]
+pub fn raw_threshold(theta: f64, k: usize) -> u32 {
+    let dmax = max_distance(k) as f64;
+    let t = (theta.clamp(0.0, 1.0) * dmax + 1e-9).floor();
+    t as u32
+}
+
+/// The smallest possible Footrule distance between two size-`k` rankings
+/// that overlap in exactly `overlap` items: `L(k, ω) = L(k−ω)` where
+/// `L(m) = m(m+1)` — attained when the ω common items are perfectly matched
+/// at the top of both lists (paper, Section 6.1).
+#[inline]
+pub fn min_distance_for_overlap(k: usize, overlap: usize) -> u32 {
+    debug_assert!(overlap <= k);
+    max_distance(k - overlap)
+}
+
+/// Footrule distance between two rankings given their item-sorted
+/// `(item, rank)` pairs (as stored by [`RankingStore::sorted_pairs`]).
+/// Allocation-free sorted merge; `O(k)`.
+pub fn footrule_pairs(a: &[(ItemId, u32)], b: &[(ItemId, u32)], k: usize) -> u32 {
+    debug_assert_eq!(a.len(), k);
+    debug_assert_eq!(b.len(), k);
+    let k = k as u32;
+    let mut dist = 0u32;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ia, ra) = a[i];
+        let (ib, rb) = b[j];
+        match ia.cmp(&ib) {
+            std::cmp::Ordering::Equal => {
+                dist += ra.abs_diff(rb);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                dist += k - ra;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                dist += k - rb;
+                j += 1;
+            }
+        }
+    }
+    while i < a.len() {
+        dist += k - a[i].1;
+        i += 1;
+    }
+    while j < b.len() {
+        dist += k - b[j].1;
+        j += 1;
+    }
+    dist
+}
+
+/// Footrule distance between two rankings in rank order. Builds a scratch
+/// map; prefer [`footrule_pairs`] or [`PositionMap`] in hot loops.
+pub fn footrule_items(a: &[ItemId], b: &[ItemId]) -> u32 {
+    assert_eq!(a.len(), b.len(), "rankings must have equal size");
+    let q = PositionMap::new(a);
+    q.distance_to(b)
+}
+
+/// A query-side item → rank map enabling `O(k)` Footrule evaluation against
+/// any candidate ranking without touching the query again.
+///
+/// This is the "distance function call" primitive counted by
+/// [`crate::QueryStats`]: algorithms construct one `PositionMap` per query
+/// and call [`PositionMap::distance_to`] per candidate.
+#[derive(Debug, Clone)]
+pub struct PositionMap {
+    k: u32,
+    pos: FxHashMap<ItemId, u32>,
+}
+
+impl PositionMap {
+    /// Builds the map from a query ranking's items (rank order).
+    pub fn new(items: &[ItemId]) -> Self {
+        let mut pos = fx_map_with_capacity(items.len());
+        for (r, &i) in items.iter().enumerate() {
+            let prev = pos.insert(i, r as u32);
+            debug_assert!(prev.is_none(), "duplicate item in query ranking");
+        }
+        PositionMap {
+            k: items.len() as u32,
+            pos,
+        }
+    }
+
+    /// The ranking size `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The query rank of `item`, if contained.
+    #[inline]
+    pub fn rank_of(&self, item: ItemId) -> Option<u32> {
+        self.pos.get(&item).copied()
+    }
+
+    /// Footrule distance from the query to `candidate` (rank-ordered items
+    /// of an equal-size ranking).
+    pub fn distance_to(&self, candidate: &[ItemId]) -> u32 {
+        debug_assert_eq!(candidate.len() as u32, self.k);
+        let k = self.k;
+        // q-side total if the candidate matched nothing; matched items give
+        // their (k − q(i)) share back and add |τ(i) − q(i)| instead.
+        let mut dist = one_side_total(k as usize);
+        for (p, &item) in candidate.iter().enumerate() {
+            let p = p as u32;
+            match self.pos.get(&item) {
+                Some(&qp) => {
+                    dist += p.abs_diff(qp);
+                    dist -= k - qp;
+                }
+                None => dist += k - p,
+            }
+        }
+        dist
+    }
+
+    /// Number of common items between the query and `candidate`.
+    pub fn overlap(&self, candidate: &[ItemId]) -> usize {
+        candidate
+            .iter()
+            .filter(|i| self.pos.contains_key(i))
+            .count()
+    }
+}
+
+/// Convenience: Footrule distance between two stored rankings.
+pub fn footrule_store(
+    store: &RankingStore,
+    a: crate::ranking::RankingId,
+    b: crate::ranking::RankingId,
+) -> u32 {
+    footrule_pairs(store.sorted_pairs(a), store.sorted_pairs(b), store.k())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::Ranking;
+
+    fn pairs(items: &[u32]) -> Vec<(ItemId, u32)> {
+        let mut v: Vec<(ItemId, u32)> = items
+            .iter()
+            .enumerate()
+            .map(|(r, &i)| (ItemId(i), r as u32))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn paper_example_distances() {
+        // Paper Section 3 uses 1-based ranks and l = 6 for k=5/k=3 mixed
+        // lists; our fixed-size-k convention (ranks 0..k-1, l = k) is tested
+        // against hand-computed values instead.
+        // τ1 = [2,5,6,4,1], τ3 = [0,8,4,5,7], k=5, l=5.
+        // common: {4,5}. τ1: 4@3, 5@1; τ3: 4@2, 5@3 → |3-2| + |1-3| = 3.
+        // τ1-only {2,6,1} at ranks 0,2,4 → (5-0)+(5-2)+(5-4) = 9.
+        // τ3-only {0,8,7} at ranks 0,1,4 → 5+4+1 = 10. total 22.
+        let d = footrule_items(
+            Ranking::new([2, 5, 6, 4, 1]).unwrap().items(),
+            Ranking::new([0, 8, 4, 5, 7]).unwrap().items(),
+        );
+        assert_eq!(d, 22);
+    }
+
+    #[test]
+    fn identical_rankings_have_zero_distance() {
+        let a = pairs(&[3, 1, 4, 1 + 4, 9]);
+        assert_eq!(footrule_pairs(&a, &a, 5), 0);
+    }
+
+    #[test]
+    fn disjoint_rankings_attain_max() {
+        let a = pairs(&[0, 1, 2, 3]);
+        let b = pairs(&[10, 11, 12, 13]);
+        assert_eq!(footrule_pairs(&a, &b, 4), max_distance(4));
+        assert_eq!(max_distance(4), 20);
+    }
+
+    #[test]
+    fn pairs_and_position_map_agree() {
+        let xs = [7u32, 1, 6, 5, 2];
+        let ys = [1u32, 4, 5, 9, 0];
+        let d1 = footrule_pairs(&pairs(&xs), &pairs(&ys), 5);
+        let q = PositionMap::new(&xs.map(ItemId));
+        let d2 = q.distance_to(&ys.map(ItemId));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn swap_adjacent_costs_two() {
+        let d = footrule_items(
+            &[ItemId(1), ItemId(2), ItemId(3)],
+            &[ItemId(2), ItemId(1), ItemId(3)],
+        );
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn raw_threshold_boundaries() {
+        assert_eq!(raw_threshold(0.0, 10), 0);
+        assert_eq!(raw_threshold(1.0, 10), 110);
+        assert_eq!(raw_threshold(0.2, 10), 22);
+        assert_eq!(raw_threshold(0.3, 10), 33);
+        assert_eq!(raw_threshold(-0.5, 10), 0);
+        assert_eq!(raw_threshold(2.0, 10), 110);
+    }
+
+    #[test]
+    fn min_distance_for_overlap_decreases() {
+        let k = 10;
+        let mut prev = u32::MAX;
+        for w in 0..=k {
+            let l = min_distance_for_overlap(k, w);
+            assert!(l < prev);
+            prev = l;
+        }
+        assert_eq!(min_distance_for_overlap(k, k), 0);
+        assert_eq!(min_distance_for_overlap(k, 0), max_distance(k));
+    }
+
+    #[test]
+    fn overlap_counts_common_items() {
+        let q = PositionMap::new(&[1, 2, 3, 4].map(ItemId));
+        assert_eq!(q.overlap(&[3, 4, 5, 6].map(ItemId)), 2);
+        assert_eq!(q.overlap(&[9, 8, 7, 6].map(ItemId)), 0);
+        assert_eq!(q.overlap(&[1, 2, 3, 4].map(ItemId)), 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Top-k ranking model and rank-distance functions.
+//!
+//! This crate is the substrate every other `ranksim` crate builds on. It
+//! provides:
+//!
+//! * [`Ranking`] — an owned, validated top-k list (a bijection from a small
+//!   item domain onto ranks `0..k-1`),
+//! * [`RankingStore`] — flat, cache-friendly storage for a corpus of
+//!   equal-size rankings, addressed by [`RankingId`],
+//! * [`footrule`] — Spearman's Footrule adapted to top-k lists following
+//!   Fagin, Kumar & Sivakumar (SIAM J. Discrete Math., 2003): items missing
+//!   from a ranking are assigned the artificial rank `l = k`,
+//! * [`kendall`] — Kendall's tau for top-k lists (optimistic variant), kept
+//!   for completeness and cross-checks,
+//! * [`QueryStats`] — per-query instrumentation (distance-function calls,
+//!   list accesses, candidates) used by the paper's Figure 10,
+//! * [`hash`] — a minimal Fx-style hasher for hot u32-keyed maps.
+//!
+//! Distances are **raw integers** throughout (`0..=k(k+1)`); the adapted
+//! Footrule distance between two size-k rankings is always even. Normalized
+//! thresholds in `[0, 1]` are converted at the API boundary via
+//! [`footrule::raw_threshold`].
+
+pub mod footrule;
+pub mod hash;
+pub mod kendall;
+pub mod ranking;
+pub mod stats;
+
+pub use footrule::{
+    footrule_items, footrule_pairs, footrule_store, max_distance, min_distance_for_overlap,
+    one_side_total, raw_threshold, PositionMap,
+};
+pub use ranking::{ItemId, Ranking, RankingError, RankingId, RankingStore};
+pub use stats::QueryStats;

@@ -1,0 +1,328 @@
+//! Owned rankings and the flat corpus store.
+
+use std::fmt;
+
+/// Identifier of a ranked item (a document, an entity, a movie, ...).
+///
+/// Items are dense or sparse u32 ids; the library never interprets them
+/// beyond equality, so callers may map arbitrary domains onto them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct ItemId(pub u32);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+/// Identifier of a ranking inside a [`RankingStore`]: the dense index of the
+/// ranking in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct RankingId(pub u32);
+
+impl fmt::Display for RankingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+impl RankingId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Errors raised when constructing rankings or stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankingError {
+    /// A ranking contained the same item at two ranks.
+    DuplicateItem(ItemId),
+    /// A ranking's length did not match the store's fixed `k`.
+    WrongLength { expected: usize, got: usize },
+    /// An empty ranking was supplied.
+    Empty,
+}
+
+impl fmt::Display for RankingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankingError::DuplicateItem(i) => write!(f, "duplicate item {i} in ranking"),
+            RankingError::WrongLength { expected, got } => {
+                write!(f, "ranking of length {got}, store expects k = {expected}")
+            }
+            RankingError::Empty => write!(f, "empty ranking"),
+        }
+    }
+}
+
+impl std::error::Error for RankingError {}
+
+/// An owned top-k list: `items[r]` is the item ranked at position `r`
+/// (`r = 0` is the top rank). Items are pairwise distinct.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ranking {
+    items: Box<[ItemId]>,
+}
+
+impl Ranking {
+    /// Builds a ranking from top-to-bottom items, validating distinctness.
+    pub fn new<I: IntoIterator<Item = u32>>(items: I) -> Result<Self, RankingError> {
+        let items: Vec<ItemId> = items.into_iter().map(ItemId).collect();
+        if items.is_empty() {
+            return Err(RankingError::Empty);
+        }
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(RankingError::DuplicateItem(w[0]));
+            }
+        }
+        Ok(Ranking {
+            items: items.into_boxed_slice(),
+        })
+    }
+
+    /// The ranking size `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Items from the top rank downwards.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// The rank of `item`, or `None` if the item is not contained.
+    pub fn rank_of(&self, item: ItemId) -> Option<u32> {
+        self.items.iter().position(|&i| i == item).map(|p| p as u32)
+    }
+}
+
+impl AsRef<[ItemId]> for Ranking {
+    fn as_ref(&self) -> &[ItemId] {
+        &self.items
+    }
+}
+
+/// Flat storage for a corpus of equal-size rankings.
+///
+/// Two parallel layouts are kept:
+///
+/// * `items`: row-major `n × k` item ids in rank order — used by query
+///   processing (sequential scans of a ranking's content),
+/// * `sorted`: per ranking, the `(item, rank)` pairs sorted by item id —
+///   used for allocation-free store-to-store Footrule via a sorted merge,
+///   which dominates metric-tree construction.
+#[derive(Debug, Clone)]
+pub struct RankingStore {
+    k: usize,
+    items: Vec<ItemId>,
+    sorted: Vec<(ItemId, u32)>,
+}
+
+impl RankingStore {
+    /// Creates an empty store for rankings of size `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "ranking size k must be positive");
+        RankingStore {
+            k,
+            items: Vec::new(),
+            sorted: Vec::new(),
+        }
+    }
+
+    /// Creates an empty store with capacity for `n` rankings.
+    pub fn with_capacity(k: usize, n: usize) -> Self {
+        let mut s = Self::new(k);
+        s.items.reserve(n * k);
+        s.sorted.reserve(n * k);
+        s
+    }
+
+    /// The fixed ranking size.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of rankings stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len() / self.k
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Appends a ranking, returning its id.
+    pub fn push(&mut self, ranking: &Ranking) -> Result<RankingId, RankingError> {
+        if ranking.k() != self.k {
+            return Err(RankingError::WrongLength {
+                expected: self.k,
+                got: ranking.k(),
+            });
+        }
+        Ok(self.push_items_unchecked(ranking.items()))
+    }
+
+    /// Appends raw items that are already known to be distinct and of
+    /// length `k` (dataset generators uphold this by construction).
+    pub fn push_items_unchecked(&mut self, items: &[ItemId]) -> RankingId {
+        debug_assert_eq!(items.len(), self.k);
+        let id = RankingId(self.len() as u32);
+        self.items.extend_from_slice(items);
+        let base = self.sorted.len();
+        self.sorted
+            .extend(items.iter().enumerate().map(|(r, &i)| (i, r as u32)));
+        self.sorted[base..].sort_unstable();
+        id
+    }
+
+    /// Appends every ranking produced by the iterator.
+    pub fn extend<'a, I: IntoIterator<Item = &'a Ranking>>(
+        &mut self,
+        iter: I,
+    ) -> Result<(), RankingError> {
+        for r in iter {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// The items of ranking `id` in rank order.
+    #[inline]
+    pub fn items(&self, id: RankingId) -> &[ItemId] {
+        let b = id.index() * self.k;
+        &self.items[b..b + self.k]
+    }
+
+    /// The `(item, rank)` pairs of ranking `id`, sorted by item id.
+    #[inline]
+    pub fn sorted_pairs(&self, id: RankingId) -> &[(ItemId, u32)] {
+        let b = id.index() * self.k;
+        &self.sorted[b..b + self.k]
+    }
+
+    /// Materializes ranking `id` as an owned [`Ranking`].
+    pub fn ranking(&self, id: RankingId) -> Ranking {
+        Ranking {
+            items: self.items(id).to_vec().into_boxed_slice(),
+        }
+    }
+
+    /// Iterates over all ranking ids.
+    pub fn ids(&self) -> impl Iterator<Item = RankingId> + '_ {
+        (0..self.len() as u32).map(RankingId)
+    }
+
+    /// The largest possible Footrule distance between two stored rankings.
+    #[inline]
+    pub fn max_distance(&self) -> u32 {
+        crate::footrule::max_distance(self.k)
+    }
+
+    /// Approximate heap footprint in bytes (used by the Table 6 experiment).
+    pub fn heap_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<ItemId>()
+            + self.sorted.capacity() * std::mem::size_of::<(ItemId, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_rejects_duplicates() {
+        assert_eq!(
+            Ranking::new([1, 2, 1]),
+            Err(RankingError::DuplicateItem(ItemId(1)))
+        );
+    }
+
+    #[test]
+    fn ranking_rejects_empty() {
+        assert_eq!(Ranking::new([]), Err(RankingError::Empty));
+    }
+
+    #[test]
+    fn ranking_rank_of() {
+        let r = Ranking::new([5, 3, 9]).unwrap();
+        assert_eq!(r.rank_of(ItemId(5)), Some(0));
+        assert_eq!(r.rank_of(ItemId(9)), Some(2));
+        assert_eq!(r.rank_of(ItemId(4)), None);
+        assert_eq!(r.k(), 3);
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let mut store = RankingStore::new(4);
+        let a = Ranking::new([2, 5, 4, 3]).unwrap();
+        let b = Ranking::new([1, 4, 5, 9]).unwrap();
+        let ia = store.push(&a).unwrap();
+        let ib = store.push(&b).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.ranking(ia), a);
+        assert_eq!(store.ranking(ib), b);
+        assert_eq!(
+            store.items(ib),
+            &[ItemId(1), ItemId(4), ItemId(5), ItemId(9)]
+        );
+    }
+
+    #[test]
+    fn store_sorted_pairs_are_sorted() {
+        let mut store = RankingStore::new(4);
+        let id = store.push(&Ranking::new([9, 1, 7, 3]).unwrap()).unwrap();
+        let pairs = store.sorted_pairs(id);
+        assert_eq!(
+            pairs,
+            &[
+                (ItemId(1), 1),
+                (ItemId(3), 3),
+                (ItemId(7), 2),
+                (ItemId(9), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn store_rejects_wrong_length() {
+        let mut store = RankingStore::new(3);
+        let r = Ranking::new([1, 2]).unwrap();
+        assert_eq!(
+            store.push(&r),
+            Err(RankingError::WrongLength {
+                expected: 3,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn store_ids_enumerate() {
+        let mut store = RankingStore::new(2);
+        for i in 0..5u32 {
+            store.push(&Ranking::new([i * 2, i * 2 + 1]).unwrap()).unwrap();
+        }
+        let ids: Vec<_> = store.ids().collect();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[3], RankingId(3));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the adapted Footrule distance: metric axioms,
+//! parity, bounds, and agreement of the two evaluation paths.
+
+use proptest::prelude::*;
+use ranksim_rankings::{
+    footrule_items, footrule_pairs, max_distance, min_distance_for_overlap, ItemId, PositionMap,
+};
+
+/// Strategy: a random ranking of size `k` over item domain `0..domain`.
+fn ranking(k: usize, domain: u32) -> impl Strategy<Value = Vec<ItemId>> {
+    proptest::sample::subsequence((0..domain).collect::<Vec<u32>>(), k).prop_shuffle().prop_map(
+        |items| items.into_iter().map(ItemId).collect(),
+    )
+}
+
+fn pairs_of(items: &[ItemId]) -> Vec<(ItemId, u32)> {
+    let mut v: Vec<(ItemId, u32)> = items
+        .iter()
+        .enumerate()
+        .map(|(r, &i)| (i, r as u32))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #[test]
+    fn footrule_is_symmetric(a in ranking(8, 40), b in ranking(8, 40)) {
+        prop_assert_eq!(footrule_items(&a, &b), footrule_items(&b, &a));
+    }
+
+    #[test]
+    fn footrule_identity_of_indiscernibles(a in ranking(8, 40), b in ranking(8, 40)) {
+        let d = footrule_items(&a, &b);
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn footrule_triangle_inequality(
+        a in ranking(7, 30),
+        b in ranking(7, 30),
+        c in ranking(7, 30),
+    ) {
+        let ab = footrule_items(&a, &b);
+        let bc = footrule_items(&b, &c);
+        let ac = footrule_items(&a, &c);
+        prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+    }
+
+    #[test]
+    fn footrule_is_even_and_bounded(a in ranking(9, 50), b in ranking(9, 50)) {
+        let d = footrule_items(&a, &b);
+        prop_assert_eq!(d % 2, 0, "Footrule over top-k lists must be even");
+        prop_assert!(d <= max_distance(9));
+    }
+
+    #[test]
+    fn footrule_respects_overlap_lower_bound(a in ranking(8, 25), b in ranking(8, 25)) {
+        let q = PositionMap::new(&a);
+        let overlap = q.overlap(&b);
+        let d = footrule_items(&a, &b);
+        prop_assert!(
+            d >= min_distance_for_overlap(8, overlap),
+            "d={d} below L(k,ω)={} at ω={overlap}",
+            min_distance_for_overlap(8, overlap)
+        );
+    }
+
+    #[test]
+    fn evaluation_paths_agree(a in ranking(10, 60), b in ranking(10, 60)) {
+        let via_items = footrule_items(&a, &b);
+        let via_pairs = footrule_pairs(&pairs_of(&a), &pairs_of(&b), 10);
+        let via_map = PositionMap::new(&a).distance_to(&b);
+        prop_assert_eq!(via_items, via_pairs);
+        prop_assert_eq!(via_items, via_map);
+    }
+
+    #[test]
+    fn kendall_footrule_diaconis_graham_on_permutations(
+        perm in Just((0u32..8).collect::<Vec<_>>()).prop_shuffle()
+    ) {
+        // For permutations over the SAME domain: K ≤ F ≤ 2K.
+        let identity: Vec<ItemId> = (0u32..8).map(ItemId).collect();
+        let p: Vec<ItemId> = perm.into_iter().map(ItemId).collect();
+        let f = footrule_items(&identity, &p);
+        let k = ranksim_rankings::kendall::kendall_top_k(&identity, &p);
+        prop_assert!(k <= f && f <= 2 * k || (k == 0 && f == 0));
+    }
+}

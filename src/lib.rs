@@ -1,0 +1,57 @@
+//! # ranksim — top-k-list similarity search
+//!
+//! A faithful, production-grade Rust implementation of
+//! *"The Sweet Spot between Inverted Indices and Metric-Space Indexing for
+//! Top-K-List Similarity Search"* (Milchevski, Anand & Michel, EDBT 2015).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`rankings`] — the top-k ranking model and Footrule/Kendall distances,
+//! * [`metricspace`] — BK-tree, M-tree, VP-tree and fixed-radius
+//!   partitioning,
+//! * [`invindex`] — the inverted-index algorithm family (F&V, ListMerge,
+//!   +Drop, Blocked+Prune, Minimal F&V),
+//! * [`adaptsearch`] — the AdaptSearch competitor,
+//! * [`datasets`] — synthetic NYT-like / Yago-like corpora and workloads,
+//! * [`core`] — the paper's contribution: the coarse hybrid index, its
+//!   cost model and the sweet-spot tuner, plus the unified query [`prelude::Engine`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ranksim::prelude::*;
+//!
+//! // Build a tiny corpus of top-4 rankings.
+//! let mut store = RankingStore::new(4);
+//! for items in [[2u32, 5, 4, 3], [1, 4, 5, 9], [0, 8, 5, 7], [2, 5, 4, 9]] {
+//!     store.push(&Ranking::new(items).unwrap()).unwrap();
+//! }
+//!
+//! // Index it with the coarse hybrid index at θ_C = 0.3.
+//! let engine = EngineBuilder::new(store)
+//!     .coarse_threshold(0.3)
+//!     .build();
+//!
+//! // Ad-hoc similarity query: everything within normalized Footrule 0.35.
+//! let query = Ranking::new([2u32, 5, 4, 7]).unwrap();
+//! let mut stats = QueryStats::new();
+//! let hits = engine.query(Algorithm::Coarse, &query, 0.35, &mut stats);
+//! assert!(hits.contains(&RankingId(0)));
+//! ```
+
+pub use ranksim_adaptsearch as adaptsearch;
+pub use ranksim_core as core;
+pub use ranksim_datasets as datasets;
+pub use ranksim_invindex as invindex;
+pub use ranksim_metricspace as metricspace;
+pub use ranksim_rankings as rankings;
+
+/// Everything a typical application needs, one `use` away.
+pub mod prelude {
+    pub use ranksim_core::engine::{Algorithm, Engine, EngineBuilder};
+    pub use ranksim_core::{CoarseIndex, CostModel};
+    pub use ranksim_rankings::{
+        footrule_pairs, raw_threshold, ItemId, PositionMap, QueryStats, Ranking, RankingId,
+        RankingStore,
+    };
+}

@@ -1,0 +1,121 @@
+//! Property tests over the full engine: random corpora, random queries,
+//! random thresholds — all algorithms must agree with brute force, and
+//! the paper's structural claims must hold.
+
+use proptest::prelude::*;
+use ranksim::metricspace::query_pairs;
+use ranksim::prelude::*;
+
+/// Strategy: a corpus of `n` size-`k` rankings over `0..domain`, biased
+/// towards overlap so result sets are non-trivial.
+fn corpus(n: usize, k: usize, domain: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::sample::subsequence((0..domain).collect::<Vec<u32>>(), k).prop_shuffle(),
+        n,
+    )
+}
+
+fn build_engine(rankings: &[Vec<u32>], theta_c: f64) -> Engine {
+    let k = rankings[0].len();
+    let mut store = RankingStore::new(k);
+    for r in rankings {
+        store
+            .push(&Ranking::new(r.iter().copied()).unwrap())
+            .unwrap();
+    }
+    EngineBuilder::new(store).coarse_threshold(theta_c).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_algorithms_equal_brute_force(
+        rankings in corpus(60, 6, 25),
+        query in proptest::sample::subsequence((0..25u32).collect::<Vec<u32>>(), 6).prop_shuffle(),
+        theta in 0.0f64..0.5,
+        theta_c in 0.05f64..0.6,
+    ) {
+        let engine = build_engine(&rankings, theta_c);
+        let store = engine.store();
+        let raw = raw_threshold(theta, 6);
+        let q: Vec<ItemId> = query.into_iter().map(ItemId).collect();
+        let qmap = PositionMap::new(&q);
+        let mut expect: Vec<RankingId> = store
+            .ids()
+            .filter(|&id| qmap.distance_to(store.items(id)) <= raw)
+            .collect();
+        expect.sort_unstable();
+        for alg in Algorithm::ALL {
+            let mut stats = QueryStats::new();
+            let mut got = engine.query_items(alg, &q, raw, &mut stats);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expect, "{} disagrees (θ={}, θC={})", alg, theta, theta_c);
+        }
+    }
+
+    #[test]
+    fn result_sets_grow_with_threshold(
+        rankings in corpus(50, 6, 20),
+        query in proptest::sample::subsequence((0..20u32).collect::<Vec<u32>>(), 6).prop_shuffle(),
+    ) {
+        let engine = build_engine(&rankings, 0.3);
+        let q: Vec<ItemId> = query.into_iter().map(ItemId).collect();
+        let mut prev = 0usize;
+        for raw in (0..=42u32).step_by(6) {
+            let mut stats = QueryStats::new();
+            let got = engine.query_items(Algorithm::Coarse, &q, raw, &mut stats);
+            prop_assert!(got.len() >= prev);
+            prev = got.len();
+        }
+    }
+
+    #[test]
+    fn self_query_at_zero_returns_duplicates_only(
+        rankings in corpus(40, 5, 15),
+        pick in 0usize..40,
+    ) {
+        let engine = build_engine(&rankings, 0.2);
+        let store = engine.store();
+        let q: Vec<ItemId> = store.items(RankingId(pick as u32)).to_vec();
+        let mut stats = QueryStats::new();
+        let got = engine.query_items(Algorithm::CoarseDrop, &q, 0, &mut stats);
+        prop_assert!(got.contains(&RankingId(pick as u32)));
+        for id in got {
+            prop_assert_eq!(store.items(id), q.as_slice());
+        }
+    }
+
+    #[test]
+    fn coarse_partition_count_bounded_by_corpus(
+        rankings in corpus(50, 5, 18),
+        theta_c in 0.0f64..0.9,
+    ) {
+        let engine = build_engine(&rankings, theta_c);
+        let parts = engine.coarse_index().num_partitions();
+        prop_assert!((1..=50).contains(&parts));
+    }
+
+    #[test]
+    fn metric_trees_agree_with_engine(
+        rankings in corpus(40, 5, 16),
+        query in proptest::sample::subsequence((0..16u32).collect::<Vec<u32>>(), 5).prop_shuffle(),
+        theta in 0.0f64..0.6,
+    ) {
+        use ranksim::metricspace::{BkTree, MTree};
+        let engine = build_engine(&rankings, 0.3);
+        let store = engine.store();
+        let raw = raw_threshold(theta, 5);
+        let q: Vec<ItemId> = query.into_iter().map(ItemId).collect();
+        let qp = query_pairs(&q);
+        let mut stats = QueryStats::new();
+        let mut via_engine = engine.query_items(Algorithm::Fv, &q, raw, &mut stats);
+        let mut via_bk = BkTree::build(store).range_query(store, &qp, raw, &mut stats);
+        let mut via_m = MTree::build(store).range_query(store, &qp, raw, &mut stats);
+        via_engine.sort_unstable();
+        via_bk.sort_unstable();
+        via_m.sort_unstable();
+        prop_assert_eq!(&via_bk, &via_engine);
+        prop_assert_eq!(&via_m, &via_engine);
+    }
+}
