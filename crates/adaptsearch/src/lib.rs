@@ -87,7 +87,8 @@ impl AdaptSearchIndex {
             }
         }
         // Pass 2: reorder each record by (freq, item) and fill delta lists.
-        let mut staging: FxHashMap<ItemId, Vec<(u32, RankingId)>> = fx_map_with_capacity(freq.len());
+        let mut staging: FxHashMap<ItemId, Vec<(u32, RankingId)>> =
+            fx_map_with_capacity(freq.len());
         let mut record: Vec<ItemId> = Vec::with_capacity(k);
         for id in store.ids() {
             record.clear();
@@ -158,8 +159,7 @@ impl AdaptSearchIndex {
         for ell in 1..=c {
             let prefix_len = (self.k - c + ell).min(self.k);
             let s = self.scan_volume(qsorted, prefix_len) as f64;
-            let cost =
-                self.params.posting_cost * s + self.params.candidate_cost * (s / ell as f64);
+            let cost = self.params.posting_cost * s + self.params.candidate_cost * (s / ell as f64);
             if cost < best.1 {
                 best = (ell, cost);
             }
@@ -308,7 +308,10 @@ mod tests {
         let raw = raw_threshold(0.1, 10);
         let mut stats = QueryStats::new();
         let _ = index.search(&store, &q, raw, &mut stats);
-        let full: u64 = q.iter().map(|i| index.freq.get(i).copied().unwrap_or(0) as u64).sum();
+        let full: u64 = q
+            .iter()
+            .map(|i| index.freq.get(i).copied().unwrap_or(0) as u64)
+            .sum();
         assert!(
             stats.entries_scanned < full,
             "prefix probing ({}) must beat scanning all k lists ({full})",

@@ -1,0 +1,48 @@
+//! Criterion bench for the Section 4.1 construction step: BK-subtree
+//! partitioning (the paper's Figure 1 scheme) vs Chávez–Navarro random
+//! medoids, across representative θC settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksim_bench::{Bench, ExpConfig, Family};
+use ranksim_metricspace::{BkPartitioner, RandomMedoidPartitioner};
+use ranksim_rankings::raw_threshold;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let cfg = ExpConfig::small();
+    let bench = Bench::load(&cfg, Family::Nyt, 10);
+    let store = bench.store();
+
+    let mut g = c.benchmark_group("fig4_partitioning");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for theta_c in [0.05f64, 0.3, 0.5] {
+        let raw_c = raw_threshold(theta_c, 10);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("bk_subtrees_theta_c_{theta_c}")),
+            &raw_c,
+            |b, &raw_c| {
+                b.iter(|| {
+                    std::hint::black_box(BkPartitioner::partition(store, raw_c).num_partitions())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("random_medoids_theta_c_{theta_c}")),
+            &raw_c,
+            |b, &raw_c| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        RandomMedoidPartitioner::new(17)
+                            .partition(store, raw_c)
+                            .num_partitions(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

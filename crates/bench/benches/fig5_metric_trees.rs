@@ -14,7 +14,12 @@ fn bench_metric_trees(c: &mut Criterion) {
     let bk = BkTree::build(store);
     let mtree = MTree::build(store);
     let vp = VpTree::build(store, 5);
-    let queries: Vec<_> = bench.queries.iter().take(20).map(|q| query_pairs(q)).collect();
+    let queries: Vec<_> = bench
+        .queries
+        .iter()
+        .take(20)
+        .map(|q| query_pairs(q))
+        .collect();
 
     let mut g = c.benchmark_group("fig5_metric_trees");
     g.sample_size(10);

@@ -25,7 +25,9 @@ fn bench_bk_vs_fv(c: &mut Criterion) {
             let mut stats = QueryStats::new();
             let mut n = 0;
             for q in &queries {
-                n += bk.range_query(store, &query_pairs(q), raw, &mut stats).len();
+                n += bk
+                    .range_query(store, &query_pairs(q), raw, &mut stats)
+                    .len();
             }
             std::hint::black_box(n)
         })

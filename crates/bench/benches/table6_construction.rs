@@ -34,9 +34,7 @@ fn bench_construction(c: &mut Criterion) {
     });
     g.bench_function("coarse_index", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                CoarseIndex::build(store, raw_threshold(0.5, 10)).num_partitions(),
-            )
+            std::hint::black_box(CoarseIndex::build(store, raw_threshold(0.5, 10)).num_partitions())
         })
     });
     g.finish();

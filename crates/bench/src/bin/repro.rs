@@ -61,7 +61,10 @@ fn run_verify(cfg: &ExpConfig) {
         small.yago_n = small.yago_n.min(5000);
         let setup = ComparisonSetup::build(&small, family, 10, &thetas);
         let checked = verify(&setup, &thetas);
-        println!("{:<5}: {checked} (query, θ) pairs consistent across all 8 algorithms", family.name());
+        println!(
+            "{:<5}: {checked} (query, θ) pairs consistent across all 8 algorithms",
+            family.name()
+        );
     }
     println!();
 }
@@ -72,7 +75,10 @@ fn run_fig3(cfg: &ExpConfig) {
         let bench = Bench::load(cfg, family, 10);
         let (rows, opt) = fig3(&bench, 0.2, true);
         println!("-- {} rankings, k=10, θ=0.2 --", family.name());
-        println!("{:>6} {:>14} {:>14} {:>14}", "θC", "filter", "validate", "overall(+)");
+        println!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            "θC", "filter", "validate", "overall(+)"
+        );
         for r in rows {
             println!(
                 "{:>6.2} {:>14.2} {:>14.2} {:>14.2}",
@@ -199,7 +205,10 @@ fn run_table5(cfg: &ExpConfig) {
 
 fn run_fig89(cfg: &ExpConfig, family: Family) {
     let fig = if family == Family::Nyt { 8 } else { 9 };
-    println!("== Figure {fig}: algorithm comparison ({}) — ms per 1000 queries ==", family.name());
+    println!(
+        "== Figure {fig}: algorithm comparison ({}) — ms per 1000 queries ==",
+        family.name()
+    );
     let thetas = [0.0, 0.1, 0.2, 0.3];
     for k in [10usize, 20] {
         let setup = ComparisonSetup::build(cfg, family, k, &thetas);
@@ -283,7 +292,10 @@ fn run_ablation(cfg: &ExpConfig) {
         for row in ablation_drop_policy(&bench, 0.2) {
             println!("{:<36} {:>12.1} {:>12}", row.arm, row.time_ms, row.dfc);
         }
-        println!("-- {} — coarse-index partitioning scheme (θC=0.3) --", family.name());
+        println!(
+            "-- {} — coarse-index partitioning scheme (θC=0.3) --",
+            family.name()
+        );
         println!("{:<64} {:>12} {:>12}", "arm", "ms/1000q", "DFC");
         for row in ablation_partitioner(&bench, 0.2, 0.3) {
             println!("{:<64} {:>12.1} {:>12}", row.arm, row.time_ms, row.dfc);

@@ -248,9 +248,7 @@ pub fn time_structure(bench: &Bench, structure: Structure, theta: f64) -> f64 {
         }
         Structure::Fv => {
             let idx = PlainInvertedIndex::build(store);
-            run(&mut |q, s| {
-                ranksim_invindex::fv::filter_validate(&idx, store, q, raw, s).len()
-            })
+            run(&mut |q, s| ranksim_invindex::fv::filter_validate(&idx, store, q, raw, s).len())
         }
     }
 }
@@ -427,8 +425,7 @@ pub fn table5(bench: &Bench, thetas: &[f64], theta_cs: &[f64]) -> Vec<Table5Row>
         .iter()
         .map(|&theta| {
             let rows = fig7_sweep(bench, theta, theta_cs);
-            let total =
-                |r: &Fig7Row| r.filter_ms + r.validate_ms;
+            let total = |r: &Fig7Row| r.filter_ms + r.validate_ms;
             let best = rows
                 .iter()
                 .min_by(|a, b| total(a).total_cmp(&total(b)))
@@ -523,11 +520,8 @@ impl ComparisonSetup {
             .iter()
             .map(|&t| {
                 let raw = raw_threshold(t, k);
-                let wl: Vec<(Vec<ItemId>, u32)> = bench
-                    .queries
-                    .iter()
-                    .map(|q| (q.clone(), raw))
-                    .collect();
+                let wl: Vec<(Vec<ItemId>, u32)> =
+                    bench.queries.iter().map(|q| (q.clone(), raw)).collect();
                 (t, MinimalFv::build(engine.store(), &wl))
             })
             .collect();

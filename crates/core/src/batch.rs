@@ -13,7 +13,9 @@
 
 use crate::coarse::CoarseIndex;
 use ranksim_metricspace::query_pairs;
-use ranksim_rankings::{footrule_items, footrule_pairs, ItemId, QueryStats, RankingId, RankingStore};
+use ranksim_rankings::{
+    footrule_items, footrule_pairs, ItemId, QueryStats, RankingId, RankingStore,
+};
 
 /// A batch of queries sharing one threshold.
 #[derive(Debug, Clone)]
@@ -68,13 +70,7 @@ pub fn batch_query(
         // One shared filter probe through the leader: any partition a
         // member query needs has d(medoid, leader) ≤ θ + θ_C + ρ.
         let leader = &batch.queries[g.leader];
-        let shared = index.filter(
-            store,
-            leader,
-            theta.saturating_add(rho_raw),
-            false,
-            stats,
-        );
+        let shared = index.filter(store, leader, theta.saturating_add(rho_raw), false, stats);
         for &qi in &g.members {
             let q = &batch.queries[qi];
             let qp = query_pairs(q);

@@ -19,9 +19,7 @@ use ranksim_invindex::fv::filter_validate_relaxed;
 use ranksim_invindex::PlainInvertedIndex;
 use ranksim_metricspace::{query_pairs, BkPartitioner, Partitioning};
 use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
-use ranksim_rankings::{
-    footrule_pairs, ItemId, QueryStats, RankingId, RankingStore,
-};
+use ranksim_rankings::{footrule_pairs, ItemId, QueryStats, RankingId, RankingStore};
 
 /// Construction-time statistics (Table 6 reporting).
 #[derive(Debug, Clone, Copy, Default)]
@@ -59,8 +57,7 @@ impl CoarseIndex {
             .map(|(pi, m)| (m, pi as u32))
             .collect();
         medoids.sort_unstable_by_key(|&(m, _)| m);
-        let medoid_index =
-            PlainInvertedIndex::build_from(store, medoids.iter().map(|&(m, _)| m));
+        let medoid_index = PlainInvertedIndex::build_from(store, medoids.iter().map(|&(m, _)| m));
         let mut medoid_to_partition = fx_map_with_capacity(medoids.len());
         for (m, pi) in medoids {
             medoid_to_partition.insert(m.0, pi);

@@ -117,6 +117,36 @@ mod tests {
     }
 
     #[test]
+    fn p_leq_is_a_probability_everywhere() {
+        // Bounds in [0, 1] for every representable distance, for queries
+        // beyond the histogram (clamped), and for both estimators.
+        let ds = nyt_like(400, 6, 9);
+        for cdf in [
+            DistanceCdf::exhaustive(&ds.store),
+            DistanceCdf::sample(&ds.store, 5_000, 13),
+        ] {
+            for d in 0..=cdf.d_max() {
+                let p = cdf.p_leq(d);
+                assert!((0.0..=1.0).contains(&p), "P[X ≤ {d}] = {p}");
+            }
+            assert_eq!(cdf.p_leq(cdf.d_max()), 1.0);
+            assert_eq!(cdf.p_leq(u32::MAX), 1.0, "clamped beyond d_max");
+            assert!(cdf.samples() > 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_only_corpus_puts_all_mass_at_zero() {
+        use ranksim_rankings::{ItemId, RankingStore};
+        let mut store = RankingStore::new(4);
+        for _ in 0..20 {
+            store.push_items_unchecked(&[1, 2, 3, 4].map(ItemId));
+        }
+        let cdf = DistanceCdf::exhaustive(&store);
+        assert_eq!(cdf.p_leq(0), 1.0);
+    }
+
+    #[test]
     fn clustered_data_has_low_distance_mass() {
         // The NYT-like generator plants near-duplicates: there must be
         // measurable probability mass well below d_max/2.

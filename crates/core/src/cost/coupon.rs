@@ -98,6 +98,39 @@ mod tests {
     }
 
     #[test]
+    fn medoid_count_is_monotone_in_corpus_size() {
+        // At fixed capture probability, more rankings can only require
+        // more medoids (both estimators).
+        for pc in [0.01, 0.1, 0.5] {
+            let mut prev = 0.0;
+            let mut prev_eq2 = 0.0;
+            for n in [10usize, 100, 1000, 10_000] {
+                let m = expected_medoids(n, pc);
+                let m_eq2 = expected_medoids_eq2(n, pc);
+                assert!(m + 1e-9 >= prev, "P={pc} n={n}: {m} < {prev}");
+                assert!(m_eq2 + 1e-9 >= prev_eq2, "Eq2 P={pc} n={n}");
+                prev = m;
+                prev_eq2 = m_eq2;
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_h_is_one_exactly_at_package_boundaries() {
+        // Eq. 1: a fresh medoid pick costs exactly one draw; intermediate
+        // coupons cost at least one draw in expectation.
+        let (n, p) = (100usize, 10usize);
+        for i in 0..n {
+            let v = h(n, i, p);
+            if i % p == 0 {
+                assert_eq!(v, 1.0, "i={i}");
+            } else {
+                assert!(v >= 1.0, "i={i}: h={v} below 1 draw");
+            }
+        }
+    }
+
+    #[test]
     fn recurrence_discriminates_in_small_package_regime() {
         // The regime where Eq. 2 saturates at n: the recurrence must still
         // order the estimates by capture probability.

@@ -121,8 +121,7 @@ impl CostModel {
         let k = self.k;
         // Find medoids: merge k index lists, then evaluate the distance of
         // each retrieved medoid against θ + θ_C.
-        let filter = self.costs.merge_cost(k, len)
-            + k as f64 * len * self.costs.footrule_ns;
+        let filter = self.costs.merge_cost(k, len) + k as f64 * len * self.costs.footrule_ns;
         // Validate retrieved rankings: E[candidates] = P[X ≤ θ+θC] · n
         // (Eq. 4), each checked with one Footrule evaluation.
         let relaxed = theta_raw + theta_c_raw;
@@ -240,6 +239,42 @@ mod tests {
                 len <= med + 1e-9,
                 "a list cannot exceed the number of indexed medoids"
             );
+        }
+    }
+
+    #[test]
+    fn crossover_sanity_at_extreme_thetas() {
+        let m = model(2000);
+        let d_max = max_distance(10);
+
+        // θ at the top of the scale: only θ_C = 0 keeps θ + θ_C < d_max
+        // feasible, so the tuner must return exactly 0.
+        let opt_hi = m.optimal_theta_c(d_max - 1, None);
+        assert_eq!(opt_hi, 0, "near-d_max θ leaves no feasible coarsening");
+
+        // θ = 0: every grid point is feasible; the choice must beat (or
+        // tie) both extremes of its own objective.
+        let opt_lo = m.optimal_theta_c(0, None);
+        let cost_opt = m.breakdown(0, opt_lo).total();
+        let grid_hi = (0.8 * d_max as f64) as u32 & !1;
+        assert!(cost_opt <= m.breakdown(0, 0).total() + 1e-9);
+        assert!(cost_opt <= m.breakdown(0, grid_hi).total() + 1e-9);
+
+        // Breakdown components stay finite and non-negative at both ends.
+        for (theta, tc) in [(0u32, 0u32), (0, grid_hi), (d_max - 1, 0)] {
+            let b = m.breakdown(theta, tc);
+            assert!(b.filter.is_finite() && b.filter >= 0.0);
+            assert!(b.validate.is_finite() && b.validate >= 0.0);
+            assert!(b.total() >= b.filter.max(b.validate));
+        }
+    }
+
+    #[test]
+    fn optimal_theta_c_normalized_stays_in_unit_interval() {
+        let m = model(1500);
+        for theta in [0.0, 0.1, 0.3, 0.6, 0.9] {
+            let tc = m.optimal_theta_c_normalized(theta);
+            assert!((0.0..=1.0).contains(&tc), "θ={theta}: θ_C={tc}");
         }
     }
 

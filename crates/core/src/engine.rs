@@ -10,8 +10,7 @@
 use crate::coarse::CoarseIndex;
 use ranksim_adaptsearch::AdaptSearchIndex;
 use ranksim_invindex::{
-    blocked_prune, fv, listmerge, AugmentedInvertedIndex, BlockedInvertedIndex,
-    PlainInvertedIndex,
+    blocked_prune, fv, listmerge, AugmentedInvertedIndex, BlockedInvertedIndex, PlainInvertedIndex,
 };
 use ranksim_rankings::{raw_threshold, ItemId, QueryStats, Ranking, RankingId, RankingStore};
 
@@ -160,7 +159,12 @@ impl Engine {
         theta: f64,
         stats: &mut QueryStats,
     ) -> Vec<RankingId> {
-        self.query_items(algorithm, query.items(), raw_threshold(theta, self.store.k()), stats)
+        self.query_items(
+            algorithm,
+            query.items(),
+            raw_threshold(theta, self.store.k()),
+            stats,
+        )
     }
 
     /// Runs `algorithm` for raw query items at a raw threshold.
@@ -194,12 +198,16 @@ impl Engine {
                 theta_raw,
                 stats,
             ),
-            Algorithm::Coarse => self.coarse.query(&self.store, query, theta_raw, false, stats),
-            Algorithm::CoarseDrop => self
-                .coarse_drop
-                .as_ref()
-                .unwrap_or(&self.coarse)
-                .query(&self.store, query, theta_raw, true, stats),
+            Algorithm::Coarse => self
+                .coarse
+                .query(&self.store, query, theta_raw, false, stats),
+            Algorithm::CoarseDrop => self.coarse_drop.as_ref().unwrap_or(&self.coarse).query(
+                &self.store,
+                query,
+                theta_raw,
+                true,
+                stats,
+            ),
             Algorithm::AdaptSearch => self.adapt.search(&self.store, query, theta_raw, stats),
         }
     }
@@ -251,7 +259,10 @@ mod tests {
     #[test]
     fn display_names_match_paper() {
         assert_eq!(Algorithm::CoarseDrop.name(), "Coarse+Drop");
-        assert_eq!(Algorithm::BlockedPruneDrop.to_string(), "Blocked+Prune+Drop");
+        assert_eq!(
+            Algorithm::BlockedPruneDrop.to_string(),
+            "Blocked+Prune+Drop"
+        );
         assert_eq!(Algorithm::ALL.len(), 8);
     }
 

@@ -58,7 +58,10 @@ impl Workload {
 /// `domain` bounds the fresh items used for replacements; pass the
 /// generator's domain so query items stay inside the corpus vocabulary.
 pub fn workload(store: &RankingStore, domain: u32, params: WorkloadParams) -> Workload {
-    assert!(!store.is_empty(), "cannot derive queries from an empty corpus");
+    assert!(
+        !store.is_empty(),
+        "cannot derive queries from an empty corpus"
+    );
     let mut rng = StdRng::seed_from_u64(params.seed);
     let k = store.k();
     let queries = (0..params.num_queries)
@@ -95,10 +98,14 @@ mod tests {
     #[test]
     fn queries_are_valid_rankings() {
         let ds = nyt_like(800, 10, 11);
-        let wl = workload(&ds.store, ds.params.domain, WorkloadParams {
-            num_queries: 50,
-            ..Default::default()
-        });
+        let wl = workload(
+            &ds.store,
+            ds.params.domain,
+            WorkloadParams {
+                num_queries: 50,
+                ..Default::default()
+            },
+        );
         assert_eq!(wl.len(), 50);
         for q in &wl.queries {
             assert_eq!(q.len(), 10);
@@ -126,10 +133,14 @@ mod tests {
     fn queries_have_nearby_corpus_rankings() {
         // Perturbed queries should find something at moderate thresholds.
         let ds = nyt_like(1000, 10, 5);
-        let wl = workload(&ds.store, ds.params.domain, WorkloadParams {
-            num_queries: 40,
-            ..Default::default()
-        });
+        let wl = workload(
+            &ds.store,
+            ds.params.domain,
+            WorkloadParams {
+                num_queries: 40,
+                ..Default::default()
+            },
+        );
         let theta = ranksim_rankings::raw_threshold(0.3, 10);
         let mut nonempty = 0usize;
         for q in &wl.queries {

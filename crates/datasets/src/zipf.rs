@@ -53,7 +53,11 @@ impl ZipfSampler {
     /// Samples `k` **distinct** item indices (rejection on duplicates;
     /// cheap because `k ≪ v`).
     pub fn sample_distinct(&self, k: usize, rng: &mut StdRng) -> Vec<u32> {
-        assert!(k <= self.cdf.len(), "cannot draw {k} distinct from {}", self.cdf.len());
+        assert!(
+            k <= self.cdf.len(),
+            "cannot draw {k} distinct from {}",
+            self.cdf.len()
+        );
         let mut out: Vec<u32> = Vec::with_capacity(k);
         while out.len() < k {
             let cand = self.sample(rng);

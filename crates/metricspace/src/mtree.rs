@@ -319,7 +319,15 @@ impl MTree {
         stats: &mut QueryStats,
     ) -> Vec<RankingId> {
         let mut out = Vec::new();
-        self.query_rec(store, self.root, None, query_pairs, theta_raw, stats, &mut out);
+        self.query_rec(
+            store,
+            self.root,
+            None,
+            query_pairs,
+            theta_raw,
+            stats,
+            &mut out,
+        );
         stats.results += out.len() as u64;
         out
     }
@@ -502,7 +510,10 @@ mod tests {
         }
         let mut depths = Vec::new();
         leaf_depths(&tree, tree.root, 1, &mut depths);
-        assert!(depths.windows(2).all(|w| w[0] == w[1]), "unbalanced: {depths:?}");
+        assert!(
+            depths.windows(2).all(|w| w[0] == w[1]),
+            "unbalanced: {depths:?}"
+        );
         assert!(tree.depth() > 1, "500 entries must split at least once");
     }
 

@@ -91,9 +91,7 @@ impl VpTree {
 
             // Bucket leaf: small set, or no split progress possible
             // (all remaining equidistant from the vantage).
-            let tied = with_d
-                .windows(2)
-                .all(|w| w[0].0 == w[1].0);
+            let tied = with_d.windows(2).all(|w| w[0].0 == w[1].0);
             if with_d.len() <= LEAF_CAP || tied {
                 let mu = with_d.first().map(|&(d, _)| d).unwrap_or(0);
                 t.nodes.push(VpNode {

@@ -113,6 +113,50 @@ mod tests {
     }
 
     #[test]
+    fn reversed_list_costs_all_pairs() {
+        // Reversal flips every one of the C(k, 2) pairs.
+        let a = ids(&[1, 2, 3, 4, 5]);
+        let b = ids(&[5, 4, 3, 2, 1]);
+        assert_eq!(kendall_top_k(&a, &b), 10);
+        assert_eq!(kendall_top_k(&ids(&[1, 2]), &ids(&[2, 1])), 1);
+    }
+
+    #[test]
+    fn optimistic_case3_pairs_cost_nothing() {
+        // a = [1,2,3,4], b = [1,2,5,6]: the pair {3,4} lives only in a and
+        // {5,6} only in b — under the optimistic p = 0 variant both cost 0.
+        // The only discordant pairs are the 4 cross pairs {3,5}, {3,6},
+        // {4,5}, {4,6} (one item exclusive to each list, Case 4).
+        let a = ids(&[1, 2, 3, 4]);
+        let b = ids(&[1, 2, 5, 6]);
+        assert_eq!(kendall_top_k(&a, &b), 4);
+    }
+
+    #[test]
+    fn missing_item_ranks_below_all_present_items() {
+        // a = [1,2,3], b = [1,4,2]. Pair {2,4}: b ranks 4 above 2 while a,
+        // missing 4, implicitly ranks it below everything → discordant.
+        // Pair {3,4} is Case 4. Pairs {1,2}, {1,3}, {2,3}, {1,4} agree.
+        let a = ids(&[1, 2, 3]);
+        let b = ids(&[1, 4, 2]);
+        assert_eq!(kendall_top_k(&a, &b), 2);
+    }
+
+    #[test]
+    fn case2_penalizes_only_inverted_containing_list() {
+        // a = [1,2,3], b = [3,5,1], by hand over the union {1,2,3,5}:
+        // {1,3} inverted in both lists (Case 1, +1); {1,5} b ranks 5 above
+        // 1 while a implicitly ranks the missing 5 last (Case 2, +1);
+        // {2,3} b ranks 3 above its missing 2 while a says 2 < 3 (Case 2,
+        // +1); {2,5} exclusive to opposite lists (Case 4, +1); {1,2} and
+        // {3,5} concordant. Total 4.
+        let a = ids(&[1, 2, 3]);
+        let b = ids(&[3, 5, 1]);
+        assert_eq!(kendall_top_k(&a, &b), 4);
+        assert_eq!(kendall_top_k(&b, &a), 4);
+    }
+
+    #[test]
     fn footrule_dominates_kendall_on_permutations() {
         // Diaconis–Graham: K ≤ F ≤ 2K for permutations of the same domain.
         let a = ids(&[0, 1, 2, 3, 4]);

@@ -319,7 +319,9 @@ mod tests {
     fn store_ids_enumerate() {
         let mut store = RankingStore::new(2);
         for i in 0..5u32 {
-            store.push(&Ranking::new([i * 2, i * 2 + 1]).unwrap()).unwrap();
+            store
+                .push(&Ranking::new([i * 2, i * 2 + 1]).unwrap())
+                .unwrap();
         }
         let ids: Vec<_> = store.ids().collect();
         assert_eq!(ids.len(), 5);

@@ -8,9 +8,9 @@ use ranksim_rankings::{
 
 /// Strategy: a random ranking of size `k` over item domain `0..domain`.
 fn ranking(k: usize, domain: u32) -> impl Strategy<Value = Vec<ItemId>> {
-    proptest::sample::subsequence((0..domain).collect::<Vec<u32>>(), k).prop_shuffle().prop_map(
-        |items| items.into_iter().map(ItemId).collect(),
-    )
+    proptest::sample::subsequence((0..domain).collect::<Vec<u32>>(), k)
+        .prop_shuffle()
+        .prop_map(|items| items.into_iter().map(ItemId).collect())
 }
 
 fn pairs_of(items: &[ItemId]) -> Vec<(ItemId, u32)> {

@@ -69,8 +69,14 @@ fn main() {
         b.sort_unstable();
         assert_eq!(a, b, "batched processing must be exact");
     }
-    println!("individual: {solo_time:>9.1?}  (postings scanned: {})", solo_stats.entries_scanned);
-    println!("batched:    {batch_time:>9.1?}  (postings scanned: {})", batch_stats.entries_scanned);
+    println!(
+        "individual: {solo_time:>9.1?}  (postings scanned: {})",
+        solo_stats.entries_scanned
+    );
+    println!(
+        "batched:    {batch_time:>9.1?}  (postings scanned: {})",
+        batch_stats.entries_scanned
+    );
     println!(
         "index-list accesses: {} -> {}",
         solo_stats.lists_accessed, batch_stats.lists_accessed

@@ -43,7 +43,10 @@ fn main() {
         engine.coarse_index().num_partitions(),
         engine.store().len()
     );
-    println!("{:<20} {:>10} {:>12} {:>12}", "algorithm", "time", "DFC", "avg hits");
+    println!(
+        "{:<20} {:>10} {:>12} {:>12}",
+        "algorithm", "time", "DFC", "avg hits"
+    );
     for theta in [0.1, 0.3] {
         println!("-- θ = {theta} --");
         for alg in Algorithm::ALL {

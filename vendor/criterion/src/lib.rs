@@ -1,0 +1,179 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its bench targets use: [`Criterion`],
+//! benchmark groups with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function` / `bench_with_input`,
+//! [`Bencher::iter`], [`BenchmarkId`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is honest but simple: one warm-up call followed by
+//! `sample_size` timed iterations per benchmark, reporting mean / min /
+//! max wall-clock time to stdout. No statistical analysis, HTML reports,
+//! or baseline comparisons — the workspace's statistically meaningful
+//! numbers come from the `repro` binary; these targets exist so
+//! `cargo bench` gives quick spot measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to the `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+
+    /// A stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_bench(&id.to_string(), 100, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored runner always does
+    /// exactly one warm-up iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored runner always times
+    /// exactly `sample_size` iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `routine` (after one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            std::hint::black_box(out);
+        }
+    }
+}
+
+/// Prevents the optimizer from discarding a value (upstream re-export).
+pub use std::hint::black_box;
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().expect("non-empty");
+    let max = b.samples.iter().max().expect("non-empty");
+    println!(
+        "{label:<48} mean {mean:>12.2?}   min {min:>12.2?}   max {max:>12.2?}   ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Declares a function running each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

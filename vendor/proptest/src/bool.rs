@@ -1,0 +1,20 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The canonical fair-coin strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}

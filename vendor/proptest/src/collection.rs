@@ -1,0 +1,27 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+/// A strategy for `Vec`s of exactly `len` elements drawn from `element`.
+///
+/// Upstream accepts any size range here; the workspace only ever asks for
+/// fixed lengths, so that is all the vendored subset supports.
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        (0..self.len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,5 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, proptest};
+pub use crate::{ProptestConfig, TestCaseError};

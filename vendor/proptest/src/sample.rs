@@ -1,0 +1,46 @@
+//! Sampling strategies over concrete collections.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A strategy yielding a uniformly random subsequence of exactly `size`
+/// elements of `values`, in their original order.
+///
+/// Upstream accepts a size range; the workspace only uses exact sizes.
+pub fn subsequence<T: Clone>(values: Vec<T>, size: usize) -> Subsequence<T> {
+    assert!(
+        size <= values.len(),
+        "cannot draw a {size}-element subsequence from {} values",
+        values.len()
+    );
+    Subsequence { values, size }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T: Clone> {
+    values: Vec<T>,
+    size: usize,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+        // Floyd's algorithm for a uniform `size`-subset, then index order
+        // restores the subsequence property.
+        let n = self.values.len();
+        let mut picked: Vec<usize> = Vec::with_capacity(self.size);
+        for j in (n - self.size)..n {
+            let t = rng.random_range(0..=j);
+            if picked.contains(&t) {
+                picked.push(j);
+            } else {
+                picked.push(t);
+            }
+        }
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}

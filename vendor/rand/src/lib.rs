@@ -1,0 +1,243 @@
+//! Offline drop-in subset of the `rand` 0.9 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the thin slice of `rand` it actually uses (see
+//! `vendor/README.md` for the policy): [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] convenience methods
+//! `random`, `random_bool` and `random_range`, and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! `StdRng` here is xoshiro256++ (Blackman & Vigna) seeded through
+//! SplitMix64 — not the ChaCha12 generator of the real crate, so streams
+//! differ from upstream `rand`, but every consumer in this workspace only
+//! relies on determinism-under-seed and reasonable statistical quality,
+//! both of which xoshiro256++ provides.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from an `RngCore` (the `random()` family).
+pub trait StandardUniform: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range; panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // The wrapped difference reinterpreted as the same-width
+                // unsigned type is the exact span even for signed ranges
+                // wider than the type's positive half; widening must go
+                // through it to avoid sign extension.
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                // Multiply-shift (Lemire) keeps the bias below 2^-32 for the
+                // sub-32-bit spans used throughout this workspace.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = end.wrapping_sub(start) as $u as u64 + 1;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// One value of `T` from its standard distribution (`f64` uniform in
+    /// `[0, 1)`, integers uniform over the type, `bool` fair).
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p` (`p` clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        f64::sample(self) < p
+    }
+
+    /// One value uniform over `range` (half-open or inclusive).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0..=5usize);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn random_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn signed_range_wider_than_positive_half_stays_in_bounds() {
+        // Regression: the span of a signed range wider than T::MAX must
+        // widen through the unsigned same-width type, not sign-extend.
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = rng.random_range(-2_000_000_000..2_000_000_000i32);
+            assert!((-2_000_000_000..2_000_000_000).contains(&x), "{x}");
+            let y = rng.random_range(i32::MIN..=i32::MAX);
+            let _ = y; // full-domain fast path must not panic
+            let z = rng.random_range(-5..=5i64);
+            assert!((-5..=5).contains(&z), "{z}");
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle virtually never fixes all");
+    }
+}
