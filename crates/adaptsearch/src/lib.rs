@@ -25,17 +25,24 @@
 //! (computable in O(k) from per-item offset arrays) and `S(ℓ)/ℓ` is a
 //! sound upper bound on the candidate count (every surviving candidate
 //! consumes at least `ℓ` postings).
+//!
+//! The delta lists live in one CSR arena (a contiguous posting-id array
+//! plus `k + 1` absolute prefix-position offsets per dense item, like the
+//! blocked inverted index), and the per-query candidate counts accumulate
+//! in the epoch-versioned [`QueryScratch`] counter — the query hot path
+//! performs no hashing and, in steady state, no heap allocation.
+
+use std::sync::Arc;
 
 use ranksim_invindex::drop::omega;
-use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
-use ranksim_rankings::{ItemId, PositionMap, QueryStats, RankingId, RankingStore};
+use ranksim_rankings::{ItemId, ItemRemap, QueryScratch, QueryStats, RankingId, RankingStore};
 
 /// Cost-model constants for the adaptive prefix-length choice.
 #[derive(Debug, Clone, Copy)]
 pub struct AdaptCostParams {
     /// Cost of scanning one posting.
     pub posting_cost: f64,
-    /// Cost of verifying one candidate (hash aggregation + Footrule).
+    /// Cost of verifying one candidate (count aggregation + Footrule).
     pub candidate_cost: f64,
 }
 
@@ -51,21 +58,19 @@ impl Default for AdaptCostParams {
     }
 }
 
-/// Per-item delta lists in a blocked layout: postings sorted by prefix
-/// position with `k + 1` offsets.
-#[derive(Debug, Clone)]
-struct DeltaList {
-    ids: Vec<RankingId>,
-    offsets: Vec<u32>,
-}
-
 /// The delta inverted index plus the global frequency order.
 #[derive(Debug, Clone)]
 pub struct AdaptSearchIndex {
     k: usize,
-    /// Corpus frequency of every item (defines the global order).
-    freq: FxHashMap<ItemId, u32>,
-    delta: FxHashMap<ItemId, DeltaList>,
+    remap: Arc<ItemRemap>,
+    /// Corpus frequency per dense item id (defines the global order).
+    freq: Vec<u32>,
+    /// All delta postings, item-major, prefix-position-major within each
+    /// item.
+    ids: Vec<RankingId>,
+    /// `k + 1` absolute offsets per dense item into `ids`; the layout of
+    /// the blocked inverted index with prefix positions instead of ranks.
+    pos_offsets: Vec<u32>,
     indexed: usize,
     params: AdaptCostParams,
 }
@@ -78,46 +83,68 @@ impl AdaptSearchIndex {
 
     /// Indexes every ranking of the store.
     pub fn build_with(store: &RankingStore, params: AdaptCostParams) -> Self {
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), params)
+    }
+
+    /// Indexes every ranking of the store against a shared corpus remap.
+    pub fn build_with_remap(
+        store: &RankingStore,
+        remap: Arc<ItemRemap>,
+        params: AdaptCostParams,
+    ) -> Self {
         let k = store.k();
-        // Pass 1: global item frequencies.
-        let mut freq: FxHashMap<ItemId, u32> = fx_map_with_capacity(1024);
+        let m = remap.len();
+        let stride = k + 1;
+        // Pass 1: global item frequencies by dense id.
+        let mut freq = vec![0u32; m];
         for id in store.ids() {
             for &item in store.items(id) {
-                *freq.entry(item).or_insert(0) += 1;
+                let d = remap.dense(item).expect("item missing from remap");
+                freq[d as usize] += 1;
             }
         }
-        // Pass 2: reorder each record by (freq, item) and fill delta lists.
-        let mut staging: FxHashMap<ItemId, Vec<(u32, RankingId)>> =
-            fx_map_with_capacity(freq.len());
-        let mut record: Vec<ItemId> = Vec::with_capacity(k);
-        for id in store.ids() {
+        // Pass 2: count (dense item, prefix position) occurrences; records
+        // are reordered by (freq, item id).
+        let mut pos_offsets = vec![0u32; m * stride + 1];
+        let mut record: Vec<(u32, ItemId)> = Vec::with_capacity(k);
+        let reorder = |record: &mut Vec<(u32, ItemId)>, items: &[ItemId]| {
             record.clear();
-            record.extend_from_slice(store.items(id));
-            record.sort_unstable_by_key(|i| (freq[i], *i));
-            for (pos, &item) in record.iter().enumerate() {
-                staging.entry(item).or_default().push((pos as u32, id));
+            record.extend(items.iter().map(|&i| {
+                let d = remap.dense(i).expect("item missing from remap");
+                (freq[d as usize], i)
+            }));
+            record.sort_unstable();
+        };
+        for id in store.ids() {
+            reorder(&mut record, store.items(id));
+            for (pos, &(_, item)) in record.iter().enumerate() {
+                let d = remap.dense(item).unwrap() as usize;
+                pos_offsets[d * stride + pos + 1] += 1;
             }
         }
-        let mut delta = fx_map_with_capacity(staging.len());
-        for (item, mut postings) in staging {
-            postings.sort_unstable_by_key(|&(pos, id)| (pos, id.0));
-            let mut offsets = Vec::with_capacity(k + 1);
-            let mut ids = Vec::with_capacity(postings.len());
-            let mut cursor = 0usize;
-            for pos in 0..k as u32 {
-                offsets.push(cursor as u32);
-                while cursor < postings.len() && postings[cursor].0 == pos {
-                    ids.push(postings[cursor].1);
-                    cursor += 1;
-                }
+        for i in 1..pos_offsets.len() {
+            pos_offsets[i] += pos_offsets[i - 1];
+        }
+        let total = *pos_offsets.last().unwrap_or(&0) as usize;
+        let mut cursors: Vec<u32> = pos_offsets[..m * stride].to_vec();
+        let mut ids = vec![RankingId(0); total];
+        // Pass 3: fill; iterating store ids ascending keeps every
+        // (item, position) run id-sorted.
+        for id in store.ids() {
+            reorder(&mut record, store.items(id));
+            for (pos, &(_, item)) in record.iter().enumerate() {
+                let d = remap.dense(item).unwrap() as usize;
+                let c = &mut cursors[d * stride + pos];
+                ids[*c as usize] = id;
+                *c += 1;
             }
-            offsets.push(cursor as u32);
-            delta.insert(item, DeltaList { ids, offsets });
         }
         AdaptSearchIndex {
             k,
+            remap,
             freq,
-            delta,
+            ids,
+            pos_offsets,
             indexed: store.len(),
             params,
         }
@@ -133,24 +160,51 @@ impl AdaptSearchIndex {
         self.indexed
     }
 
+    /// The shared item remap backing the CSR layout.
+    #[inline]
+    pub fn remap(&self) -> &Arc<ItemRemap> {
+        &self.remap
+    }
+
+    /// Corpus frequency of `item` (0 if unseen).
+    #[inline]
+    pub fn item_freq(&self, item: ItemId) -> u32 {
+        self.remap
+            .dense(item)
+            .map(|d| self.freq[d as usize])
+            .unwrap_or(0)
+    }
+
     /// The query items sorted by the global (frequency, id) order; unseen
     /// items have frequency 0 and sort to the front (rarest).
-    fn reorder_query(&self, query: &[ItemId]) -> Vec<ItemId> {
-        let mut q: Vec<ItemId> = query.to_vec();
-        q.sort_unstable_by_key(|i| (self.freq.get(i).copied().unwrap_or(0), *i));
-        q
+    fn reorder_query_into(&self, query: &[ItemId], out: &mut Vec<ItemId>) {
+        out.clear();
+        out.extend_from_slice(query);
+        out.sort_unstable_by_key(|&i| (self.item_freq(i), i.0));
+    }
+
+    /// Postings of `item`'s delta lists `0..prefix_len` (the item's
+    /// ℓ-prefix slice of the CSR arena); empty if the item is unseen.
+    #[inline]
+    fn prefix_slice(&self, item: ItemId, prefix_len: usize) -> &[RankingId] {
+        match self.remap.dense(item) {
+            Some(d) => {
+                let base = d as usize * (self.k + 1);
+                let lo = self.pos_offsets[base] as usize;
+                let hi = self.pos_offsets[base + prefix_len] as usize;
+                &self.ids[lo..hi]
+            }
+            None => &[],
+        }
     }
 
     /// `S(ℓ)`: postings in delta lists `1..=k−c+ℓ` of the first `k−c+ℓ`
     /// query-prefix items.
     fn scan_volume(&self, qsorted: &[ItemId], prefix_len: usize) -> u64 {
-        let mut total = 0u64;
-        for &item in &qsorted[..prefix_len] {
-            if let Some(dl) = self.delta.get(&item) {
-                total += dl.offsets[prefix_len] as u64;
-            }
-        }
-        total
+        qsorted[..prefix_len]
+            .iter()
+            .map(|&item| self.prefix_slice(item, prefix_len).len() as u64)
+            .sum()
     }
 
     /// Picks the prefix extension `ℓ ∈ 1..=c` minimizing the modeled cost.
@@ -175,57 +229,71 @@ impl AdaptSearchIndex {
         theta_raw: u32,
         stats: &mut QueryStats,
     ) -> Vec<RankingId> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.search_into(store, query, theta_raw, &mut scratch, stats, &mut out);
+        out
+    }
+
+    /// Scratch-reusing AdaptSearch; appends results to `out`.
+    pub fn search_into(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) {
         debug_assert_eq!(self.k, query.len());
         // Required overlap from the Footrule bound; every result overlaps
         // the query in at least one item for θ < d_max, hence max(1, ω).
         let c = omega(self.k, theta_raw).max(1);
-        let qsorted = self.reorder_query(query);
-        let ell = self.choose_ell(&qsorted, c);
+        let QueryScratch {
+            qmap,
+            counts,
+            qsorted,
+            ..
+        } = scratch;
+        self.reorder_query_into(query, qsorted);
+        let ell = self.choose_ell(qsorted, c);
         let prefix_len = (self.k - c + ell).min(self.k);
 
         // Probe phase: count prefix co-occurrences per candidate.
-        let mut counts: FxHashMap<u32, u32> = fx_map_with_capacity(256);
+        counts.begin(store.len());
         for &item in &qsorted[..prefix_len] {
-            if let Some(dl) = self.delta.get(&item) {
-                let end = dl.offsets[prefix_len] as usize;
-                stats.count_list(end);
-                for &id in &dl.ids[..end] {
-                    *counts.entry(id.0).or_insert(0) += 1;
-                }
-            } else {
-                stats.count_list(0);
+            let slice = self.prefix_slice(item, prefix_len);
+            stats.count_list(slice.len());
+            for &id in slice {
+                *counts.probe(id.0) += 1;
             }
         }
 
         // Verify phase: Footrule per candidate passing the count filter.
-        let qmap = PositionMap::new(query);
-        let mut out = Vec::new();
-        for (id, cnt) in counts {
+        qmap.build(&self.remap, query);
+        let out_start = out.len();
+        for &id in counts.keys() {
+            let cnt = counts.get(id).expect("counted candidate");
             if (cnt as usize) < ell {
                 continue;
             }
             stats.candidates += 1;
             stats.count_distance();
-            if qmap.distance_to(store.items(RankingId(id))) <= theta_raw {
+            if qmap.distance_to(&self.remap, store.items(RankingId(id))) <= theta_raw {
                 out.push(RankingId(id));
             }
         }
-        stats.results += out.len() as u64;
-        out
+        stats.results += (out.len() - out_start) as u64;
     }
 
-    /// Approximate heap footprint in bytes (Table 6's "Delta Inverted
-    /// Index" row).
+    /// Exact heap footprint in bytes (Table 6's "Delta Inverted Index"
+    /// row).
     pub fn heap_bytes(&self) -> usize {
-        let freq = self.freq.capacity() * (std::mem::size_of::<ItemId>() + 4);
-        let buckets = self.delta.capacity()
-            * (std::mem::size_of::<ItemId>() + std::mem::size_of::<DeltaList>());
-        let payload: usize = self
-            .delta
-            .values()
-            .map(|d| d.ids.capacity() * 4 + d.offsets.capacity() * 4)
-            .sum();
-        freq + buckets + payload
+        std::mem::size_of::<Self>()
+            + self.freq.capacity() * std::mem::size_of::<u32>()
+            + self.ids.capacity() * std::mem::size_of::<RankingId>()
+            + self.pos_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.remap.heap_bytes()
     }
 }
 
@@ -235,7 +303,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
     use rand::{Rng, SeedableRng};
-    use ranksim_rankings::raw_threshold;
+    use ranksim_rankings::{raw_threshold, PositionMap};
 
     fn random_store(n: usize, k: usize, domain: u32, seed: u64) -> RankingStore {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -301,6 +369,27 @@ mod tests {
     }
 
     #[test]
+    fn shared_scratch_search_equals_fresh_scratch() {
+        let store = random_store(300, 6, 50, 41);
+        let index = AdaptSearchIndex::build(&store);
+        let mut shared = QueryScratch::new();
+        for seed in 0..15u64 {
+            let mut q: Vec<ItemId> = store.items(RankingId((seed * 11 % 300) as u32)).to_vec();
+            q.swap(0, (seed % 5) as usize + 1);
+            let raw = raw_threshold(0.1 * (seed % 4) as f64, 6);
+            let mut s1 = QueryStats::new();
+            let mut s2 = QueryStats::new();
+            let mut got = Vec::new();
+            index.search_into(&store, &q, raw, &mut shared, &mut s1, &mut got);
+            let mut expect = index.search(&store, &q, raw, &mut s2);
+            got.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "seed {seed}");
+            assert_eq!(s1, s2);
+        }
+    }
+
+    #[test]
     fn prefix_probing_scans_fewer_postings_than_full_index() {
         let store = random_store(600, 10, 100, 99);
         let index = AdaptSearchIndex::build(&store);
@@ -308,10 +397,7 @@ mod tests {
         let raw = raw_threshold(0.1, 10);
         let mut stats = QueryStats::new();
         let _ = index.search(&store, &q, raw, &mut stats);
-        let full: u64 = q
-            .iter()
-            .map(|i| index.freq.get(i).copied().unwrap_or(0) as u64)
-            .sum();
+        let full: u64 = q.iter().map(|&i| index.item_freq(i) as u64).sum();
         assert!(
             stats.entries_scanned < full,
             "prefix probing ({}) must beat scanning all k lists ({full})",
@@ -339,7 +425,8 @@ mod tests {
         let store = random_store(500, 8, 70, 31);
         let index = AdaptSearchIndex::build(&store);
         let q: Vec<ItemId> = store.items(RankingId(0)).to_vec();
-        let qsorted = index.reorder_query(&q);
+        let mut qsorted = Vec::new();
+        index.reorder_query_into(&q, &mut qsorted);
         // S(ℓ) grows with prefix length.
         let c = 4usize;
         let mut prev = 0u64;

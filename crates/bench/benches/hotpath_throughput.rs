@@ -1,0 +1,283 @@
+//! `hotpath_throughput` — measures the CSR-postings + reusable-scratch
+//! hot path against the pre-refactor baseline and emits
+//! `BENCH_hotpath.json`.
+//!
+//! The baseline re-implements, verbatim, the original query hot path this
+//! repository shipped before the CSR refactor: per-item `FxHashMap<ItemId,
+//! Vec<_>>` postings, a hashmap-backed `PositionMap` rebuilt per query,
+//! and a fresh `FxHashSet` candidate set / cursor vectors per query. The
+//! CSR arm runs the same workload through `Engine::query_into` with one
+//! reused `QueryScratch` and result buffer. Both arms are verified to
+//! return identical result sets before anything is timed.
+//!
+//! Workload: NYT-like corpus (default n = 50 000, k = 10, θ = 0.2) —
+//! override with `RANKSIM_NYT_N` / `RANKSIM_QUERIES`; the CI smoke step
+//! runs the `ExpConfig::small()` scale through those variables. Reported
+//! numbers are the mean of `RANKSIM_HOTPATH_ROUNDS` (default 5)
+//! alternating rounds, in ms per 1000 queries.
+//!
+//! Output: `BENCH_hotpath.json` at the workspace root (override via
+//! `RANKSIM_HOTPATH_OUT`), recording both the baseline and the CSR number
+//! per algorithm so the perf trajectory accumulates in-repo.
+
+use std::time::Instant;
+
+use ranksim_bench::{Bench, ExpConfig, Family};
+use ranksim_core::engine::{Algorithm, EngineBuilder};
+use ranksim_invindex::Posting;
+use ranksim_rankings::hash::{fx_map_with_capacity, fx_set_with_capacity, FxHashMap};
+use ranksim_rankings::{
+    one_side_total, raw_threshold, ItemId, PositionMap, QueryStats, RankingId, RankingStore,
+};
+
+/// The pre-refactor `PlainInvertedIndex`: one heap-allocated `Vec` per
+/// distinct item behind a hash map.
+struct LegacyPlainIndex {
+    lists: FxHashMap<ItemId, Vec<RankingId>>,
+}
+
+impl LegacyPlainIndex {
+    fn build(store: &RankingStore) -> Self {
+        let mut lists: FxHashMap<ItemId, Vec<RankingId>> = fx_map_with_capacity(1024);
+        for id in store.ids() {
+            for &item in store.items(id) {
+                lists.entry(item).or_default().push(id);
+            }
+        }
+        LegacyPlainIndex { lists }
+    }
+
+    /// The original F&V: fresh hash-set candidate union, hashmap-backed
+    /// `PositionMap` validation, fresh output vector — all per query.
+    fn filter_validate(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+    ) -> Vec<RankingId> {
+        let mut candidates = fx_set_with_capacity::<RankingId>(64);
+        for &item in query {
+            if let Some(list) = self.lists.get(&item) {
+                candidates.extend(list.iter().copied());
+            }
+        }
+        let qmap = PositionMap::new(query);
+        let mut out = Vec::new();
+        for id in candidates {
+            if qmap.distance_to(store.items(id)) <= theta_raw {
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+/// The pre-refactor `AugmentedInvertedIndex` plus the original ListMerge.
+struct LegacyAugmentedIndex {
+    lists: FxHashMap<ItemId, Vec<Posting>>,
+}
+
+impl LegacyAugmentedIndex {
+    fn build(store: &RankingStore) -> Self {
+        let mut lists: FxHashMap<ItemId, Vec<Posting>> = fx_map_with_capacity(1024);
+        for id in store.ids() {
+            for (rank, &item) in store.items(id).iter().enumerate() {
+                lists.entry(item).or_default().push(Posting {
+                    id,
+                    rank: rank as u32,
+                });
+            }
+        }
+        LegacyAugmentedIndex { lists }
+    }
+
+    fn list_merge(&self, store: &RankingStore, query: &[ItemId], theta_raw: u32) -> Vec<RankingId> {
+        let k = store.k() as u32;
+        let t_k = one_side_total(store.k());
+        let lists: Vec<&[Posting]> = query
+            .iter()
+            .map(|item| self.lists.get(item).map(|v| v.as_slice()).unwrap_or(&[]))
+            .collect();
+        let mut cursors = vec![0usize; lists.len()];
+        let mut out = Vec::new();
+        loop {
+            let mut min_id: Option<RankingId> = None;
+            for (li, &c) in cursors.iter().enumerate() {
+                if let Some(p) = lists[li].get(c) {
+                    if min_id.map(|m| p.id < m).unwrap_or(true) {
+                        min_id = Some(p.id);
+                    }
+                }
+            }
+            let Some(id) = min_id else { break };
+            let mut exact = 0u32;
+            let mut q_side = 0u32;
+            let mut tau_side = 0u32;
+            for (li, cursor) in cursors.iter_mut().enumerate() {
+                if let Some(p) = lists[li].get(*cursor) {
+                    if p.id == id {
+                        let q_rank = li as u32;
+                        exact += p.rank.abs_diff(q_rank);
+                        q_side += k - q_rank;
+                        tau_side += k - p.rank;
+                        *cursor += 1;
+                    }
+                }
+            }
+            let dist = exact + (t_k - q_side) + (t_k - tau_side);
+            if dist <= theta_raw {
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+/// ms per 1000 queries for one full pass of `f` over the workload.
+fn time_pass(queries: &[Vec<ItemId>], scale_to_1000: f64, mut f: impl FnMut(&[ItemId])) -> f64 {
+    let start = Instant::now();
+    for q in queries {
+        f(q);
+    }
+    start.elapsed().as_secs_f64() * 1e3 * scale_to_1000
+}
+
+struct Comparison {
+    name: &'static str,
+    baseline_ms: f64,
+    csr_ms: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.baseline_ms / self.csr_ms
+    }
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let theta = 0.2f64;
+    let k = 10usize;
+    let rounds: usize = std::env::var("RANKSIM_HOTPATH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+
+    eprintln!(
+        "# hotpath_throughput: NYT-like n={} k={k} θ={theta}, {} queries, {rounds} rounds",
+        cfg.nyt_n, cfg.queries
+    );
+    let bench = Bench::load(&cfg, Family::Nyt, k);
+    let store = bench.store();
+    let raw = raw_threshold(theta, k);
+
+    let legacy_plain = LegacyPlainIndex::build(store);
+    let legacy_augmented = LegacyAugmentedIndex::build(store);
+    let engine = EngineBuilder::new(store.clone())
+        .algorithms(&[Algorithm::Fv, Algorithm::ListMerge])
+        .build();
+    let mut scratch = engine.scratch();
+    let mut out: Vec<RankingId> = Vec::new();
+    let mut stats = QueryStats::new();
+
+    // Correctness gate: both arms must agree before anything is timed.
+    for q in &bench.queries {
+        let mut legacy = legacy_plain.filter_validate(store, q, raw);
+        engine.query_into(Algorithm::Fv, q, raw, &mut scratch, &mut stats, &mut out);
+        let mut csr = out.clone();
+        legacy.sort_unstable();
+        csr.sort_unstable();
+        assert_eq!(legacy, csr, "F&V arms disagree");
+        let legacy_lm = legacy_augmented.list_merge(store, q, raw);
+        engine.query_into(
+            Algorithm::ListMerge,
+            q,
+            raw,
+            &mut scratch,
+            &mut stats,
+            &mut out,
+        );
+        assert_eq!(legacy_lm, out, "ListMerge arms disagree");
+    }
+
+    // Alternate the arms per round so drift hits both equally; report the
+    // mean over rounds.
+    let mut fv = Comparison {
+        name: "fv",
+        baseline_ms: 0.0,
+        csr_ms: 0.0,
+    };
+    let mut lm = Comparison {
+        name: "listmerge",
+        baseline_ms: 0.0,
+        csr_ms: 0.0,
+    };
+    for _ in 0..rounds {
+        fv.baseline_ms += time_pass(&bench.queries, bench.scale_to_1000, |q| {
+            std::hint::black_box(legacy_plain.filter_validate(store, q, raw).len());
+        });
+        fv.csr_ms += time_pass(&bench.queries, bench.scale_to_1000, |q| {
+            engine.query_into(Algorithm::Fv, q, raw, &mut scratch, &mut stats, &mut out);
+            std::hint::black_box(out.len());
+        });
+        lm.baseline_ms += time_pass(&bench.queries, bench.scale_to_1000, |q| {
+            std::hint::black_box(legacy_augmented.list_merge(store, q, raw).len());
+        });
+        lm.csr_ms += time_pass(&bench.queries, bench.scale_to_1000, |q| {
+            engine.query_into(
+                Algorithm::ListMerge,
+                q,
+                raw,
+                &mut scratch,
+                &mut stats,
+                &mut out,
+            );
+            std::hint::black_box(out.len());
+        });
+    }
+    for c in [&mut fv, &mut lm] {
+        c.baseline_ms /= rounds as f64;
+        c.csr_ms /= rounds as f64;
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"hotpath_throughput\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"family\": \"nyt-like\", \"n\": {}, \"k\": {k}, \"theta\": {theta}, \"queries\": {}, \"rounds\": {rounds}}},\n",
+        cfg.nyt_n, cfg.queries
+    ));
+    json.push_str("  \"units\": \"ms per 1000 queries\",\n");
+    json.push_str("  \"baseline\": \"pre-CSR hashmap postings + per-query allocations\",\n");
+    for (i, c) in [&fv, &lm].iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{}\": {{\"baseline_ms_per_1000q\": {:.3}, \"csr_ms_per_1000q\": {:.3}, \"mean_speedup\": {:.3}}}{}\n",
+            c.name,
+            c.baseline_ms,
+            c.csr_ms,
+            c.speedup(),
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+
+    let out_path = std::env::var("RANKSIM_HOTPATH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").to_string()
+    });
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
+
+    println!("{json}");
+    println!(
+        "F&V:       {:8.2} -> {:8.2} ms/1000q  ({:.2}x)",
+        fv.baseline_ms,
+        fv.csr_ms,
+        fv.speedup()
+    );
+    println!(
+        "ListMerge: {:8.2} -> {:8.2} ms/1000q  ({:.2}x)",
+        lm.baseline_ms,
+        lm.csr_ms,
+        lm.speedup()
+    );
+    eprintln!("# wrote {out_path}");
+}

@@ -24,7 +24,7 @@ use ranksim_invindex::{
     AugmentedInvertedIndex, BlockedInvertedIndex, MinimalFv, PlainInvertedIndex,
 };
 use ranksim_metricspace::{query_pairs, BkPartitioner, BkTree, MTree, VpTree};
-use ranksim_rankings::{raw_threshold, ItemId, QueryStats, RankingStore};
+use ranksim_rankings::{raw_threshold, ItemId, QueryScratch, QueryStats, RankingStore};
 
 /// Experiment scaling configuration (from the environment).
 #[derive(Debug, Clone, Copy)]
@@ -375,12 +375,33 @@ pub fn fig7_sweep(bench: &Bench, theta: f64, theta_cs: &[f64]) -> Vec<Fig7Row> {
             let mut filter_time = Duration::ZERO;
             let mut validate_time = Duration::ZERO;
             let mut stats = QueryStats::new();
+            let mut scratch = QueryScratch::new();
+            let mut filtered = Vec::new();
+            let mut results = Vec::new();
             for q in &bench.queries {
                 let t0 = Instant::now();
-                let filtered = index.filter(store, q, theta_raw, false, &mut stats);
+                filtered.clear();
+                index.filter_into(
+                    store,
+                    q,
+                    theta_raw,
+                    false,
+                    &mut scratch,
+                    &mut stats,
+                    &mut filtered,
+                );
                 filter_time += t0.elapsed();
                 let t1 = Instant::now();
-                let _ = index.validate(store, q, theta_raw, &filtered, &mut stats);
+                results.clear();
+                index.validate_with(
+                    store,
+                    q,
+                    theta_raw,
+                    &filtered,
+                    &mut scratch,
+                    &mut stats,
+                    &mut results,
+                );
                 validate_time += t1.elapsed();
             }
             Fig7Row {
@@ -537,9 +558,15 @@ impl ComparisonSetup {
         let store = self.engine.store();
         let raw = raw_threshold(theta, store.k());
         let (d, stats, results) = match technique {
-            Technique::Engine(alg) => time_queries(&self.bench.queries, |q, s| {
-                self.engine.query_items(alg, q, raw, s).len()
-            }),
+            Technique::Engine(alg) => {
+                let mut scratch = self.engine.scratch();
+                let mut out = Vec::new();
+                time_queries(&self.bench.queries, |q, s| {
+                    self.engine
+                        .query_into(alg, q, raw, &mut scratch, s, &mut out);
+                    out.len()
+                })
+            }
             Technique::MinimalFv => {
                 let oracle = &self
                     .oracles
@@ -648,14 +675,20 @@ pub fn table6(bench: &Bench) -> Vec<Table6Row> {
 pub fn verify(setup: &ComparisonSetup, thetas: &[f64]) -> usize {
     let store = setup.engine.store();
     let mut checked = 0usize;
+    let mut scratch = setup.engine.scratch();
     for (qi, q) in setup.bench.queries.iter().enumerate().take(25) {
         for &theta in thetas {
             let raw = raw_threshold(theta, store.k());
             let mut stats = QueryStats::new();
-            let mut expect = setup.engine.query_items(Algorithm::Fv, q, raw, &mut stats);
+            let mut expect =
+                setup
+                    .engine
+                    .query_items(Algorithm::Fv, q, raw, &mut scratch, &mut stats);
             expect.sort_unstable();
             for alg in Algorithm::ALL {
-                let mut got = setup.engine.query_items(alg, q, raw, &mut stats);
+                let mut got = setup
+                    .engine
+                    .query_items(alg, q, raw, &mut scratch, &mut stats);
                 got.sort_unstable();
                 assert_eq!(got, expect, "{alg} disagrees at θ={theta}, query {qi}");
             }
@@ -723,6 +756,48 @@ pub fn ablation_drop_policy(bench: &Bench, theta: f64) -> Vec<AblationRow> {
         dfc: stats.distance_calls,
     });
     rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_sizes_account_for_headers_and_structures_exactly() {
+        let mut cfg = ExpConfig::small();
+        cfg.nyt_n = 1500;
+        cfg.queries = 5;
+        let bench = Bench::load(&cfg, Family::Nyt, 10);
+        let rows = table6(&bench);
+        assert_eq!(rows.len(), 6);
+        let base_mb = bench.store().heap_bytes() as f64 / (1024.0 * 1024.0);
+        for r in &rows {
+            assert!(
+                r.size_mb > base_mb,
+                "{} must include the store base plus the structure",
+                r.index
+            );
+        }
+        // The plain row reports exactly the CSR index's heap_bytes (index
+        // header + offsets array + postings array + remap) on top of the
+        // store — the exact accounting the heap_bytes fix introduced.
+        let plain = PlainInvertedIndex::build(bench.store());
+        let expect_mb =
+            (plain.heap_bytes() + bench.store().heap_bytes()) as f64 / (1024.0 * 1024.0);
+        assert!(
+            (rows[0].size_mb - expect_mb).abs() < 1e-9,
+            "Table 6 plain row {} != exact heap_bytes {}",
+            rows[0].size_mb,
+            expect_mb
+        );
+        // The exact count covers the header and one slot per (ranking,
+        // item) posting, which the old hashmap accounting undercounted.
+        assert!(
+            plain.heap_bytes()
+                >= std::mem::size_of::<PlainInvertedIndex>()
+                    + bench.store().len() * bench.store().k() * 4
+        );
+    }
 }
 
 /// Ablation B — partitioning scheme behind the coarse index: shared

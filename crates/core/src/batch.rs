@@ -1,21 +1,76 @@
 //! Batch query processing (the paper's Section 8 outlook, implemented).
 //!
-//! "The query batch can be partitioned into related medoid rankings to
-//! prune the search space of potential result rankings": queries are
-//! grouped by greedy leader clustering at radius `ρ`; each group probes
-//! the medoid inverted index **once** through its leader with the doubly
-//! relaxed threshold `θ + θ_C + ρ` (triangle inequality twice: result →
-//! medoid → query → leader), then every member query checks only the
-//! retrieved partitions.
+//! Two drivers live here:
 //!
-//! Results are bit-identical to processing each query individually; the
-//! saving is one inverted-index probe per *group* instead of per query.
+//! * [`Engine::query_batch`] — the general parallel driver: the batch is
+//!   split across scoped threads and every thread reuses **one**
+//!   [`QueryScratch`] and one result buffer for its whole share, so each
+//!   worker's steady state is allocation-free (only the per-query result
+//!   vectors handed back to the caller are allocated).
+//! * [`batch_query`] — the coarse-index-specific sharing scheme: "the
+//!   query batch can be partitioned into related medoid rankings to prune
+//!   the search space of potential result rankings". Queries are grouped
+//!   by greedy leader clustering at radius `ρ`; each group probes the
+//!   medoid inverted index **once** through its leader with the doubly
+//!   relaxed threshold `θ + θ_C + ρ` (triangle inequality twice: result →
+//!   medoid → query → leader), then every member query checks only the
+//!   retrieved partitions.
+//!
+//! Both are bit-identical to processing each query individually.
 
 use crate::coarse::CoarseIndex;
-use ranksim_metricspace::query_pairs;
+use crate::engine::{Algorithm, Engine};
+use ranksim_metricspace::query_pairs_into;
 use ranksim_rankings::{
-    footrule_items, footrule_pairs, ItemId, QueryStats, RankingId, RankingStore,
+    footrule_items, footrule_pairs, ItemId, QueryScratch, QueryStats, RankingId, RankingStore,
 };
+
+impl Engine {
+    /// Processes `queries` with `algorithm` at one raw threshold across
+    /// `threads` scoped worker threads (`0` picks the machine's available
+    /// parallelism). Returns per-query result sets in input order plus the
+    /// merged stats. Every worker reuses one scratch, so the only
+    /// steady-state allocations are the returned result vectors.
+    pub fn query_batch(
+        &self,
+        algorithm: Algorithm,
+        queries: &[Vec<ItemId>],
+        theta_raw: u32,
+        threads: usize,
+    ) -> (Vec<Vec<RankingId>>, QueryStats) {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(queries.len().max(1));
+        let mut results: Vec<Vec<RankingId>> = Vec::with_capacity(queries.len());
+        results.resize_with(queries.len(), Vec::new);
+        let mut partial_stats = vec![QueryStats::new(); threads];
+        let chunk = queries.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for ((query_chunk, result_chunk), stats) in queries
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .zip(partial_stats.iter_mut())
+            {
+                scope.spawn(move || {
+                    let mut scratch = QueryScratch::new();
+                    for (q, out) in query_chunk.iter().zip(result_chunk.iter_mut()) {
+                        self.query_into(algorithm, q, theta_raw, &mut scratch, stats, out);
+                    }
+                });
+            }
+        });
+        let mut stats = QueryStats::new();
+        for p in &partial_stats {
+            stats.merge(p);
+        }
+        (results, stats)
+    }
+}
 
 /// A batch of queries sharing one threshold.
 #[derive(Debug, Clone)]
@@ -65,15 +120,28 @@ pub fn batch_query(
     let theta_c = index.theta_c_raw();
     let groups = cluster_queries(batch.queries, rho_raw);
     let mut results: Vec<Vec<RankingId>> = vec![Vec::new(); batch.queries.len()];
+    let mut scratch = QueryScratch::new();
+    let mut shared: Vec<(u32, u32)> = Vec::new();
+    let mut qp: Vec<(ItemId, u32)> = Vec::new();
+    let mut tree_stack: Vec<u32> = Vec::new();
 
     for g in &groups {
         // One shared filter probe through the leader: any partition a
         // member query needs has d(medoid, leader) ≤ θ + θ_C + ρ.
         let leader = &batch.queries[g.leader];
-        let shared = index.filter(store, leader, theta.saturating_add(rho_raw), false, stats);
+        shared.clear();
+        index.filter_into(
+            store,
+            leader,
+            theta.saturating_add(rho_raw),
+            false,
+            &mut scratch,
+            stats,
+            &mut shared,
+        );
         for &qi in &g.members {
             let q = &batch.queries[qi];
-            let qp = query_pairs(q);
+            query_pairs_into(q, &mut qp);
             let mut out = Vec::new();
             for &(pi, leader_dist) in &shared {
                 // Per-member refinement: the member's own medoid distance
@@ -86,12 +154,13 @@ pub fn batch_query(
                     footrule_pairs(&qp, store.sorted_pairs(medoid), store.k())
                 };
                 if d <= theta + theta_c {
-                    index.partitioning().validate_into(
+                    index.partitioning().validate_into_with(
                         store,
                         pi as usize,
                         &qp,
                         theta,
                         Some(d),
+                        &mut tree_stack,
                         stats,
                         &mut out,
                     );
@@ -106,6 +175,7 @@ pub fn batch_query(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EngineBuilder;
     use ranksim_datasets::{nyt_like, workload, WorkloadParams};
     use ranksim_rankings::raw_threshold;
 
@@ -175,5 +245,52 @@ mod tests {
         let groups = cluster_queries(&[a.clone(), b, a], 0);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].members, vec![0, 2]);
+    }
+
+    #[test]
+    fn query_batch_equals_sequential_for_every_algorithm() {
+        let ds = nyt_like(700, 10, 91);
+        let domain = ds.params.domain;
+        let engine = EngineBuilder::new(ds.store)
+            .coarse_threshold(0.5)
+            .coarse_drop_threshold(0.06)
+            .build();
+        let wl = workload(
+            engine.store(),
+            domain,
+            WorkloadParams {
+                num_queries: 24,
+                seed: 17,
+                ..Default::default()
+            },
+        );
+        let theta = raw_threshold(0.2, 10);
+        for alg in Algorithm::ALL {
+            for threads in [1usize, 3, 0] {
+                let (got, batch_stats) = engine.query_batch(alg, &wl.queries, theta, threads);
+                assert_eq!(got.len(), wl.queries.len());
+                let mut scratch = engine.scratch();
+                let mut seq_stats = QueryStats::new();
+                for (qi, q) in wl.queries.iter().enumerate() {
+                    let expect = engine.query_items(alg, q, theta, &mut scratch, &mut seq_stats);
+                    assert_eq!(got[qi], expect, "{alg} query {qi} at {threads} threads");
+                }
+                assert_eq!(
+                    batch_stats, seq_stats,
+                    "{alg}: merged batch stats must equal sequential stats"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_handles_empty_batch() {
+        let ds = nyt_like(100, 10, 2);
+        let engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv])
+            .build();
+        let (res, stats) = engine.query_batch(Algorithm::Fv, &[], 10, 4);
+        assert!(res.is_empty());
+        assert_eq!(stats, QueryStats::new());
     }
 }

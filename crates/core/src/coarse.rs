@@ -14,12 +14,20 @@
 //! exactly while `θ + θ_C < d_max` (their distance is then provably above
 //! the relaxed threshold); beyond that the index falls back to a medoid
 //! scan, preserving correctness at degraded speed.
+//!
+//! Both phases run through the reusable [`QueryScratch`]: the filter
+//! reuses the F&V epoch structures, the validation reuses the sorted
+//! query-pair buffer and the BK traversal stack — zero heap allocations
+//! per steady-state query.
 
-use ranksim_invindex::fv::filter_validate_relaxed;
+use std::sync::Arc;
+
+use ranksim_invindex::fv::filter_validate_relaxed_into;
 use ranksim_invindex::PlainInvertedIndex;
-use ranksim_metricspace::{query_pairs, BkPartitioner, Partitioning};
-use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
-use ranksim_rankings::{footrule_pairs, ItemId, QueryStats, RankingId, RankingStore};
+use ranksim_metricspace::{query_pairs_into, BkPartitioner, Partitioning};
+use ranksim_rankings::{
+    footrule_pairs, ItemId, ItemRemap, QueryScratch, QueryStats, RankingId, RankingStore,
+};
 
 /// Construction-time statistics (Table 6 reporting).
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,7 +44,10 @@ pub struct CoarseIndex {
     theta_c_raw: u32,
     partitioning: Partitioning,
     medoid_index: PlainInvertedIndex,
-    medoid_to_partition: FxHashMap<u32, u32>,
+    /// `medoid_to_partition[ranking] = partition` for medoids,
+    /// `u32::MAX` otherwise — a flat array instead of a hash map, sized by
+    /// the corpus.
+    medoid_to_partition: Vec<u32>,
     build: CoarseBuildStats,
 }
 
@@ -44,23 +55,39 @@ impl CoarseIndex {
     /// Builds the index at partitioning radius `theta_c_raw` using the
     /// BK-subtree partitioner.
     pub fn build(store: &RankingStore, theta_c_raw: u32) -> Self {
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), theta_c_raw)
+    }
+
+    /// Builds the index at radius `theta_c_raw` against a shared corpus
+    /// remap.
+    pub fn build_with_remap(store: &RankingStore, remap: Arc<ItemRemap>, theta_c_raw: u32) -> Self {
         let partitioning = BkPartitioner::partition(store, theta_c_raw);
-        Self::from_partitioning(store, partitioning)
+        Self::from_partitioning_with_remap(store, remap, partitioning)
     }
 
     /// Builds the index from an existing partitioning (any scheme whose
     /// partitions respect the radius guarantee works).
     pub fn from_partitioning(store: &RankingStore, partitioning: Partitioning) -> Self {
+        Self::from_partitioning_with_remap(store, Arc::new(ItemRemap::build(store)), partitioning)
+    }
+
+    /// Builds the index from an existing partitioning and a shared remap.
+    pub fn from_partitioning_with_remap(
+        store: &RankingStore,
+        remap: Arc<ItemRemap>,
+        partitioning: Partitioning,
+    ) -> Self {
         let mut medoids: Vec<(RankingId, u32)> = partitioning
             .medoids()
             .enumerate()
             .map(|(pi, m)| (m, pi as u32))
             .collect();
         medoids.sort_unstable_by_key(|&(m, _)| m);
-        let medoid_index = PlainInvertedIndex::build_from(store, medoids.iter().map(|&(m, _)| m));
-        let mut medoid_to_partition = fx_map_with_capacity(medoids.len());
+        let medoid_index =
+            PlainInvertedIndex::build_with_remap(store, remap, medoids.iter().map(|&(m, _)| m));
+        let mut medoid_to_partition = vec![u32::MAX; store.len()];
         for (m, pi) in medoids {
-            medoid_to_partition.insert(m.0, pi);
+            medoid_to_partition[m.index()] = pi;
         }
         let build = CoarseBuildStats {
             distance_calls: partitioning.build_distance_calls,
@@ -106,24 +133,63 @@ impl CoarseIndex {
         drop_lists: bool,
         stats: &mut QueryStats,
     ) -> Vec<(u32, u32)> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.filter_into(
+            store,
+            query,
+            theta_raw,
+            drop_lists,
+            &mut scratch,
+            stats,
+            &mut out,
+        );
+        out
+    }
+
+    /// Scratch-reusing filtering phase; appends `(partition, medoid
+    /// distance)` pairs to `out`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn filter_into(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        drop_lists: bool,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<(u32, u32)>,
+    ) {
         let relaxed = theta_raw.saturating_add(self.theta_c_raw);
         if relaxed >= store.max_distance() {
             // Inverted-index retrieval incomplete: scan the medoids.
-            let qp = query_pairs(query);
-            let mut out = Vec::new();
+            query_pairs_into(query, &mut scratch.qp);
             for (pi, p) in self.partitioning.partitions().iter().enumerate() {
                 stats.count_distance();
-                let d = footrule_pairs(&qp, store.sorted_pairs(p.medoid), store.k());
+                let d = footrule_pairs(&scratch.qp, store.sorted_pairs(p.medoid), store.k());
                 if d <= relaxed {
                     out.push((pi as u32, d));
                 }
             }
-            return out;
+            return;
         }
-        filter_validate_relaxed(&self.medoid_index, store, query, relaxed, drop_lists, stats)
-            .into_iter()
-            .map(|(medoid, d)| (self.medoid_to_partition[&medoid.0], d))
-            .collect()
+        let mut hits = std::mem::take(&mut scratch.hits);
+        hits.clear();
+        filter_validate_relaxed_into(
+            &self.medoid_index,
+            store,
+            query,
+            relaxed,
+            drop_lists,
+            scratch,
+            stats,
+            &mut hits,
+        );
+        out.extend(
+            hits.iter()
+                .map(|&(medoid, d)| (self.medoid_to_partition[medoid.index()], d)),
+        );
+        scratch.hits = hits;
     }
 
     /// **Validation phase** (Algorithm 1, lines 2–4): runs the original
@@ -136,21 +202,48 @@ impl CoarseIndex {
         filtered: &[(u32, u32)],
         stats: &mut QueryStats,
     ) -> Vec<RankingId> {
-        let qp = query_pairs(query);
+        let mut scratch = QueryScratch::new();
         let mut out = Vec::new();
+        self.validate_with(
+            store,
+            query,
+            theta_raw,
+            filtered,
+            &mut scratch,
+            stats,
+            &mut out,
+        );
+        out
+    }
+
+    /// Scratch-reusing validation phase; appends results to `out`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn validate_with(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        filtered: &[(u32, u32)],
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) {
+        let QueryScratch { qp, tree_stack, .. } = scratch;
+        query_pairs_into(query, qp);
+        let out_start = out.len();
         for &(pi, medoid_dist) in filtered {
-            self.partitioning.validate_into(
+            self.partitioning.validate_into_with(
                 store,
                 pi as usize,
-                &qp,
+                qp,
                 theta_raw,
                 Some(medoid_dist),
+                tree_stack,
                 stats,
-                &mut out,
+                out,
             );
         }
-        stats.results += out.len() as u64;
-        out
+        stats.results += (out.len() - out_start) as u64;
     }
 
     /// Full query: `Coarse` (`drop_lists = false`) or `Coarse+Drop`.
@@ -162,8 +255,45 @@ impl CoarseIndex {
         drop_lists: bool,
         stats: &mut QueryStats,
     ) -> Vec<RankingId> {
-        let filtered = self.filter(store, query, theta_raw, drop_lists, stats);
-        self.validate(store, query, theta_raw, &filtered, stats)
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.query_into(
+            store,
+            query,
+            theta_raw,
+            drop_lists,
+            &mut scratch,
+            stats,
+            &mut out,
+        );
+        out
+    }
+
+    /// Scratch-reusing full query; appends results to `out`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_into(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        drop_lists: bool,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) {
+        let mut filtered = std::mem::take(&mut scratch.filtered);
+        filtered.clear();
+        self.filter_into(
+            store,
+            query,
+            theta_raw,
+            drop_lists,
+            scratch,
+            stats,
+            &mut filtered,
+        );
+        self.validate_with(store, query, theta_raw, &filtered, scratch, stats, out);
+        scratch.filtered = filtered;
     }
 
     /// Approximate heap footprint in bytes (Table 6's "Coarse Index" row:
@@ -171,7 +301,7 @@ impl CoarseIndex {
     pub fn heap_bytes(&self) -> usize {
         self.partitioning.heap_bytes()
             + self.medoid_index.heap_bytes()
-            + self.medoid_to_partition.capacity() * 8
+            + self.medoid_to_partition.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -179,7 +309,7 @@ impl CoarseIndex {
 mod tests {
     use super::*;
     use ranksim_datasets::{nyt_like, workload, WorkloadParams};
-    use ranksim_metricspace::linear_scan;
+    use ranksim_metricspace::{linear_scan, query_pairs};
     use ranksim_rankings::raw_threshold;
 
     fn check_against_scan(theta_c: f64, thetas: &[f64]) {
@@ -195,6 +325,7 @@ mod tests {
                 ..Default::default()
             },
         );
+        let mut scratch = QueryScratch::new();
         for q in &wl.queries {
             let qp = query_pairs(q);
             for &theta in thetas {
@@ -204,7 +335,9 @@ mod tests {
                 let mut s3 = QueryStats::new();
                 let mut expect = linear_scan(store, &qp, raw, &mut s1);
                 let mut got = index.query(store, q, raw, false, &mut s2);
-                let mut got_drop = index.query(store, q, raw, true, &mut s3);
+                // The drop arm reuses one scratch across the whole sweep.
+                let mut got_drop = Vec::new();
+                index.query_into(store, q, raw, true, &mut scratch, &mut s3, &mut got_drop);
                 expect.sort_unstable();
                 got.sort_unstable();
                 got_drop.sort_unstable();

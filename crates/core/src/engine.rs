@@ -1,18 +1,30 @@
 //! The unified query engine: every algorithm of the paper's evaluation
 //! behind one dispatch enum.
 //!
-//! [`Engine`] owns the corpus and all index structures; [`Algorithm`]
+//! [`Engine`] owns the corpus and the index structures; [`Algorithm`]
 //! names the paper's processing techniques (Section 7, "Algorithms under
 //! Investigation") minus `Minimal F&V`, which is a workload-dependent
 //! oracle rather than an ad-hoc index (see
 //! [`ranksim_invindex::MinimalFv`]).
+//!
+//! All indexes share one corpus-wide [`ItemRemap`], and every query
+//! threads a caller-owned [`QueryScratch`] through
+//! [`Engine::query_items`] / [`Engine::query_into`] — the latter writes
+//! into a reusable result buffer and performs **zero** heap allocations
+//! once scratch and buffer are warmed up. [`EngineBuilder::algorithms`]
+//! restricts construction to the index structures the selected algorithms
+//! need.
+
+use std::sync::Arc;
 
 use crate::coarse::CoarseIndex;
-use ranksim_adaptsearch::AdaptSearchIndex;
+use ranksim_adaptsearch::{AdaptCostParams, AdaptSearchIndex};
 use ranksim_invindex::{
     blocked_prune, fv, listmerge, AugmentedInvertedIndex, BlockedInvertedIndex, PlainInvertedIndex,
 };
-use ranksim_rankings::{raw_threshold, ItemId, QueryStats, Ranking, RankingId, RankingStore};
+use ranksim_rankings::{
+    raw_threshold, ItemId, ItemRemap, QueryScratch, QueryStats, Ranking, RankingId, RankingStore,
+};
 
 /// The query-processing techniques of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +87,7 @@ pub struct EngineBuilder {
     store: RankingStore,
     coarse_theta_c: f64,
     coarse_theta_c_drop: Option<f64>,
+    selected: Option<Vec<Algorithm>>,
 }
 
 impl EngineBuilder {
@@ -84,6 +97,7 @@ impl EngineBuilder {
             store,
             coarse_theta_c: 0.5,
             coarse_theta_c_drop: None,
+            selected: None,
         }
     }
 
@@ -101,22 +115,53 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds every index structure.
+    /// Restricts construction to the index structures the given
+    /// algorithms need (single-algorithm benches skip the other builds
+    /// entirely); [`EngineBuilder::build`] without this call keeps the
+    /// build-everything default.
+    pub fn algorithms(mut self, algorithms: &[Algorithm]) -> Self {
+        self.selected = Some(algorithms.to_vec());
+        self
+    }
+
+    /// Builds the selected index structures (all of them by default).
     pub fn build(self) -> Engine {
         let k = self.store.k();
-        let plain = PlainInvertedIndex::build(&self.store);
-        let augmented = AugmentedInvertedIndex::build(&self.store);
-        let blocked = BlockedInvertedIndex::build(&self.store);
-        let adapt = AdaptSearchIndex::build(&self.store);
-        let coarse = CoarseIndex::build(&self.store, raw_threshold(self.coarse_theta_c, k));
-        let coarse_drop = match self.coarse_theta_c_drop {
-            Some(t) if t != self.coarse_theta_c => {
-                Some(CoarseIndex::build(&self.store, raw_threshold(t, k)))
-            }
-            _ => None,
-        };
+        let want = |a: Algorithm| self.selected.as_ref().map_or(true, |s| s.contains(&a));
+        let remap = Arc::new(ItemRemap::build(&self.store));
+        let plain = (want(Algorithm::Fv) || want(Algorithm::FvDrop)).then(|| {
+            PlainInvertedIndex::build_with_remap(&self.store, remap.clone(), self.store.ids())
+        });
+        let augmented = want(Algorithm::ListMerge).then(|| {
+            AugmentedInvertedIndex::build_with_remap(&self.store, remap.clone(), self.store.ids())
+        });
+        let blocked =
+            (want(Algorithm::BlockedPrune) || want(Algorithm::BlockedPruneDrop)).then(|| {
+                BlockedInvertedIndex::build_with_remap(&self.store, remap.clone(), self.store.ids())
+            });
+        let adapt = want(Algorithm::AdaptSearch).then(|| {
+            AdaptSearchIndex::build_with_remap(
+                &self.store,
+                remap.clone(),
+                AdaptCostParams::default(),
+            )
+        });
+        let coarse_theta = raw_threshold(self.coarse_theta_c, k);
+        let drop_theta = self
+            .coarse_theta_c_drop
+            .map(|t| raw_threshold(t, k))
+            .unwrap_or(coarse_theta);
+        // `CoarseDrop` falls back to the shared coarse index when its θ_C
+        // matches; a separately tuned index is built otherwise.
+        let need_shared_coarse =
+            want(Algorithm::Coarse) || (want(Algorithm::CoarseDrop) && drop_theta == coarse_theta);
+        let coarse = need_shared_coarse
+            .then(|| CoarseIndex::build_with_remap(&self.store, remap.clone(), coarse_theta));
+        let coarse_drop = (want(Algorithm::CoarseDrop) && drop_theta != coarse_theta)
+            .then(|| CoarseIndex::build_with_remap(&self.store, remap.clone(), drop_theta));
         Engine {
             store: self.store,
+            remap,
             plain,
             augmented,
             blocked,
@@ -130,13 +175,23 @@ impl EngineBuilder {
 /// The all-algorithms query engine.
 pub struct Engine {
     store: RankingStore,
-    plain: PlainInvertedIndex,
-    augmented: AugmentedInvertedIndex,
-    blocked: BlockedInvertedIndex,
-    adapt: AdaptSearchIndex,
-    coarse: CoarseIndex,
+    remap: Arc<ItemRemap>,
+    plain: Option<PlainInvertedIndex>,
+    augmented: Option<AugmentedInvertedIndex>,
+    blocked: Option<BlockedInvertedIndex>,
+    adapt: Option<AdaptSearchIndex>,
+    coarse: Option<CoarseIndex>,
     /// Separately tuned coarse index for `CoarseDrop`, if configured.
     coarse_drop: Option<CoarseIndex>,
+}
+
+fn require<'a, T>(index: &'a Option<T>, algorithm: Algorithm) -> &'a T {
+    index.as_ref().unwrap_or_else(|| {
+        panic!(
+            "index for {algorithm} was not built; include it in EngineBuilder::algorithms \
+             or build the engine with the default build-everything configuration"
+        )
+    })
 }
 
 impl Engine {
@@ -145,13 +200,24 @@ impl Engine {
         &self.store
     }
 
-    /// The coarse index (for `Coarse`).
+    /// The corpus-wide item remap shared by all index structures.
+    pub fn remap(&self) -> &Arc<ItemRemap> {
+        &self.remap
+    }
+
+    /// The coarse index (for `Coarse`). Panics if it was not built.
     pub fn coarse_index(&self) -> &CoarseIndex {
-        &self.coarse
+        require(&self.coarse, Algorithm::Coarse)
+    }
+
+    /// A fresh scratch for this engine's queries; reuse it across queries
+    /// to keep the hot path allocation-free.
+    pub fn scratch(&self) -> QueryScratch {
+        QueryScratch::new()
     }
 
     /// Runs `algorithm` for a query ranking at normalized threshold
-    /// `theta ∈ [0, 1]`.
+    /// `theta ∈ [0, 1]` (convenience wrapper allocating its own scratch).
     pub fn query(
         &self,
         algorithm: Algorithm,
@@ -159,56 +225,117 @@ impl Engine {
         theta: f64,
         stats: &mut QueryStats,
     ) -> Vec<RankingId> {
+        let mut scratch = self.scratch();
         self.query_items(
             algorithm,
             query.items(),
             raw_threshold(theta, self.store.k()),
+            &mut scratch,
             stats,
         )
     }
 
-    /// Runs `algorithm` for raw query items at a raw threshold.
+    /// Runs `algorithm` for raw query items at a raw threshold, reusing
+    /// the caller's scratch.
     pub fn query_items(
         &self,
         algorithm: Algorithm,
         query: &[ItemId],
         theta_raw: u32,
+        scratch: &mut QueryScratch,
         stats: &mut QueryStats,
     ) -> Vec<RankingId> {
+        let mut out = Vec::new();
+        self.query_into(algorithm, query, theta_raw, scratch, stats, &mut out);
+        out
+    }
+
+    /// Runs `algorithm` into a caller-owned result buffer (cleared
+    /// first). With a warmed-up scratch and buffer, steady-state calls
+    /// perform zero heap allocations.
+    pub fn query_into(
+        &self,
+        algorithm: Algorithm,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) {
         assert_eq!(
             query.len(),
             self.store.k(),
             "query size must match the corpus ranking size"
         );
+        out.clear();
         match algorithm {
-            Algorithm::Fv => fv::filter_validate(&self.plain, &self.store, query, theta_raw, stats),
-            Algorithm::FvDrop => {
-                fv::filter_validate_drop(&self.plain, &self.store, query, theta_raw, stats)
-            }
-            Algorithm::ListMerge => {
-                listmerge::list_merge(&self.augmented, &self.store, query, theta_raw, stats)
-            }
-            Algorithm::BlockedPrune => {
-                blocked_prune::blocked_prune(&self.blocked, &self.store, query, theta_raw, stats)
-            }
-            Algorithm::BlockedPruneDrop => blocked_prune::blocked_prune_drop(
-                &self.blocked,
+            Algorithm::Fv => fv::filter_validate_into(
+                require(&self.plain, algorithm),
                 &self.store,
                 query,
                 theta_raw,
+                scratch,
                 stats,
+                out,
             ),
-            Algorithm::Coarse => self
-                .coarse
-                .query(&self.store, query, theta_raw, false, stats),
-            Algorithm::CoarseDrop => self.coarse_drop.as_ref().unwrap_or(&self.coarse).query(
+            Algorithm::FvDrop => fv::filter_validate_drop_into(
+                require(&self.plain, algorithm),
                 &self.store,
                 query,
                 theta_raw,
-                true,
+                scratch,
                 stats,
+                out,
             ),
-            Algorithm::AdaptSearch => self.adapt.search(&self.store, query, theta_raw, stats),
+            Algorithm::ListMerge => listmerge::list_merge_into(
+                require(&self.augmented, algorithm),
+                &self.store,
+                query,
+                theta_raw,
+                scratch,
+                stats,
+                out,
+            ),
+            Algorithm::BlockedPrune => blocked_prune::blocked_prune_into(
+                require(&self.blocked, algorithm),
+                &self.store,
+                query,
+                theta_raw,
+                scratch,
+                stats,
+                out,
+            ),
+            Algorithm::BlockedPruneDrop => blocked_prune::blocked_prune_drop_into(
+                require(&self.blocked, algorithm),
+                &self.store,
+                query,
+                theta_raw,
+                scratch,
+                stats,
+                out,
+            ),
+            Algorithm::Coarse => require(&self.coarse, algorithm).query_into(
+                &self.store,
+                query,
+                theta_raw,
+                false,
+                scratch,
+                stats,
+                out,
+            ),
+            Algorithm::CoarseDrop => self
+                .coarse_drop
+                .as_ref()
+                .unwrap_or_else(|| require(&self.coarse, algorithm))
+                .query_into(&self.store, query, theta_raw, true, scratch, stats, out),
+            Algorithm::AdaptSearch => require(&self.adapt, algorithm).search_into(
+                &self.store,
+                query,
+                theta_raw,
+                scratch,
+                stats,
+                out,
+            ),
         }
     }
 }
@@ -236,6 +363,7 @@ mod tests {
                 ..Default::default()
             },
         );
+        let mut scratch = engine.scratch();
         for q in &wl.queries {
             for theta in [0.0, 0.1, 0.2, 0.3] {
                 let raw = raw_threshold(theta, 10);
@@ -248,12 +376,64 @@ mod tests {
                 expect.sort_unstable();
                 for alg in Algorithm::ALL {
                     let mut stats = QueryStats::new();
-                    let mut got = engine.query_items(alg, q, raw, &mut stats);
+                    let mut got = engine.query_items(alg, q, raw, &mut scratch, &mut stats);
                     got.sort_unstable();
                     assert_eq!(got, expect, "{alg} disagrees at θ={theta}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn restricted_engine_builds_only_what_it_needs() {
+        let ds = nyt_like(400, 10, 7);
+        let engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv, Algorithm::ListMerge])
+            .build();
+        assert!(engine.plain.is_some());
+        assert!(engine.augmented.is_some());
+        assert!(engine.blocked.is_none());
+        assert!(engine.adapt.is_none());
+        assert!(engine.coarse.is_none());
+        // The selected algorithms agree with each other.
+        let q: Vec<ItemId> = engine.store().items(RankingId(3)).to_vec();
+        let raw = raw_threshold(0.2, 10);
+        let mut scratch = engine.scratch();
+        let mut stats = QueryStats::new();
+        let mut a = engine.query_items(Algorithm::Fv, &q, raw, &mut scratch, &mut stats);
+        let mut b = engine.query_items(Algorithm::ListMerge, &q, raw, &mut scratch, &mut stats);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(a.contains(&RankingId(3)));
+    }
+
+    #[test]
+    fn restricted_coarse_drop_shares_index_on_equal_theta_c() {
+        let ds = nyt_like(300, 10, 8);
+        let engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::CoarseDrop])
+            .build();
+        assert!(engine.coarse.is_some(), "shared index backs CoarseDrop");
+        assert!(engine.coarse_drop.is_none());
+        let q: Vec<ItemId> = engine.store().items(RankingId(0)).to_vec();
+        let mut scratch = engine.scratch();
+        let mut stats = QueryStats::new();
+        let got = engine.query_items(Algorithm::CoarseDrop, &q, 0, &mut scratch, &mut stats);
+        assert!(got.contains(&RankingId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "index for Blocked+Prune was not built")]
+    fn missing_index_panics_with_algorithm_name() {
+        let ds = nyt_like(100, 10, 1);
+        let engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv])
+            .build();
+        let q: Vec<ItemId> = engine.store().items(RankingId(0)).to_vec();
+        let mut scratch = engine.scratch();
+        let mut stats = QueryStats::new();
+        let _ = engine.query_items(Algorithm::BlockedPrune, &q, 10, &mut scratch, &mut stats);
     }
 
     #[test]
@@ -272,7 +452,8 @@ mod tests {
         let ds = nyt_like(100, 10, 1);
         let engine = EngineBuilder::new(ds.store).build();
         let q: Vec<ItemId> = (0..5u32).map(ItemId).collect();
+        let mut scratch = engine.scratch();
         let mut stats = QueryStats::new();
-        let _ = engine.query_items(Algorithm::Fv, &q, 10, &mut stats);
+        let _ = engine.query_items(Algorithm::Fv, &q, 10, &mut scratch, &mut stats);
     }
 }

@@ -1,0 +1,98 @@
+//! Steady-state allocation guard: after a warm-up pass has grown the
+//! scratch's epoch arrays and the result buffer to their high-water
+//! marks, `Engine::query_into` must perform **zero** heap allocations for
+//! every algorithm at every threshold.
+//!
+//! A counting global allocator tracks every `alloc`/`realloc`; the test
+//! runs the full (algorithm × θ × query) grid twice for warm-up and then
+//! asserts the counter does not move during a third, measured pass.
+//!
+//! This file intentionally holds a single test: the counter is global, so
+//! a concurrently running test in the same binary would tamper with it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ranksim_core::engine::{Algorithm, EngineBuilder};
+use ranksim_datasets::{nyt_like, workload, WorkloadParams};
+use ranksim_rankings::{raw_threshold, QueryStats};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_query_into_performs_zero_allocations() {
+    let ds = nyt_like(1500, 10, 99);
+    let domain = ds.params.domain;
+    let engine = EngineBuilder::new(ds.store)
+        .coarse_threshold(0.5)
+        .coarse_drop_threshold(0.06)
+        .build();
+    let wl = workload(
+        engine.store(),
+        domain,
+        WorkloadParams {
+            num_queries: 12,
+            seed: 31,
+            ..Default::default()
+        },
+    );
+    let thetas: Vec<u32> = [0.0, 0.1, 0.2, 0.3]
+        .iter()
+        .map(|&t| raw_threshold(t, 10))
+        .collect();
+
+    let mut scratch = engine.scratch();
+    let mut out = Vec::new();
+    let mut stats = QueryStats::new();
+    let run_grid = |scratch: &mut _, out: &mut _, stats: &mut _| {
+        let mut total = 0usize;
+        for alg in Algorithm::ALL {
+            for &raw in &thetas {
+                for q in &wl.queries {
+                    engine.query_into(alg, q, raw, scratch, stats, out);
+                    total += out.len();
+                }
+            }
+        }
+        total
+    };
+
+    // Warm-up: two passes grow every buffer to its high-water mark.
+    let warm1 = run_grid(&mut scratch, &mut out, &mut stats);
+    let warm2 = run_grid(&mut scratch, &mut out, &mut stats);
+    assert_eq!(warm1, warm2, "deterministic workload expected");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let measured = run_grid(&mut scratch, &mut out, &mut stats);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(measured, warm1);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state query_into must not touch the allocator \
+         ({} allocations during the measured pass)",
+        after - before
+    );
+}

@@ -4,10 +4,13 @@
 //! Carrying the rank in the posting lets algorithms compute Footrule
 //! contributions on the fly — ListMerge finalizes exact distances during
 //! the merge and the partial-information algorithms derive their bounds —
-//! without ever touching the ranking store.
+//! without ever touching the ranking store. Postings live in a CSR layout
+//! (see [`crate::PlainInvertedIndex`]): one contiguous array addressed by
+//! dense-item offsets, so ListMerge's k cursors walk one flat allocation.
 
-use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
-use ranksim_rankings::{ItemId, RankingId, RankingStore};
+use std::sync::Arc;
+
+use ranksim_rankings::{ItemId, ItemRemap, RankingId, RankingStore};
 
 /// One posting: a ranking containing the item, and the rank it holds there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,36 +25,73 @@ pub struct Posting {
 #[derive(Debug, Clone)]
 pub struct AugmentedInvertedIndex {
     k: usize,
-    lists: FxHashMap<ItemId, Vec<Posting>>,
+    remap: Arc<ItemRemap>,
+    /// `offsets[d]..offsets[d + 1]` is the postings slice of dense item `d`.
+    offsets: Vec<u32>,
+    /// All postings, item-major, id-sorted within each item.
+    postings: Vec<Posting>,
     indexed: usize,
+    num_items: usize,
 }
 
 impl AugmentedInvertedIndex {
     /// Indexes every ranking of the store.
     pub fn build(store: &RankingStore) -> Self {
-        Self::build_from(store, store.ids())
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), store.ids())
     }
 
     /// Indexes a subset of rankings (ids in ascending order).
     pub fn build_from<I: IntoIterator<Item = RankingId>>(store: &RankingStore, ids: I) -> Self {
-        let mut lists: FxHashMap<ItemId, Vec<Posting>> = fx_map_with_capacity(1024);
-        let mut indexed = 0usize;
-        let mut prev: Option<RankingId> = None;
-        for id in ids {
-            debug_assert!(prev.map(|p| p < id).unwrap_or(true), "ids must ascend");
-            prev = Some(id);
-            indexed += 1;
-            for (rank, &item) in store.items(id).iter().enumerate() {
-                lists.entry(item).or_default().push(Posting {
-                    id,
-                    rank: rank as u32,
-                });
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), ids)
+    }
+
+    /// Indexes a subset of rankings against a shared corpus remap (ids in
+    /// ascending order).
+    pub fn build_with_remap<I: IntoIterator<Item = RankingId>>(
+        store: &RankingStore,
+        remap: Arc<ItemRemap>,
+        ids: I,
+    ) -> Self {
+        let ids: Vec<RankingId> = ids.into_iter().collect();
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+        let m = remap.len();
+        let mut offsets = vec![0u32; m + 1];
+        for &id in &ids {
+            for &item in store.items(id) {
+                let d = remap.dense(item).expect("item missing from remap");
+                offsets[d as usize + 1] += 1;
             }
         }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let total = *offsets.last().unwrap_or(&0) as usize;
+        let mut cursors: Vec<u32> = offsets[..m].to_vec();
+        let mut postings = vec![
+            Posting {
+                id: RankingId(0),
+                rank: 0
+            };
+            total
+        ];
+        for &id in &ids {
+            for (rank, &item) in store.items(id).iter().enumerate() {
+                let d = remap.dense(item).expect("item missing from remap") as usize;
+                postings[cursors[d] as usize] = Posting {
+                    id,
+                    rank: rank as u32,
+                };
+                cursors[d] += 1;
+            }
+        }
+        let num_items = (0..m).filter(|&d| offsets[d] < offsets[d + 1]).count();
         AugmentedInvertedIndex {
             k: store.k(),
-            lists,
-            indexed,
+            remap,
+            offsets,
+            postings,
+            indexed: ids.len(),
+            num_items,
         }
     }
 
@@ -65,33 +105,55 @@ impl AugmentedInvertedIndex {
         self.indexed
     }
 
-    /// Number of distinct items (= number of index lists).
+    /// Number of distinct items with at least one posting.
     pub fn num_items(&self) -> usize {
-        self.lists.len()
+        self.num_items
     }
 
-    /// The id-sorted postings list for `item`, if any.
+    /// The shared item remap backing the CSR layout.
+    #[inline]
+    pub fn remap(&self) -> &Arc<ItemRemap> {
+        &self.remap
+    }
+
+    /// The whole contiguous postings array (ListMerge slices it through
+    /// [`AugmentedInvertedIndex::list_range`]).
+    #[inline]
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// The `[start, end)` range of `item`'s postings inside
+    /// [`AugmentedInvertedIndex::postings`]; `(0, 0)` if the item is
+    /// absent.
+    #[inline]
+    pub fn list_range(&self, item: ItemId) -> (u32, u32) {
+        match self.remap.dense(item) {
+            Some(d) => (self.offsets[d as usize], self.offsets[d as usize + 1]),
+            None => (0, 0),
+        }
+    }
+
+    /// The id-sorted postings list for `item`, if the item is in the
+    /// corpus remap.
     #[inline]
     pub fn list(&self, item: ItemId) -> Option<&[Posting]> {
-        self.lists.get(&item).map(|v| v.as_slice())
+        let d = self.remap.dense(item)? as usize;
+        Some(&self.postings[self.offsets[d] as usize..self.offsets[d + 1] as usize])
     }
 
     /// Length of the postings list for `item` (0 if absent).
     #[inline]
     pub fn list_len(&self, item: ItemId) -> usize {
-        self.lists.get(&item).map(|v| v.len()).unwrap_or(0)
+        self.list(item).map(|l| l.len()).unwrap_or(0)
     }
 
-    /// Approximate heap footprint in bytes (Table 6 reporting).
+    /// Exact heap footprint in bytes (Table 6 reporting).
     pub fn heap_bytes(&self) -> usize {
-        let buckets = self.lists.capacity()
-            * (std::mem::size_of::<ItemId>() + std::mem::size_of::<Vec<Posting>>());
-        let postings: usize = self
-            .lists
-            .values()
-            .map(|v| v.capacity() * std::mem::size_of::<Posting>())
-            .sum();
-        buckets + postings
+        std::mem::size_of::<Self>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.postings.capacity() * std::mem::size_of::<Posting>()
+            + self.remap.heap_bytes()
     }
 }
 
@@ -112,6 +174,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn list_range_slices_the_shared_postings_array() {
+        let store = random_store(120, 5, 40, 6);
+        let idx = AugmentedInvertedIndex::build(&store);
+        for item in 0..45u32 {
+            let (s, e) = idx.list_range(ItemId(item));
+            let via_range = &idx.postings()[s as usize..e as usize];
+            let via_list = idx.list(ItemId(item)).unwrap_or(&[]);
+            assert_eq!(via_range, via_list);
+        }
+        assert_eq!(idx.list_range(ItemId(9999)), (0, 0));
     }
 
     #[test]

@@ -2,28 +2,31 @@
 //!
 //! Each item's postings are sorted by **rank**; since ranks are integers
 //! `0..k-1`, runs of equal rank form *blocks* `B_{i@j}` — the rankings in
-//! which item `i` appears at rank `j`. A secondary per-list offset array
-//! (`k + 1` entries) addresses each block in O(1), so query processing can
-//! skip whole blocks whose guaranteed partial distance `|j − q(i)|` already
-//! exceeds the threshold.
+//! which item `i` appears at rank `j`. The whole structure is one CSR
+//! arena: a single contiguous `ids` array plus a `block_offsets` array of
+//! `k + 1` absolute offsets per dense item, so addressing block `B_{i@j}`
+//! is two loads and a slice and query processing can skip whole blocks
+//! whose guaranteed partial distance `|j − q(i)|` already exceeds the
+//! threshold.
 
-use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
-use ranksim_rankings::{ItemId, RankingId, RankingStore};
+use std::sync::Arc;
 
-#[derive(Debug, Clone)]
-struct BlockedList {
-    /// Postings sorted by (rank, id); rank is implicit via `offsets`.
-    ids: Vec<RankingId>,
-    /// `offsets[j]..offsets[j+1]` is block `B_{i@j}`; length `k + 1`.
-    offsets: Vec<u32>,
-}
+use ranksim_rankings::{ItemId, ItemRemap, RankingId, RankingStore};
 
 /// The blocked, rank-partitioned inverted index.
 #[derive(Debug, Clone)]
 pub struct BlockedInvertedIndex {
     k: usize,
-    lists: FxHashMap<ItemId, BlockedList>,
+    remap: Arc<ItemRemap>,
+    /// All postings, item-major, rank-major (then id-sorted) within each
+    /// item.
+    ids: Vec<RankingId>,
+    /// `block_offsets[d * (k + 1) + j] .. block_offsets[d * (k + 1) + j + 1]`
+    /// is block `B_{d@j}` inside `ids`; `k + 1` absolute offsets per dense
+    /// item.
+    block_offsets: Vec<u32>,
     indexed: usize,
+    num_items: usize,
     /// Time spent sorting postings into blocks is part of construction;
     /// the per-query *resorting* overhead the paper discusses for the Yago
     /// dataset is modelled by the query-side block walk itself.
@@ -33,44 +36,67 @@ pub struct BlockedInvertedIndex {
 impl BlockedInvertedIndex {
     /// Indexes every ranking of the store.
     pub fn build(store: &RankingStore) -> Self {
-        Self::build_from(store, store.ids())
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), store.ids())
     }
 
     /// Indexes a subset of rankings (any order; blocks are rank-major).
     pub fn build_from<I: IntoIterator<Item = RankingId>>(store: &RankingStore, ids: I) -> Self {
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), ids)
+    }
+
+    /// Indexes a subset of rankings against a shared corpus remap.
+    pub fn build_with_remap<I: IntoIterator<Item = RankingId>>(
+        store: &RankingStore,
+        remap: Arc<ItemRemap>,
+        ids: I,
+    ) -> Self {
         let k = store.k();
-        // First gather (rank, id) per item, then freeze into block layout.
-        let mut staging: FxHashMap<ItemId, Vec<(u32, RankingId)>> = fx_map_with_capacity(1024);
-        let mut indexed = 0usize;
-        for id in ids {
-            indexed += 1;
+        let mut ids_in: Vec<RankingId> = ids.into_iter().collect();
+        let m = remap.len();
+        let stride = k + 1;
+        // Counting sort over (dense item, rank): `block_offsets` doubles as
+        // the per-(item, rank) counter during construction.
+        let mut block_offsets = vec![0u32; m * stride + 1];
+        for &id in &ids_in {
             for (rank, &item) in store.items(id).iter().enumerate() {
-                staging.entry(item).or_default().push((rank as u32, id));
+                let d = remap.dense(item).expect("item missing from remap") as usize;
+                block_offsets[d * stride + rank + 1] += 1;
             }
         }
-        let mut lists = fx_map_with_capacity(staging.len());
+        // The per-item `offsets[k]` slot (one short of the next item's
+        // start) stays 0 in the counting pass — rank k never occurs — so a
+        // single prefix sum turns the counts into absolute block offsets
+        // with `offsets[d * stride + k] == offsets[(d + 1) * stride]`.
+        for i in 1..block_offsets.len() {
+            block_offsets[i] += block_offsets[i - 1];
+        }
+        let total = *block_offsets.last().unwrap_or(&0) as usize;
+        let mut cursors: Vec<u32> = block_offsets[..m * stride].to_vec();
+        let mut arena = vec![RankingId(0); total];
+        // Iterating ids in ascending order keeps every block id-sorted
+        // even when the caller supplied them unsorted; the original order
+        // is not needed again, so sort in place.
+        ids_in.sort_unstable();
         let mut build_sort_ops = 0u64;
-        for (item, mut postings) in staging {
-            postings.sort_unstable();
-            build_sort_ops += postings.len() as u64;
-            let mut offsets = Vec::with_capacity(k + 1);
-            let mut ids = Vec::with_capacity(postings.len());
-            let mut cursor = 0usize;
-            for j in 0..k as u32 {
-                offsets.push(cursor as u32);
-                while cursor < postings.len() && postings[cursor].0 == j {
-                    ids.push(postings[cursor].1);
-                    cursor += 1;
-                }
+        for &id in &ids_in {
+            for (rank, &item) in store.items(id).iter().enumerate() {
+                let d = remap.dense(item).expect("item missing from remap") as usize;
+                let c = &mut cursors[d * stride + rank];
+                arena[*c as usize] = id;
+                *c += 1;
+                build_sort_ops += 1;
             }
-            offsets.push(cursor as u32);
-            debug_assert_eq!(cursor, postings.len());
-            lists.insert(item, BlockedList { ids, offsets });
         }
+        let num_items = (0..m)
+            .filter(|&d| block_offsets[d * stride] < block_offsets[d * stride + k])
+            .count();
         BlockedInvertedIndex {
             k,
-            lists,
-            indexed,
+            remap,
+            ids: arena,
+            block_offsets,
+            indexed: ids_in.len(),
+            num_items,
             build_sort_ops,
         }
     }
@@ -85,19 +111,26 @@ impl BlockedInvertedIndex {
         self.indexed
     }
 
-    /// Number of distinct items.
+    /// Number of distinct items with at least one posting.
     pub fn num_items(&self) -> usize {
-        self.lists.len()
+        self.num_items
+    }
+
+    /// The shared item remap backing the CSR layout.
+    #[inline]
+    pub fn remap(&self) -> &Arc<ItemRemap> {
+        &self.remap
     }
 
     /// Block `B_{item@rank}`: the rankings holding `item` at `rank`.
     #[inline]
     pub fn block(&self, item: ItemId, rank: u32) -> &[RankingId] {
-        match self.lists.get(&item) {
-            Some(l) => {
-                let lo = l.offsets[rank as usize] as usize;
-                let hi = l.offsets[rank as usize + 1] as usize;
-                &l.ids[lo..hi]
+        match self.remap.dense(item) {
+            Some(d) => {
+                let base = d as usize * (self.k + 1) + rank as usize;
+                let lo = self.block_offsets[base] as usize;
+                let hi = self.block_offsets[base + 1] as usize;
+                &self.ids[lo..hi]
             }
             None => &[],
         }
@@ -106,25 +139,27 @@ impl BlockedInvertedIndex {
     /// Total postings for `item`.
     #[inline]
     pub fn list_len(&self, item: ItemId) -> usize {
-        self.lists.get(&item).map(|l| l.ids.len()).unwrap_or(0)
+        match self.remap.dense(item) {
+            Some(d) => {
+                let base = d as usize * (self.k + 1);
+                (self.block_offsets[base + self.k] - self.block_offsets[base]) as usize
+            }
+            None => 0,
+        }
     }
 
     /// Whether the index holds any posting for `item`.
     #[inline]
     pub fn contains_item(&self, item: ItemId) -> bool {
-        self.lists.contains_key(&item)
+        self.list_len(item) > 0
     }
 
-    /// Approximate heap footprint in bytes (Table 6 reporting).
+    /// Exact heap footprint in bytes (Table 6 reporting).
     pub fn heap_bytes(&self) -> usize {
-        let buckets = self.lists.capacity()
-            * (std::mem::size_of::<ItemId>() + std::mem::size_of::<BlockedList>());
-        let payload: usize = self
-            .lists
-            .values()
-            .map(|l| l.ids.capacity() * 4 + l.offsets.capacity() * 4)
-            .sum();
-        buckets + payload
+        std::mem::size_of::<Self>()
+            + self.ids.capacity() * std::mem::size_of::<RankingId>()
+            + self.block_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.remap.heap_bytes()
     }
 }
 
@@ -149,6 +184,23 @@ mod tests {
                 total += block.len();
             }
             assert_eq!(total, idx.list_len(item));
+        }
+    }
+
+    #[test]
+    fn unsorted_subset_build_keeps_blocks_id_sorted() {
+        let store = random_store(90, 5, 30, 21);
+        let mut subset: Vec<RankingId> = store.ids().filter(|id| id.0 % 2 == 1).collect();
+        subset.reverse();
+        let idx = BlockedInvertedIndex::build_from(&store, subset);
+        for item in 0..30u32 {
+            for rank in 0..5u32 {
+                let block = idx.block(ItemId(item), rank);
+                assert!(block.windows(2).all(|w| w[0] < w[1]));
+                for &id in block {
+                    assert_eq!(id.0 % 2, 1);
+                }
+            }
         }
     }
 

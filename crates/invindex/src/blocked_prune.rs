@@ -14,12 +14,16 @@
 //! * `Blocked+Prune+Drop` additionally drops lists per Lemma 2; membership
 //!   in dropped lists is never learned, so undecided candidates fall back
 //!   to one exact distance evaluation each — the DFCs Figure 10 reports.
+//!
+//! Candidate state lives in the reusable [`QueryScratch`]: the bound
+//! accumulators in an epoch-versioned cell map (`(exact, tau_side,
+//! q_side)` per candidate), decided candidates in an epoch-versioned
+//! marker set — zero heap allocations in steady state.
 
 use crate::blocked::BlockedInvertedIndex;
 use crate::bounds::CandidateBounds;
-use crate::drop::keep_positions;
-use ranksim_rankings::hash::{fx_map_with_capacity, fx_set_with_capacity};
-use ranksim_rankings::{one_side_total, ItemId, PositionMap, QueryStats, RankingId, RankingStore};
+use crate::drop::keep_positions_into;
+use ranksim_rankings::{one_side_total, ItemId, QueryScratch, QueryStats, RankingId, RankingStore};
 
 /// Blocked+Prune: all lists, block skipping, bound-based decisions.
 pub fn blocked_prune(
@@ -29,7 +33,18 @@ pub fn blocked_prune(
     theta_raw: u32,
     stats: &mut QueryStats,
 ) -> Vec<RankingId> {
-    blocked_core(index, store, query, theta_raw, false, stats)
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    blocked_prune_into(
+        index,
+        store,
+        query,
+        theta_raw,
+        &mut scratch,
+        stats,
+        &mut out,
+    );
+    out
 }
 
 /// Blocked+Prune+Drop: Lemma 2 list dropping on top of blocked pruning.
@@ -40,30 +55,96 @@ pub fn blocked_prune_drop(
     theta_raw: u32,
     stats: &mut QueryStats,
 ) -> Vec<RankingId> {
-    blocked_core(index, store, query, theta_raw, true, stats)
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    blocked_prune_drop_into(
+        index,
+        store,
+        query,
+        theta_raw,
+        &mut scratch,
+        stats,
+        &mut out,
+    );
+    out
 }
 
+/// Scratch-reusing Blocked+Prune; appends results to `out`.
+pub fn blocked_prune_into(
+    index: &BlockedInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    theta_raw: u32,
+    scratch: &mut QueryScratch,
+    stats: &mut QueryStats,
+    out: &mut Vec<RankingId>,
+) {
+    blocked_core(index, store, query, theta_raw, false, scratch, stats, out)
+}
+
+/// Scratch-reusing Blocked+Prune+Drop; appends results to `out`.
+pub fn blocked_prune_drop_into(
+    index: &BlockedInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    theta_raw: u32,
+    scratch: &mut QueryScratch,
+    stats: &mut QueryStats,
+    out: &mut Vec<RankingId>,
+) {
+    blocked_core(index, store, query, theta_raw, true, scratch, stats, out)
+}
+
+#[inline]
+fn cell_bounds(c: [u32; 3]) -> CandidateBounds {
+    CandidateBounds {
+        exact_seen: c[0],
+        tau_side_seen: c[1],
+        q_side_seen: c[2],
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn blocked_core(
     index: &BlockedInvertedIndex,
     store: &RankingStore,
     query: &[ItemId],
     theta_raw: u32,
     drop_lists: bool,
+    scratch: &mut QueryScratch,
     stats: &mut QueryStats,
-) -> Vec<RankingId> {
+    out: &mut Vec<RankingId>,
+) {
     debug_assert_eq!(index.k(), query.len());
     let k = query.len();
     let ku = k as u32;
     let t_k = one_side_total(k);
-    let positions: Vec<usize> = if drop_lists {
-        keep_positions(query, theta_raw, |p| index.list_len(query[p]))
+    let remap = index.remap();
+    let mut positions = std::mem::take(&mut scratch.positions);
+    if drop_lists {
+        let mut by_len = std::mem::take(&mut scratch.positions_tmp);
+        keep_positions_into(
+            query,
+            theta_raw,
+            |p| index.list_len(query[p]),
+            &mut positions,
+            &mut by_len,
+        );
+        scratch.positions_tmp = by_len;
     } else {
-        (0..k).collect()
-    };
+        positions.clear();
+        positions.extend(0..k);
+    }
 
-    let mut cands = fx_map_with_capacity::<u32, CandidateBounds>(256);
-    let mut decided = fx_set_with_capacity::<u32>(256);
-    let mut results: Vec<RankingId> = Vec::new();
+    let QueryScratch {
+        qmap,
+        marks: decided,
+        cells: cands,
+        ..
+    } = scratch;
+    cands.begin(store.len());
+    decided.begin(store.len());
+    let out_start = out.len();
     let mut processed_q = 0u32;
 
     for &p in &positions {
@@ -82,23 +163,23 @@ fn blocked_core(
             scanned += block.len();
             let delta = j.abs_diff(q_rank);
             for &id in block {
-                if decided.contains(&id.0) {
+                if decided.contains(id.0) {
                     continue;
                 }
-                match cands.entry(id.0) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        e.get_mut().see(ku, j, q_rank);
+                match cands.get_mut(id.0) {
+                    Some(c) => {
+                        c[0] += j.abs_diff(q_rank);
+                        c[1] += ku - j;
+                        c[2] += ku - q_rank;
                     }
-                    std::collections::hash_map::Entry::Vacant(v) => {
+                    None => {
                         // Dead on arrival: the candidate's lower bound
                         // after this list would already exceed θ.
                         if processed_q + delta > theta_raw {
                             continue;
                         }
                         stats.candidates += 1;
-                        let mut b = CandidateBounds::default();
-                        b.see(ku, j, q_rank);
-                        v.insert(b);
+                        cands.insert(id.0, [j.abs_diff(q_rank), ku - j, ku - q_rank]);
                     }
                 }
             }
@@ -106,13 +187,14 @@ fn blocked_core(
         stats.count_list(scanned);
         processed_q += ku - q_rank;
         // Sweep: evict hopeless candidates, report certain ones early.
-        cands.retain(|&id, b| {
+        cands.retain(|id, c| {
+            let b = cell_bounds(*c);
             if b.lower(processed_q) > theta_raw {
-                decided.insert(id);
+                decided.mark(id);
                 false
             } else if b.upper(t_k) <= theta_raw {
-                decided.insert(id);
-                results.push(RankingId(id));
+                decided.mark(id);
+                out.push(RankingId(id));
                 false
             } else {
                 true
@@ -123,25 +205,23 @@ fn blocked_core(
     // Finalize survivors. Without dropping, U has converged to the exact
     // distance for every candidate that could still be a result; with
     // dropping, undecided candidates need one exact evaluation.
-    let qmap = if drop_lists && !cands.is_empty() {
-        Some(PositionMap::new(query))
-    } else {
-        None
-    };
-    for (id, b) in cands {
+    let fallback = drop_lists && !cands.is_empty();
+    if fallback {
+        qmap.build(remap, query);
+    }
+    for &id in cands.keys() {
+        let b = cell_bounds(cands.get(id).expect("live candidate"));
         if b.upper(t_k) <= theta_raw {
-            results.push(RankingId(id));
-        } else if let Some(qmap) = &qmap {
-            if b.lower(processed_q) <= theta_raw {
-                stats.count_distance();
-                if qmap.distance_to(store.items(RankingId(id))) <= theta_raw {
-                    results.push(RankingId(id));
-                }
+            out.push(RankingId(id));
+        } else if fallback && b.lower(processed_q) <= theta_raw {
+            stats.count_distance();
+            if qmap.distance_to(remap, store.items(RankingId(id))) <= theta_raw {
+                out.push(RankingId(id));
             }
         }
     }
-    stats.results += results.len() as u64;
-    results
+    stats.results += (out.len() - out_start) as u64;
+    scratch.positions = positions;
 }
 
 #[cfg(test)]
@@ -177,6 +257,35 @@ mod tests {
                 let got = blocked_prune_drop(&index, &store, &q, raw, &mut stats);
                 assert_equals_scan(&store, &q, raw, got);
             }
+        }
+    }
+
+    #[test]
+    fn shared_scratch_blocked_equals_fresh_scratch() {
+        let store = random_store(280, 7, 55, 601);
+        let index = BlockedInvertedIndex::build(&store);
+        let mut shared = QueryScratch::new();
+        for seed in 0..16u64 {
+            let q = perturbed_query(&store, RankingId((seed * 37 % 280) as u32), 55, seed);
+            let raw = raw_threshold(0.1 * (seed % 4) as f64, 7);
+            let drop = seed % 2 == 0;
+            let mut s1 = QueryStats::new();
+            let mut s2 = QueryStats::new();
+            let mut got = Vec::new();
+            if drop {
+                blocked_prune_drop_into(&index, &store, &q, raw, &mut shared, &mut s1, &mut got);
+            } else {
+                blocked_prune_into(&index, &store, &q, raw, &mut shared, &mut s1, &mut got);
+            }
+            let mut expect = if drop {
+                blocked_prune_drop(&index, &store, &q, raw, &mut s2)
+            } else {
+                blocked_prune(&index, &store, &q, raw, &mut s2)
+            };
+            got.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "seed {seed} drop {drop}");
+            assert_eq!(s1, s2);
         }
     }
 

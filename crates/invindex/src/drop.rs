@@ -42,30 +42,48 @@ pub fn keep_positions<F: Fn(usize) -> usize>(
     theta_raw: u32,
     list_len: F,
 ) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut tmp = Vec::new();
+    keep_positions_into(query, theta_raw, list_len, &mut out, &mut tmp);
+    out
+}
+
+/// Allocation-free core of [`keep_positions`]: writes the retained
+/// positions into `out` using `by_len` as sort scratch (both reusable
+/// across queries, e.g. from a `QueryScratch`).
+pub fn keep_positions_into<F: Fn(usize) -> usize>(
+    query: &[ItemId],
+    theta_raw: u32,
+    list_len: F,
+    out: &mut Vec<usize>,
+    by_len: &mut Vec<usize>,
+) {
+    out.clear();
     let k = query.len();
     let w = omega(k, theta_raw);
     let n_keep = (k - w).max(1);
     if n_keep >= k {
-        return (0..k).collect();
+        out.extend(0..k);
+        return;
     }
     // Sort positions by list length ascending; keep the shortest lists.
-    let mut by_len: Vec<usize> = (0..k).collect();
-    by_len.sort_by_key(|&p| (list_len(p), p));
-    let mut keep: Vec<usize> = by_len[..n_keep].to_vec();
+    by_len.clear();
+    by_len.extend(0..k);
+    by_len.sort_unstable_by_key(|&p| (list_len(p), p));
+    out.extend_from_slice(&by_len[..n_keep]);
     // Positional condition of Lemma 2: at least one retained position < ω.
-    if w > 0 && !keep.iter().any(|&p| p < w) {
+    if w > 0 && !out.iter().any(|&p| p < w) {
         // Swap in the cheapest top-ω list for the most expensive kept one.
         let cheapest_top = (0..w).min_by_key(|&p| (list_len(p), p)).expect("ω > 0");
-        let (victim_idx, _) = keep
+        let (victim_idx, _) = out
             .iter()
             .enumerate()
             .max_by_key(|&(_, &p)| (list_len(p), p))
             .expect("keep non-empty");
-        keep[victim_idx] = cheapest_top;
+        out[victim_idx] = cheapest_top;
     }
-    keep.sort_unstable();
-    keep.dedup();
-    keep
+    out.sort_unstable();
+    out.dedup();
 }
 
 #[cfg(test)]

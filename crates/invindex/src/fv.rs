@@ -10,11 +10,16 @@
 //! `F&V+Drop` accesses only the lists chosen by [`crate::drop`], skipping
 //! the longest lists the overlap bound allows; candidates and DFCs shrink
 //! accordingly with zero false negatives (Lemma 2).
+//!
+//! The `_into` entry points are the hot path: they thread a reusable
+//! [`QueryScratch`] (epoch-versioned candidate set, flat query map) and
+//! append into caller-owned buffers, performing zero heap allocations in
+//! steady state. The plain functions are thin compatibility wrappers that
+//! allocate a scratch per call.
 
-use crate::drop::keep_positions;
+use crate::drop::keep_positions_into;
 use crate::plain::PlainInvertedIndex;
-use ranksim_rankings::hash::fx_set_with_capacity;
-use ranksim_rankings::{ItemId, PositionMap, QueryStats, RankingId, RankingStore};
+use ranksim_rankings::{ItemId, QueryScratch, QueryStats, RankingId, RankingStore};
 
 /// F&V: returns all indexed rankings within `theta_raw` of the query.
 pub fn filter_validate(
@@ -24,9 +29,18 @@ pub fn filter_validate(
     theta_raw: u32,
     stats: &mut QueryStats,
 ) -> Vec<RankingId> {
-    let positions: Vec<usize> = (0..query.len()).collect();
-    let with_d = filter_validate_positions(index, store, query, &positions, theta_raw, stats);
-    with_d.into_iter().map(|(id, _)| id).collect()
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    filter_validate_into(
+        index,
+        store,
+        query,
+        theta_raw,
+        &mut scratch,
+        stats,
+        &mut out,
+    );
+    out
 }
 
 /// F&V+Drop: like [`filter_validate`] but only accesses the index lists
@@ -38,9 +52,71 @@ pub fn filter_validate_drop(
     theta_raw: u32,
     stats: &mut QueryStats,
 ) -> Vec<RankingId> {
-    let kept = keep_positions(query, theta_raw, |p| index.list_len(query[p]));
-    let with_d = filter_validate_positions(index, store, query, &kept, theta_raw, stats);
-    with_d.into_iter().map(|(id, _)| id).collect()
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    filter_validate_drop_into(
+        index,
+        store,
+        query,
+        theta_raw,
+        &mut scratch,
+        stats,
+        &mut out,
+    );
+    out
+}
+
+/// Scratch-reusing F&V; appends results to `out`.
+pub fn filter_validate_into(
+    index: &PlainInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    theta_raw: u32,
+    scratch: &mut QueryScratch,
+    stats: &mut QueryStats,
+    out: &mut Vec<RankingId>,
+) {
+    let mut positions = std::mem::take(&mut scratch.positions);
+    positions.clear();
+    positions.extend(0..query.len());
+    let mut hits = std::mem::take(&mut scratch.hits);
+    hits.clear();
+    filter_validate_positions_into(
+        index, store, query, &positions, theta_raw, scratch, stats, &mut hits,
+    );
+    out.extend(hits.iter().map(|&(id, _)| id));
+    scratch.hits = hits;
+    scratch.positions = positions;
+}
+
+/// Scratch-reusing F&V+Drop; appends results to `out`.
+pub fn filter_validate_drop_into(
+    index: &PlainInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    theta_raw: u32,
+    scratch: &mut QueryScratch,
+    stats: &mut QueryStats,
+    out: &mut Vec<RankingId>,
+) {
+    let mut positions = std::mem::take(&mut scratch.positions);
+    let mut by_len = std::mem::take(&mut scratch.positions_tmp);
+    keep_positions_into(
+        query,
+        theta_raw,
+        |p| index.list_len(query[p]),
+        &mut positions,
+        &mut by_len,
+    );
+    let mut hits = std::mem::take(&mut scratch.hits);
+    hits.clear();
+    filter_validate_positions_into(
+        index, store, query, &positions, theta_raw, scratch, stats, &mut hits,
+    );
+    out.extend(hits.iter().map(|&(id, _)| id));
+    scratch.hits = hits;
+    scratch.positions = positions;
+    scratch.positions_tmp = by_len;
 }
 
 /// Shared core returning `(id, distance)` pairs — the coarse index uses
@@ -53,35 +129,107 @@ pub fn filter_validate_positions(
     theta_raw: u32,
     stats: &mut QueryStats,
 ) -> Vec<(RankingId, u32)> {
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    filter_validate_positions_into(
+        index,
+        store,
+        query,
+        positions,
+        theta_raw,
+        &mut scratch,
+        stats,
+        &mut out,
+    );
+    out
+}
+
+/// Scratch-reusing core of every F&V variant: unions the postings of the
+/// selected query positions through the epoch-versioned candidate set,
+/// then validates each candidate with one flat-map distance evaluation.
+/// Appends `(id, distance)` pairs to `out`.
+#[allow(clippy::too_many_arguments)]
+pub fn filter_validate_positions_into(
+    index: &PlainInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    positions: &[usize],
+    theta_raw: u32,
+    scratch: &mut QueryScratch,
+    stats: &mut QueryStats,
+    out: &mut Vec<(RankingId, u32)>,
+) {
     debug_assert_eq!(index.k(), query.len());
+    let remap = index.remap();
+    let QueryScratch { qmap, marks, .. } = scratch;
     // Filtering phase: union of the selected postings lists.
-    let mut candidates = fx_set_with_capacity::<RankingId>(64);
+    marks.begin(store.len());
     for &p in positions {
         if let Some(list) = index.list(query[p]) {
             stats.count_list(list.len());
-            candidates.extend(list.iter().copied());
+            for &id in list {
+                marks.mark(id.0);
+            }
         } else {
             stats.count_list(0);
         }
     }
-    stats.candidates += candidates.len() as u64;
+    stats.candidates += marks.len() as u64;
     // Validation phase: one distance call per candidate.
-    let qmap = PositionMap::new(query);
-    let mut out = Vec::new();
-    for id in candidates {
+    qmap.build(remap, query);
+    let out_start = out.len();
+    for &id in marks.keys() {
         stats.count_distance();
-        let d = qmap.distance_to(store.items(id));
+        let d = qmap.distance_to(remap, store.items(RankingId(id)));
         if d <= theta_raw {
-            out.push((id, d));
+            out.push((RankingId(id), d));
         }
     }
-    stats.results += out.len() as u64;
-    out
+    stats.results += (out.len() - out_start) as u64;
 }
 
-/// Variant of [`filter_validate_positions`] that validates against the
-/// *relaxed* threshold but reports distances, for coarse-index filtering
-/// (query medoids with `θ + θ_C`, Section 4.2).
+/// Variant of [`filter_validate_positions_into`] that validates against
+/// the *relaxed* threshold but reports distances, for coarse-index
+/// filtering (query medoids with `θ + θ_C`, Section 4.2).
+pub fn filter_validate_relaxed_into(
+    index: &PlainInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    relaxed_theta_raw: u32,
+    drop_lists: bool,
+    scratch: &mut QueryScratch,
+    stats: &mut QueryStats,
+    out: &mut Vec<(RankingId, u32)>,
+) {
+    let mut positions = std::mem::take(&mut scratch.positions);
+    if drop_lists {
+        let mut by_len = std::mem::take(&mut scratch.positions_tmp);
+        keep_positions_into(
+            query,
+            relaxed_theta_raw,
+            |p| index.list_len(query[p]),
+            &mut positions,
+            &mut by_len,
+        );
+        scratch.positions_tmp = by_len;
+    } else {
+        positions.clear();
+        positions.extend(0..query.len());
+    }
+    filter_validate_positions_into(
+        index,
+        store,
+        query,
+        &positions,
+        relaxed_theta_raw,
+        scratch,
+        stats,
+        out,
+    );
+    scratch.positions = positions;
+}
+
+/// Allocating wrapper around [`filter_validate_relaxed_into`].
 pub fn filter_validate_relaxed(
     index: &PlainInvertedIndex,
     store: &RankingStore,
@@ -90,19 +238,26 @@ pub fn filter_validate_relaxed(
     drop_lists: bool,
     stats: &mut QueryStats,
 ) -> Vec<(RankingId, u32)> {
-    let positions: Vec<usize> = if drop_lists {
-        keep_positions(query, relaxed_theta_raw, |p| index.list_len(query[p]))
-    } else {
-        (0..query.len()).collect()
-    };
-    filter_validate_positions(index, store, query, &positions, relaxed_theta_raw, stats)
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    filter_validate_relaxed_into(
+        index,
+        store,
+        query,
+        relaxed_theta_raw,
+        drop_lists,
+        &mut scratch,
+        stats,
+        &mut out,
+    );
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::{assert_equals_scan, perturbed_query, random_store, scan};
-    use ranksim_rankings::raw_threshold;
+    use ranksim_rankings::{raw_threshold, PositionMap};
 
     #[test]
     fn fv_equals_scan() {
@@ -131,6 +286,36 @@ mod tests {
                 let got = filter_validate_drop(&index, &store, &q, raw, &mut stats);
                 assert_equals_scan(&store, &q, raw, got);
             }
+        }
+    }
+
+    #[test]
+    fn shared_scratch_across_queries_equals_fresh_scratch() {
+        let store = random_store(250, 6, 50, 123);
+        let index = PlainInvertedIndex::build(&store);
+        let mut shared = QueryScratch::new();
+        for seed in 0..20u64 {
+            let q = perturbed_query(&store, RankingId((seed * 13 % 250) as u32), 50, seed);
+            let raw = raw_threshold(0.05 * (seed % 5) as f64, 6);
+            let mut s1 = QueryStats::new();
+            let mut s2 = QueryStats::new();
+            let mut via_shared = Vec::new();
+            filter_validate_into(
+                &index,
+                &store,
+                &q,
+                raw,
+                &mut shared,
+                &mut s1,
+                &mut via_shared,
+            );
+            let via_fresh = filter_validate(&index, &store, &q, raw, &mut s2);
+            let mut a = via_shared;
+            let mut b = via_fresh;
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "stale scratch state leaked at seed {seed}");
+            assert_eq!(s1, s2, "stats must not depend on scratch reuse");
         }
     }
 

@@ -36,7 +36,7 @@ pub mod plain;
 
 pub use augmented::{AugmentedInvertedIndex, Posting};
 pub use blocked::BlockedInvertedIndex;
-pub use drop::{keep_positions, omega};
+pub use drop::{keep_positions, keep_positions_into, omega};
 pub use minimal::MinimalFv;
 pub use plain::PlainInvertedIndex;
 

@@ -1,24 +1,32 @@
-//! ListMerge: merge of id-sorted, rank-augmented lists with on-the-fly
-//! aggregation (paper Section 7, "Merge of Id-Sorted Lists with
-//! Aggregation").
+//! ListMerge: aggregation over id-sorted, rank-augmented lists (paper
+//! Section 7, "Merge of Id-Sorted Lists with Aggregation").
 //!
-//! Opening a cursor on each of the query's k postings lists, the algorithm
-//! repeatedly finalizes the smallest ranking id across all cursors. Because
-//! postings carry ranks, the exact Footrule distance follows from the
-//! matched contributions alone:
+//! Because postings carry ranks, the exact Footrule distance of every
+//! ranking appearing in at least one of the query's k postings lists
+//! follows from the matched contributions alone:
 //!
 //! ```text
 //! F = Σ_matched |τ(i) − q(i)|  +  (T(k) − Σ_matched (k − q(i)))
 //!                              +  (T(k) − Σ_matched (k − τ(i)))
 //! ```
 //!
-//! No bookkeeping survives across ids (one ranking in flight at a time),
-//! no hash map, and no access to the ranking store: the algorithm is
-//! threshold-agnostic — its cost is reading the k lists once, which is why
-//! the paper's Figures 8/9 show it flat across θ.
+//! No distance-function call and no access to the ranking store: the
+//! algorithm's cost is reading the k lists once, which is why the paper's
+//! Figures 8/9 show it flat across θ.
+//!
+//! The paper realizes the aggregation as a k-way merge that finalizes one
+//! ranking id at a time (no per-candidate state, but `O(k)` cursor-head
+//! scans per distinct id). This implementation keeps the identical
+//! aggregate but accumulates **item-at-a-time** into the epoch-versioned
+//! cell map of the reusable [`QueryScratch`]: each posting is one O(1)
+//! probe of a flat array, so the whole query costs `O(Σ list lengths)`
+//! instead of `O(k · #distinct ids)` — the measured hot-path win recorded
+//! in `BENCH_hotpath.json`. Like the merge, it uses no hash map, performs
+//! zero distance calls, and never touches the store; results are emitted
+//! id-sorted as before.
 
 use crate::augmented::AugmentedInvertedIndex;
-use ranksim_rankings::{one_side_total, ItemId, QueryStats, RankingId, RankingStore};
+use ranksim_rankings::{one_side_total, ItemId, QueryScratch, QueryStats, RankingId, RankingStore};
 
 /// ListMerge: returns all indexed rankings within `theta_raw` of the query.
 pub fn list_merge(
@@ -28,54 +36,63 @@ pub fn list_merge(
     theta_raw: u32,
     stats: &mut QueryStats,
 ) -> Vec<RankingId> {
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    list_merge_into(
+        index,
+        store,
+        query,
+        theta_raw,
+        &mut scratch,
+        stats,
+        &mut out,
+    );
+    out
+}
+
+/// Scratch-reusing ListMerge; appends results (id-ascending) to `out`.
+pub fn list_merge_into(
+    index: &AugmentedInvertedIndex,
+    store: &RankingStore,
+    query: &[ItemId],
+    theta_raw: u32,
+    scratch: &mut QueryScratch,
+    stats: &mut QueryStats,
+    out: &mut Vec<RankingId>,
+) {
     debug_assert_eq!(index.k(), query.len());
     let k = store.k() as u32;
     let t_k = one_side_total(store.k());
-    // Cursor per query position; lists are id-sorted.
-    let lists: Vec<&[crate::augmented::Posting]> = query
-        .iter()
-        .map(|&item| {
-            let l = index.list(item).unwrap_or(&[]);
-            stats.count_list(l.len());
-            l
-        })
-        .collect();
-    let mut cursors = vec![0usize; lists.len()];
-    let mut out = Vec::new();
-    loop {
-        // The next ranking to finalize: minimum id over cursor heads.
-        let mut min_id: Option<RankingId> = None;
-        for (li, &c) in cursors.iter().enumerate() {
-            if let Some(p) = lists[li].get(c) {
-                if min_id.map(|m| p.id < m).unwrap_or(true) {
-                    min_id = Some(p.id);
-                }
-            }
-        }
-        let Some(id) = min_id else { break };
-        // Aggregate every list whose head matches this id.
-        let mut exact = 0u32;
-        let mut q_side = 0u32;
-        let mut tau_side = 0u32;
-        for (li, cursor) in cursors.iter_mut().enumerate() {
-            if let Some(p) = lists[li].get(*cursor) {
-                if p.id == id {
-                    let q_rank = li as u32;
-                    exact += p.rank.abs_diff(q_rank);
-                    q_side += k - q_rank;
-                    tau_side += k - p.rank;
-                    *cursor += 1;
-                }
-            }
-        }
-        let dist = exact + (t_k - q_side) + (t_k - tau_side);
-        stats.candidates += 1;
-        if dist <= theta_raw {
-            out.push(id);
+    let postings = index.postings();
+    let QueryScratch { cells, .. } = scratch;
+    // Aggregation phase: every posting books its exact, τ-side and q-side
+    // contribution into the candidate's cell.
+    cells.begin(store.len());
+    for (q_rank, &item) in query.iter().enumerate() {
+        let (start, end) = index.list_range(item);
+        stats.count_list((end - start) as usize);
+        let q_rank = q_rank as u32;
+        for p in &postings[start as usize..end as usize] {
+            let c = cells.probe(p.id.0);
+            c[0] += p.rank.abs_diff(q_rank);
+            c[1] += k - p.rank;
+            c[2] += k - q_rank;
         }
     }
-    stats.results += out.len() as u64;
-    out
+    // Finalization: one O(1) distance completion per distinct candidate.
+    stats.candidates += cells.len() as u64;
+    let out_start = out.len();
+    for &id in cells.keys() {
+        let c = cells.get(id).expect("aggregated candidate");
+        let dist = c[0] + (t_k - c[2]) + (t_k - c[1]);
+        if dist <= theta_raw {
+            out.push(RankingId(id));
+        }
+    }
+    // Keys surface in first-occurrence order across lists; restore the
+    // id-sorted result order of the merge formulation.
+    out[out_start..].sort_unstable();
+    stats.results += (out.len() - out_start) as u64;
 }
 
 #[cfg(test)]
@@ -96,6 +113,24 @@ mod tests {
                 let got = list_merge(&index, &store, &q, raw, &mut stats);
                 assert_equals_scan(&store, &q, raw, got);
             }
+        }
+    }
+
+    #[test]
+    fn shared_scratch_merge_equals_fresh_scratch() {
+        let store = random_store(260, 6, 45, 401);
+        let index = AugmentedInvertedIndex::build(&store);
+        let mut shared = QueryScratch::new();
+        for seed in 0..15u64 {
+            let q = perturbed_query(&store, RankingId((seed * 19 % 260) as u32), 45, seed);
+            let raw = raw_threshold(0.1 * (seed % 4) as f64, 6);
+            let mut s1 = QueryStats::new();
+            let mut s2 = QueryStats::new();
+            let mut got = Vec::new();
+            list_merge_into(&index, &store, &q, raw, &mut shared, &mut s1, &mut got);
+            let expect = list_merge(&index, &store, &q, raw, &mut s2);
+            assert_eq!(got, expect, "seed {seed}");
+            assert_eq!(s1, s2);
         }
     }
 

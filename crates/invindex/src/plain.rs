@@ -1,7 +1,14 @@
 //! Plain inverted index: item → id-sorted list of rankings containing it.
+//!
+//! Postings live in a compressed-sparse-row (CSR) layout: a shared
+//! [`ItemRemap`] turns an item id into a dense coordinate, `offsets`
+//! addresses that item's slice of one contiguous `postings` array. A query
+//! item's list is therefore two loads and a slice — no hash probe, no
+//! per-item heap allocation.
 
-use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
-use ranksim_rankings::{ItemId, RankingId, RankingStore};
+use std::sync::Arc;
+
+use ranksim_rankings::{ItemId, ItemRemap, RankingId, RankingStore};
 
 /// The classic set-valued-attribute inverted index (paper Section 4).
 ///
@@ -10,34 +17,69 @@ use ranksim_rankings::{ItemId, RankingId, RankingStore};
 #[derive(Debug, Clone)]
 pub struct PlainInvertedIndex {
     k: usize,
-    lists: FxHashMap<ItemId, Vec<RankingId>>,
+    remap: Arc<ItemRemap>,
+    /// `offsets[d]..offsets[d + 1]` is the postings slice of dense item `d`.
+    offsets: Vec<u32>,
+    /// All postings, item-major, id-sorted within each item.
+    postings: Vec<RankingId>,
     indexed: usize,
+    num_items: usize,
 }
 
 impl PlainInvertedIndex {
     /// Indexes every ranking of the store.
     pub fn build(store: &RankingStore) -> Self {
-        Self::build_from(store, store.ids())
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), store.ids())
     }
 
     /// Indexes a subset of rankings. Ids must be supplied in ascending
     /// order so that postings lists stay id-sorted.
     pub fn build_from<I: IntoIterator<Item = RankingId>>(store: &RankingStore, ids: I) -> Self {
-        let mut lists: FxHashMap<ItemId, Vec<RankingId>> = fx_map_with_capacity(1024);
-        let mut indexed = 0usize;
-        let mut prev: Option<RankingId> = None;
-        for id in ids {
-            debug_assert!(prev.map(|p| p < id).unwrap_or(true), "ids must ascend");
-            prev = Some(id);
-            indexed += 1;
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), ids)
+    }
+
+    /// Indexes a subset of rankings against a shared corpus remap (ids in
+    /// ascending order). The remap must cover every item of the indexed
+    /// rankings; the engine builds one remap per corpus and shares it
+    /// across all index structures.
+    pub fn build_with_remap<I: IntoIterator<Item = RankingId>>(
+        store: &RankingStore,
+        remap: Arc<ItemRemap>,
+        ids: I,
+    ) -> Self {
+        let ids: Vec<RankingId> = ids.into_iter().collect();
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+        let m = remap.len();
+        // Counting sort over dense item ids; iterating `ids` in ascending
+        // order keeps every per-item slice id-sorted.
+        let mut offsets = vec![0u32; m + 1];
+        for &id in &ids {
             for &item in store.items(id) {
-                lists.entry(item).or_default().push(id);
+                let d = remap.dense(item).expect("item missing from remap");
+                offsets[d as usize + 1] += 1;
             }
         }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let total = *offsets.last().unwrap_or(&0) as usize;
+        let mut cursors: Vec<u32> = offsets[..m].to_vec();
+        let mut postings = vec![RankingId(0); total];
+        for &id in &ids {
+            for &item in store.items(id) {
+                let d = remap.dense(item).expect("item missing from remap") as usize;
+                postings[cursors[d] as usize] = id;
+                cursors[d] += 1;
+            }
+        }
+        let num_items = (0..m).filter(|&d| offsets[d] < offsets[d + 1]).count();
         PlainInvertedIndex {
             k: store.k(),
-            lists,
-            indexed,
+            remap,
+            offsets,
+            postings,
+            indexed: ids.len(),
+            num_items,
         }
     }
 
@@ -51,42 +93,47 @@ impl PlainInvertedIndex {
         self.indexed
     }
 
-    /// Number of distinct items (= number of index lists).
+    /// Number of distinct items with at least one posting.
     pub fn num_items(&self) -> usize {
-        self.lists.len()
+        self.num_items
     }
 
-    /// The postings list for `item` (id-sorted), if any.
+    /// The shared item remap backing the CSR layout.
+    #[inline]
+    pub fn remap(&self) -> &Arc<ItemRemap> {
+        &self.remap
+    }
+
+    /// The postings list for `item` (id-sorted); `None` if the item is not
+    /// in the corpus remap (the slice may be empty for subset builds).
     #[inline]
     pub fn list(&self, item: ItemId) -> Option<&[RankingId]> {
-        self.lists.get(&item).map(|v| v.as_slice())
+        let d = self.remap.dense(item)? as usize;
+        Some(&self.postings[self.offsets[d] as usize..self.offsets[d + 1] as usize])
     }
 
     /// Length of the postings list for `item` (0 if absent).
     #[inline]
     pub fn list_len(&self, item: ItemId) -> usize {
-        self.lists.get(&item).map(|v| v.len()).unwrap_or(0)
+        self.list(item).map(|l| l.len()).unwrap_or(0)
     }
 
-    /// Mean postings-list length over all items.
+    /// Mean postings-list length over all items with postings.
     pub fn avg_list_len(&self) -> f64 {
-        if self.lists.is_empty() {
+        if self.num_items == 0 {
             return 0.0;
         }
-        let total: usize = self.lists.values().map(|v| v.len()).sum();
-        total as f64 / self.lists.len() as f64
+        self.postings.len() as f64 / self.num_items as f64
     }
 
-    /// Approximate heap footprint in bytes (Table 6 reporting).
+    /// Exact heap footprint in bytes (Table 6 reporting): the index header,
+    /// the two CSR arrays, and the item remap (shared remaps are counted in
+    /// every index holding them).
     pub fn heap_bytes(&self) -> usize {
-        let buckets = self.lists.capacity()
-            * (std::mem::size_of::<ItemId>() + std::mem::size_of::<Vec<RankingId>>());
-        let postings: usize = self
-            .lists
-            .values()
-            .map(|v| v.capacity() * std::mem::size_of::<RankingId>())
-            .sum();
-        buckets + postings
+        std::mem::size_of::<Self>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.postings.capacity() * std::mem::size_of::<RankingId>()
+            + self.remap.heap_bytes()
     }
 }
 
@@ -140,5 +187,20 @@ mod tests {
         assert!((idx.avg_list_len() - 1.5).abs() < 1e-12);
         assert_eq!(idx.list_len(ItemId(1)), 3);
         assert_eq!(idx.list_len(ItemId(99)), 0);
+    }
+
+    #[test]
+    fn heap_bytes_is_exact() {
+        let mut store = RankingStore::new(3);
+        store.push_items_unchecked(&[1, 2, 3].map(ItemId));
+        store.push_items_unchecked(&[2, 3, 4].map(ItemId));
+        let idx = PlainInvertedIndex::build(&store);
+        // 4 distinct items → 5 offsets; 2 rankings × k=3 → 6 postings; the
+        // build sizes both arrays exactly, so capacity == len.
+        let expected = std::mem::size_of::<PlainInvertedIndex>()
+            + 5 * std::mem::size_of::<u32>()
+            + 6 * std::mem::size_of::<RankingId>()
+            + idx.remap().heap_bytes();
+        assert_eq!(idx.heap_bytes(), expected);
     }
 }

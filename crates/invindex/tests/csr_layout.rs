@@ -1,0 +1,101 @@
+//! CSR layout oracle: for random stores, every index's CSR postings must
+//! equal the postings an explicit per-item hashmap build (the
+//! pre-refactor layout) produces — list contents, ordering, blocks and
+//! lengths.
+
+use proptest::prelude::*;
+use ranksim_invindex::{AugmentedInvertedIndex, BlockedInvertedIndex, PlainInvertedIndex, Posting};
+use ranksim_rankings::hash::{fx_map_with_capacity, FxHashMap};
+use ranksim_rankings::{ItemId, RankingId, RankingStore};
+
+/// Strategy: a corpus of `n` size-`k` rankings over `0..domain`.
+fn corpus(n: usize, k: usize, domain: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::sample::subsequence((0..domain).collect::<Vec<u32>>(), k).prop_shuffle(),
+        n,
+    )
+}
+
+fn store_of(rankings: &[Vec<u32>]) -> RankingStore {
+    let k = rankings[0].len();
+    let mut store = RankingStore::new(k);
+    for r in rankings {
+        let items: Vec<ItemId> = r.iter().copied().map(ItemId).collect();
+        store.push_items_unchecked(&items);
+    }
+    store
+}
+
+/// The pre-refactor reference layout: item → id-ordered postings.
+fn reference_postings(store: &RankingStore) -> FxHashMap<ItemId, Vec<(RankingId, u32)>> {
+    let mut lists: FxHashMap<ItemId, Vec<(RankingId, u32)>> = fx_map_with_capacity(64);
+    for id in store.ids() {
+        for (rank, &item) in store.items(id).iter().enumerate() {
+            lists.entry(item).or_default().push((id, rank as u32));
+        }
+    }
+    lists
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn plain_csr_lists_equal_hashmap_postings(rankings in corpus(40, 6, 30)) {
+        let store = store_of(&rankings);
+        let reference = reference_postings(&store);
+        let idx = PlainInvertedIndex::build(&store);
+        let total: usize = reference.values().map(|v| v.len()).sum();
+        prop_assert_eq!(total, store.len() * store.k());
+        prop_assert_eq!(idx.num_items(), reference.len());
+        for item in 0..31u32 {
+            let item = ItemId(item);
+            let expect: Vec<RankingId> = reference
+                .get(&item)
+                .map(|v| v.iter().map(|&(id, _)| id).collect())
+                .unwrap_or_default();
+            let got: Vec<RankingId> = idx.list(item).unwrap_or(&[]).to_vec();
+            prop_assert_eq!(got, expect, "item {}", item);
+            prop_assert_eq!(idx.list_len(item), reference.get(&item).map(|v| v.len()).unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn augmented_csr_lists_equal_hashmap_postings(rankings in corpus(35, 5, 25)) {
+        let store = store_of(&rankings);
+        let reference = reference_postings(&store);
+        let idx = AugmentedInvertedIndex::build(&store);
+        for item in 0..26u32 {
+            let item = ItemId(item);
+            let expect: Vec<Posting> = reference
+                .get(&item)
+                .map(|v| v.iter().map(|&(id, rank)| Posting { id, rank }).collect())
+                .unwrap_or_default();
+            let got: Vec<Posting> = idx.list(item).unwrap_or(&[]).to_vec();
+            prop_assert_eq!(got, expect, "item {}", item);
+        }
+    }
+
+    #[test]
+    fn blocked_csr_blocks_equal_hashmap_postings(rankings in corpus(30, 5, 20)) {
+        let store = store_of(&rankings);
+        let reference = reference_postings(&store);
+        let idx = BlockedInvertedIndex::build(&store);
+        for item in 0..21u32 {
+            let item = ItemId(item);
+            for rank in 0..store.k() as u32 {
+                let expect: Vec<RankingId> = reference
+                    .get(&item)
+                    .map(|v| {
+                        v.iter()
+                            .filter(|&&(_, r)| r == rank)
+                            .map(|&(id, _)| id)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                prop_assert_eq!(idx.block(item, rank).to_vec(), expect, "item {} rank {}", item, rank);
+            }
+            prop_assert_eq!(idx.list_len(item), reference.get(&item).map(|v| v.len()).unwrap_or(0));
+        }
+    }
+}

@@ -154,8 +154,27 @@ impl BkTree {
         stats: &mut QueryStats,
         out: &mut Vec<RankingId>,
     ) {
+        let mut stack = Vec::new();
+        self.range_query_from_with(store, from, query_pairs, theta_raw, &mut stack, stats, out);
+    }
+
+    /// Like [`BkTree::range_query_from`] but traversing through a
+    /// caller-owned `stack` buffer, so repeated queries allocate nothing
+    /// (the coarse index threads its `QueryScratch` tree stack here).
+    #[allow(clippy::too_many_arguments)]
+    pub fn range_query_from_with(
+        &self,
+        store: &RankingStore,
+        from: u32,
+        query_pairs: &[(ItemId, u32)],
+        theta_raw: u32,
+        stack: &mut Vec<u32>,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) {
         let k = store.k();
-        let mut stack = vec![from];
+        stack.clear();
+        stack.push(from);
         while let Some(idx) = stack.pop() {
             let node = &self.nodes[idx as usize];
             stats.tree_nodes_visited += 1;

@@ -59,13 +59,17 @@ pub fn linear_scan(
 /// Sorts query items into the `(item, rank)` pair form used by the metric
 /// structures' query entry points.
 pub fn query_pairs(items: &[ItemId]) -> Vec<(ItemId, u32)> {
-    let mut v: Vec<(ItemId, u32)> = items
-        .iter()
-        .enumerate()
-        .map(|(r, &i)| (i, r as u32))
-        .collect();
-    v.sort_unstable();
+    let mut v = Vec::new();
+    query_pairs_into(items, &mut v);
     v
+}
+
+/// Allocation-free variant of [`query_pairs`]: rebuilds the pair form in
+/// a reusable buffer (e.g. a `QueryScratch`'s `qp` field).
+pub fn query_pairs_into(items: &[ItemId], out: &mut Vec<(ItemId, u32)>) {
+    out.clear();
+    out.extend(items.iter().enumerate().map(|(r, &i)| (i, r as u32)));
+    out.sort_unstable();
 }
 
 pub mod testutil {

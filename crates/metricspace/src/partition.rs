@@ -100,6 +100,34 @@ impl Partitioning {
         stats: &mut QueryStats,
         out: &mut Vec<RankingId>,
     ) {
+        let mut stack = Vec::new();
+        self.validate_into_with(
+            store,
+            pi,
+            query_pairs,
+            theta_raw,
+            medoid_dist,
+            &mut stack,
+            stats,
+            out,
+        );
+    }
+
+    /// Like [`Partitioning::validate_into`] but traversing the partition's
+    /// BK-subtrees through a caller-owned `stack` buffer, so repeated
+    /// validations allocate nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn validate_into_with(
+        &self,
+        store: &RankingStore,
+        pi: usize,
+        query_pairs: &[(ItemId, u32)],
+        theta_raw: u32,
+        medoid_dist: Option<u32>,
+        stack: &mut Vec<u32>,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) {
         let p = &self.partitions[pi];
         let d_medoid = match medoid_dist {
             Some(d) => d,
@@ -118,12 +146,28 @@ impl Partitioning {
                     .as_ref()
                     .expect("BkSubtrees partition without arena");
                 for &r in roots {
-                    arena.range_query_from(store, r, query_pairs, theta_raw, stats, out);
+                    arena.range_query_from_with(
+                        store,
+                        r,
+                        query_pairs,
+                        theta_raw,
+                        stack,
+                        stats,
+                        out,
+                    );
                 }
             }
             PartitionMembers::Tree(tree) => {
                 if let Some(root) = tree.root() {
-                    tree.range_query_from(store, root, query_pairs, theta_raw, stats, out);
+                    tree.range_query_from_with(
+                        store,
+                        root,
+                        query_pairs,
+                        theta_raw,
+                        stack,
+                        stats,
+                        out,
+                    );
                 }
             }
         }

@@ -14,6 +14,10 @@
 //!   for completeness and cross-checks,
 //! * [`QueryStats`] — per-query instrumentation (distance-function calls,
 //!   list accesses, candidates) used by the paper's Figure 10,
+//! * [`ItemRemap`] — the corpus-wide `ItemId → dense u32` remap backing the
+//!   CSR index layouts and the flat query-side maps,
+//! * [`QueryScratch`] — epoch-versioned, reusable per-query working memory
+//!   making steady-state query processing allocation-free,
 //! * [`hash`] — a minimal Fx-style hasher for hot u32-keyed maps.
 //!
 //! Distances are **raw integers** throughout (`0..=k(k+1)`); the adapted
@@ -25,6 +29,8 @@ pub mod footrule;
 pub mod hash;
 pub mod kendall;
 pub mod ranking;
+pub mod remap;
+pub mod scratch;
 pub mod stats;
 
 pub use footrule::{
@@ -32,4 +38,6 @@ pub use footrule::{
     one_side_total, raw_threshold, PositionMap,
 };
 pub use ranking::{ItemId, Ranking, RankingError, RankingId, RankingStore};
+pub use remap::ItemRemap;
+pub use scratch::{EpochMap, EpochSet, FlatPositionMap, QueryScratch};
 pub use stats::QueryStats;

@@ -1,0 +1,164 @@
+//! Dense item-id remapping for CSR index layouts.
+//!
+//! Item ids are arbitrary `u32`s, but every index hot path wants to address
+//! per-item state (postings offsets, query ranks, accumulators) by a dense
+//! `0..m` coordinate so that a lookup is an array load instead of a hash
+//! probe. [`ItemRemap`] assigns every distinct item of a corpus a dense id
+//! in ascending raw-id order, built **once** per corpus and shared across
+//! all index structures (the engine hands one `Arc<ItemRemap>` to every
+//! index it builds).
+//!
+//! Two representations are kept behind one API:
+//!
+//! * **Direct** — a `raw id → dense id` lookup table, used whenever the raw
+//!   id space is reasonably dense (the synthetic NYT/Yago corpora and any
+//!   dictionary-encoded real dataset). Lookup is one bounds check and one
+//!   load.
+//! * **Hashed** — an Fx hash map fallback for pathologically sparse id
+//!   spaces, so adversarial inputs cannot blow up memory.
+
+use crate::hash::{fx_map_with_capacity, FxHashMap};
+use crate::ranking::{ItemId, RankingStore};
+
+/// Sentinel marking an absent raw id in the direct table.
+const ABSENT: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+enum Table {
+    /// `table[raw] = dense`, `ABSENT` where the raw id is unused.
+    Direct(Vec<u32>),
+    /// Sparse fallback.
+    Hashed(FxHashMap<u32, u32>),
+}
+
+/// An immutable `ItemId → dense u32` bijection over a corpus' distinct
+/// items; dense ids run `0..len()` in ascending raw-id order.
+#[derive(Debug, Clone)]
+pub struct ItemRemap {
+    table: Table,
+    len: u32,
+}
+
+impl ItemRemap {
+    /// Builds the remap over every distinct item in the store.
+    pub fn build(store: &RankingStore) -> Self {
+        let mut raw: Vec<u32> = Vec::with_capacity(store.len() * store.k());
+        for id in store.ids() {
+            raw.extend(store.items(id).iter().map(|i| i.0));
+        }
+        Self::from_raw_ids(raw)
+    }
+
+    /// Builds the remap from an arbitrary collection of raw item ids
+    /// (duplicates allowed).
+    pub fn from_raw_ids(mut raw: Vec<u32>) -> Self {
+        raw.sort_unstable();
+        raw.dedup();
+        let len = raw.len() as u32;
+        let max = raw.last().copied().unwrap_or(0) as usize;
+        // A direct table costs max+1 slots; accept up to 8× overhead over
+        // the distinct count (plus slack for tiny corpora) before falling
+        // back to hashing.
+        let table = if raw.is_empty() || max < raw.len() * 8 + 1024 {
+            let mut t = vec![ABSENT; if raw.is_empty() { 0 } else { max + 1 }];
+            for (dense, &r) in raw.iter().enumerate() {
+                t[r as usize] = dense as u32;
+            }
+            Table::Direct(t)
+        } else {
+            let mut m = fx_map_with_capacity(raw.len());
+            for (dense, &r) in raw.iter().enumerate() {
+                m.insert(r, dense as u32);
+            }
+            Table::Hashed(m)
+        };
+        ItemRemap { table, len }
+    }
+
+    /// The dense id of `item`, or `None` if the item is not in the corpus.
+    #[inline]
+    pub fn dense(&self, item: ItemId) -> Option<u32> {
+        match &self.table {
+            Table::Direct(t) => match t.get(item.0 as usize) {
+                Some(&d) if d != ABSENT => Some(d),
+                _ => None,
+            },
+            Table::Hashed(m) => m.get(&item.0).copied(),
+        }
+    }
+
+    /// Number of distinct items (= the dense id space `0..len`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the corpus had no items at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap footprint in bytes: exact for the direct table; for the
+    /// hashed fallback, buckets plus one control byte per slot (the hash
+    /// map's allocation padding is not observable from safe code).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.table {
+            Table::Direct(t) => t.capacity() * std::mem::size_of::<u32>(),
+            Table::Hashed(m) => m.capacity() * (std::mem::size_of::<(u32, u32)>() + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ids_ascend_with_raw_ids() {
+        let remap = ItemRemap::from_raw_ids(vec![9, 3, 3, 40, 0, 9]);
+        assert_eq!(remap.len(), 4);
+        assert_eq!(remap.dense(ItemId(0)), Some(0));
+        assert_eq!(remap.dense(ItemId(3)), Some(1));
+        assert_eq!(remap.dense(ItemId(9)), Some(2));
+        assert_eq!(remap.dense(ItemId(40)), Some(3));
+        assert_eq!(remap.dense(ItemId(1)), None);
+        assert_eq!(remap.dense(ItemId(1_000_000)), None);
+    }
+
+    #[test]
+    fn sparse_id_space_falls_back_to_hashing() {
+        let raw: Vec<u32> = (0..100).map(|i| i * 10_000_000).collect();
+        let remap = ItemRemap::from_raw_ids(raw);
+        assert!(matches!(remap.table, Table::Hashed(_)));
+        assert_eq!(remap.len(), 100);
+        assert_eq!(remap.dense(ItemId(990_000_000)), Some(99));
+        assert_eq!(remap.dense(ItemId(5)), None);
+    }
+
+    #[test]
+    fn empty_corpus_maps_nothing() {
+        let remap = ItemRemap::from_raw_ids(Vec::new());
+        assert!(remap.is_empty());
+        assert_eq!(remap.dense(ItemId(0)), None);
+    }
+
+    #[test]
+    fn build_covers_every_store_item() {
+        let mut store = RankingStore::new(3);
+        store.push_items_unchecked(&[5, 1, 9].map(ItemId));
+        store.push_items_unchecked(&[1, 7, 2].map(ItemId));
+        let remap = ItemRemap::build(&store);
+        assert_eq!(remap.len(), 5);
+        for raw in [1u32, 2, 5, 7, 9] {
+            assert!(remap.dense(ItemId(raw)).is_some(), "item {raw} unmapped");
+        }
+        // Distinct items get distinct dense ids inside 0..len.
+        let mut seen = vec![false; remap.len()];
+        for raw in [1u32, 2, 5, 7, 9] {
+            let d = remap.dense(ItemId(raw)).unwrap() as usize;
+            assert!(!seen[d]);
+            seen[d] = true;
+        }
+    }
+}

@@ -51,11 +51,12 @@ fn main() {
         println!("-- θ = {theta} --");
         for alg in Algorithm::ALL {
             let mut stats = QueryStats::new();
+            let mut scratch = engine.scratch();
             let t = Instant::now();
             let mut hits = 0usize;
             for q in &wl.queries {
                 hits += engine
-                    .query_items(alg, q, raw_threshold(theta, k), &mut stats)
+                    .query_items(alg, q, raw_threshold(theta, k), &mut scratch, &mut stats)
                     .len();
             }
             println!(

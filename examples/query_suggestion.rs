@@ -60,11 +60,12 @@ fn main() {
 
     for alg in [Algorithm::Fv, Algorithm::Coarse, Algorithm::CoarseDrop] {
         let mut stats = QueryStats::new();
+        let mut scratch = engine.scratch();
         let t = Instant::now();
         let mut total_hits = 0usize;
         for q in &wl.queries {
             total_hits += engine
-                .query_items(alg, q, raw_threshold(theta, k), &mut stats)
+                .query_items(alg, q, raw_threshold(theta, k), &mut scratch, &mut stats)
                 .len();
         }
         println!(

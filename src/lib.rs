@@ -51,7 +51,7 @@ pub mod prelude {
     pub use ranksim_core::engine::{Algorithm, Engine, EngineBuilder};
     pub use ranksim_core::{CoarseIndex, CostModel};
     pub use ranksim_rankings::{
-        footrule_pairs, raw_threshold, ItemId, PositionMap, QueryStats, Ranking, RankingId,
-        RankingStore,
+        footrule_pairs, raw_threshold, ItemId, ItemRemap, PositionMap, QueryScratch, QueryStats,
+        Ranking, RankingId, RankingStore,
     };
 }

@@ -37,6 +37,7 @@ fn check_dataset(ds: Dataset, k: usize) {
         .collect();
     let oracle = MinimalFv::build(store, &oracle_workload);
 
+    let mut scratch = engine.scratch();
     for (qi, q) in wl.queries.iter().enumerate() {
         let qp = query_pairs(q);
         for (ti, &theta) in thetas.iter().enumerate() {
@@ -47,7 +48,7 @@ fn check_dataset(ds: Dataset, k: usize) {
 
             for alg in Algorithm::ALL {
                 let mut stats = QueryStats::new();
-                let mut got = engine.query_items(alg, q, raw, &mut stats);
+                let mut got = engine.query_items(alg, q, raw, &mut scratch, &mut stats);
                 got.sort_unstable();
                 assert_eq!(got, expect, "{alg} at θ={theta} (query {qi})");
             }

@@ -46,9 +46,10 @@ proptest! {
             .filter(|&id| qmap.distance_to(store.items(id)) <= raw)
             .collect();
         expect.sort_unstable();
+        let mut scratch = engine.scratch();
         for alg in Algorithm::ALL {
             let mut stats = QueryStats::new();
-            let mut got = engine.query_items(alg, &q, raw, &mut stats);
+            let mut got = engine.query_items(alg, &q, raw, &mut scratch, &mut stats);
             got.sort_unstable();
             prop_assert_eq!(&got, &expect, "{} disagrees (θ={}, θC={})", alg, theta, theta_c);
         }
@@ -62,9 +63,10 @@ proptest! {
         let engine = build_engine(&rankings, 0.3);
         let q: Vec<ItemId> = query.into_iter().map(ItemId).collect();
         let mut prev = 0usize;
+        let mut scratch = engine.scratch();
         for raw in (0..=42u32).step_by(6) {
             let mut stats = QueryStats::new();
-            let got = engine.query_items(Algorithm::Coarse, &q, raw, &mut stats);
+            let got = engine.query_items(Algorithm::Coarse, &q, raw, &mut scratch, &mut stats);
             prop_assert!(got.len() >= prev);
             prev = got.len();
         }
@@ -79,7 +81,8 @@ proptest! {
         let store = engine.store();
         let q: Vec<ItemId> = store.items(RankingId(pick as u32)).to_vec();
         let mut stats = QueryStats::new();
-        let got = engine.query_items(Algorithm::CoarseDrop, &q, 0, &mut stats);
+        let mut scratch = engine.scratch();
+        let got = engine.query_items(Algorithm::CoarseDrop, &q, 0, &mut scratch, &mut stats);
         prop_assert!(got.contains(&RankingId(pick as u32)));
         for id in got {
             prop_assert_eq!(store.items(id), q.as_slice());
@@ -109,7 +112,8 @@ proptest! {
         let q: Vec<ItemId> = query.into_iter().map(ItemId).collect();
         let qp = query_pairs(&q);
         let mut stats = QueryStats::new();
-        let mut via_engine = engine.query_items(Algorithm::Fv, &q, raw, &mut stats);
+        let mut scratch = engine.scratch();
+        let mut via_engine = engine.query_items(Algorithm::Fv, &q, raw, &mut scratch, &mut stats);
         let mut via_bk = BkTree::build(store).range_query(store, &qp, raw, &mut stats);
         let mut via_m = MTree::build(store).range_query(store, &qp, raw, &mut stats);
         via_engine.sort_unstable();

@@ -1,0 +1,59 @@
+//! Scratch-reuse oracle: one [`QueryScratch`] shared across 50+
+//! consecutive queries at mixed thresholds and algorithms must return
+//! exactly the brute-force result set every time — any stale epoch state
+//! (a candidate mark, a count, a bound cell, a query-map rank surviving
+//! from an earlier query) would surface as a wrong result set here.
+
+use ranksim::datasets::{nyt_like, workload, WorkloadParams};
+use ranksim::prelude::*;
+
+#[test]
+fn one_scratch_across_many_queries_matches_brute_force() {
+    let ds = nyt_like(1500, 10, 4242);
+    let domain = ds.params.domain;
+    let engine = EngineBuilder::new(ds.store)
+        .coarse_threshold(0.5)
+        .coarse_drop_threshold(0.06)
+        .build();
+    let store = engine.store();
+    let wl = workload(
+        store,
+        domain,
+        WorkloadParams {
+            num_queries: 60,
+            seed: 99,
+            ..Default::default()
+        },
+    );
+    assert!(wl.queries.len() >= 50, "oracle needs 50+ queries");
+
+    // One scratch and one result buffer for the entire run; θ and the
+    // algorithm change from query to query so every epoch structure is
+    // exercised against every other's leftovers.
+    let mut scratch = engine.scratch();
+    let mut out = Vec::new();
+    let thetas = [0.0, 0.1, 0.2, 0.3];
+    for (qi, q) in wl.queries.iter().enumerate() {
+        let theta = thetas[qi % thetas.len()];
+        let raw = raw_threshold(theta, 10);
+        let qmap = PositionMap::new(q);
+        let mut expect: Vec<RankingId> = store
+            .ids()
+            .filter(|&id| qmap.distance_to(store.items(id)) <= raw)
+            .collect();
+        expect.sort_unstable();
+        // Rotate the algorithm order so consecutive queries hand the
+        // scratch between different algorithms in varying patterns.
+        for step in 0..Algorithm::ALL.len() {
+            let alg = Algorithm::ALL[(qi + step) % Algorithm::ALL.len()];
+            let mut stats = QueryStats::new();
+            engine.query_into(alg, q, raw, &mut scratch, &mut stats, &mut out);
+            let mut got = out.clone();
+            got.sort_unstable();
+            assert_eq!(
+                got, expect,
+                "{alg} leaked stale scratch state at query {qi}, θ={theta}"
+            );
+        }
+    }
+}
