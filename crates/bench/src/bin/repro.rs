@@ -5,14 +5,34 @@
 //! cargo run -p ranksim-bench --release --bin repro -- all
 //! cargo run -p ranksim-bench --release --bin repro -- fig8
 //! RANKSIM_NYT_N=100000 cargo run -p ranksim-bench --release --bin repro -- fig7
+//! # paper scale (NYT 1M rankings) through the sharded engine:
+//! cargo run -p ranksim-bench --release --bin repro -- --scale paper shard
 //! ```
+//!
+//! `--scale small|default|paper` picks the corpus-size baseline;
+//! `RANKSIM_*` environment variables still override individual knobs.
 
 use ranksim_bench::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut base = ExpConfig::default_scale();
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        let Some(name) = args.get(pos + 1) else {
+            eprintln!("--scale needs a value: small | default | paper");
+            std::process::exit(2);
+        };
+        base = match ExpConfig::named_scale(name) {
+            Some(cfg) => cfg,
+            None => {
+                eprintln!("unknown scale '{name}'; expected small | default | paper");
+                std::process::exit(2);
+            }
+        };
+        args.drain(pos..=pos + 1);
+    }
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
-    let cfg = ExpConfig::from_env();
+    let cfg = base.with_env_overrides();
     eprintln!(
         "# config: nyt_n={} yago_n={} queries={} (override via RANKSIM_NYT_N / RANKSIM_YAGO_N / RANKSIM_QUERIES)",
         cfg.nyt_n, cfg.yago_n, cfg.queries
@@ -30,6 +50,7 @@ fn main() {
         "fig10" => run_fig10(&cfg),
         "table6" => run_table6(&cfg),
         "ablation" => run_ablation(&cfg),
+        "shard" => run_shard(&cfg, t0),
         "all" => {
             run_verify(&cfg);
             run_fig3(&cfg);
@@ -44,12 +65,88 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation all"
+                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard all"
             );
             std::process::exit(2);
         }
     }
     eprintln!("# total wall time: {:.1?}", t0.elapsed());
+}
+
+/// The sharded paper-scale experiment: streams the NYT-family corpus
+/// into S per-shard engines, runs a work-stealing batch, prints the
+/// per-shard memory/balance report and writes `BENCH_shard.json`
+/// (path override: `RANKSIM_SHARD_JSON`). Optional self-enforced
+/// budgets make it a CI guard: `RANKSIM_SHARD_MEM_BUDGET_MB` fails the
+/// run when the total index footprint exceeds the budget, and
+/// `RANKSIM_SHARD_TIME_BUDGET_S` bounds the end-to-end wall clock.
+fn run_shard(cfg: &ExpConfig, t0: std::time::Instant) {
+    let rc = ShardRunConfig::from_env();
+    println!(
+        "== sharded engine: NYT-family n={}, S={}, {} threads, {} at θ={} ==",
+        cfg.nyt_n,
+        rc.shards,
+        if rc.threads == 0 {
+            "all".to_string()
+        } else {
+            rc.threads.to_string()
+        },
+        rc.algorithm,
+        rc.theta
+    );
+    let report = run_sharded(cfg, Family::Nyt, rc);
+    println!(
+        "generate+route: {:.2}s   build: {:.2}s   batch ({} queries): {:.2}s ({:.1} ms/1000q)",
+        report.generate_s,
+        report.build_s,
+        report.queries,
+        report.query_s,
+        report.ms_per_1000q()
+    );
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "shard", "rankings", "heap bytes", "heap MB"
+    );
+    for (s, (&size, &bytes)) in report
+        .shard_sizes
+        .iter()
+        .zip(&report.shard_heap_bytes)
+        .enumerate()
+    {
+        println!(
+            "{s:>6} {size:>12} {bytes:>14} {:>12.1}",
+            bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    let total_mb = report.total_heap_bytes() as f64 / (1024.0 * 1024.0);
+    println!(
+        "total: {total_mb:.1} MB across {} shards; worker shares: {:?}; {} results",
+        report.shard_sizes.len(),
+        report.worker_queries,
+        report.results
+    );
+
+    let json_path =
+        std::env::var("RANKSIM_SHARD_JSON").unwrap_or_else(|_| "BENCH_shard.json".into());
+    std::fs::write(&json_path, report.to_json()).expect("write shard report JSON");
+    println!("report written to {json_path}");
+
+    let budget_env = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<f64>().ok());
+    if let Some(budget_mb) = budget_env("RANKSIM_SHARD_MEM_BUDGET_MB") {
+        if total_mb > budget_mb {
+            eprintln!("MEMORY BUDGET EXCEEDED: {total_mb:.1} MB > {budget_mb:.1} MB");
+            std::process::exit(1);
+        }
+        println!("memory budget ok: {total_mb:.1} MB <= {budget_mb:.1} MB");
+    }
+    if let Some(budget_s) = budget_env("RANKSIM_SHARD_TIME_BUDGET_S") {
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed > budget_s {
+            eprintln!("TIME BUDGET EXCEEDED: {elapsed:.1}s > {budget_s:.1}s");
+            std::process::exit(1);
+        }
+        println!("time budget ok: {elapsed:.1}s <= {budget_s:.1}s");
+    }
 }
 
 fn run_verify(cfg: &ExpConfig) {

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use ranksim_adaptsearch::AdaptSearchIndex;
 use ranksim_core::engine::{Algorithm, Engine, EngineBuilder};
-use ranksim_core::{CalibratedCosts, CoarseIndex, CostModel};
+use ranksim_core::{CalibratedCosts, CoarseIndex, CostModel, ShardStrategy, ShardedEngineBuilder};
 use ranksim_datasets::{nyt_like, workload, yago_like, Dataset, WorkloadParams};
 use ranksim_invindex::{
     AugmentedInvertedIndex, BlockedInvertedIndex, MinimalFv, PlainInvertedIndex,
@@ -40,8 +40,15 @@ pub struct ExpConfig {
 }
 
 impl ExpConfig {
-    /// Reads the configuration from the environment.
+    /// Reads the configuration from the environment on top of the
+    /// laptop-budget defaults.
     pub fn from_env() -> Self {
+        Self::default_scale().with_env_overrides()
+    }
+
+    /// Environment variables override the fields of `self` (the scale
+    /// baseline picked by the `repro` bin's `--scale` flag).
+    pub fn with_env_overrides(self) -> Self {
         let get = |k: &str, d: usize| {
             std::env::var(k)
                 .ok()
@@ -49,9 +56,19 @@ impl ExpConfig {
                 .unwrap_or(d)
         };
         ExpConfig {
-            nyt_n: get("RANKSIM_NYT_N", 50_000),
-            yago_n: get("RANKSIM_YAGO_N", 25_000),
-            queries: get("RANKSIM_QUERIES", 200),
+            nyt_n: get("RANKSIM_NYT_N", self.nyt_n),
+            yago_n: get("RANKSIM_YAGO_N", self.yago_n),
+            queries: get("RANKSIM_QUERIES", self.queries),
+            seed: self.seed,
+        }
+    }
+
+    /// The laptop-budget default scale (NYT n = 50k).
+    pub fn default_scale() -> Self {
+        ExpConfig {
+            nyt_n: 50_000,
+            yago_n: 25_000,
+            queries: 200,
             seed: 42,
         }
     }
@@ -63,6 +80,29 @@ impl ExpConfig {
             yago_n: 6_000,
             queries: 50,
             seed: 42,
+        }
+    }
+
+    /// The paper's experiment scale: the NYT corpus has 1M rankings and
+    /// Yago 25k; plots report times per 1000 queries. Only the sharded
+    /// engine path is expected to handle this on CI-class hardware —
+    /// see `repro --scale paper shard`.
+    pub fn paper() -> Self {
+        ExpConfig {
+            nyt_n: 1_000_000,
+            yago_n: 25_000,
+            queries: 1000,
+            seed: 42,
+        }
+    }
+
+    /// Resolves a `--scale` name (`small`, `default`, `paper`).
+    pub fn named_scale(name: &str) -> Option<Self> {
+        match name {
+            "small" => Some(Self::small()),
+            "default" => Some(Self::default_scale()),
+            "paper" => Some(Self::paper()),
+            _ => None,
         }
     }
 }
@@ -663,6 +703,220 @@ pub fn table6(bench: &Bench) -> Vec<Table6Row> {
     });
 
     rows
+}
+
+// ---------------------------------------------------------------------
+// Sharded paper-scale experiment
+// ---------------------------------------------------------------------
+
+/// Configuration of one sharded run (the `repro shard` experiment).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRunConfig {
+    /// Shard count `S`.
+    pub shards: usize,
+    /// Worker threads for the work-stealing batch driver (0 = all cores).
+    pub threads: usize,
+    /// Normalized query threshold θ.
+    pub theta: f64,
+    /// The algorithm every shard runs.
+    pub algorithm: Algorithm,
+    /// Shard-routing strategy.
+    pub strategy: ShardStrategy,
+}
+
+impl ShardRunConfig {
+    /// Defaults: S = 8, all cores, θ = 0.1, F&V, hash routing —
+    /// overridable via `RANKSIM_SHARDS` / `RANKSIM_THREADS`.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        ShardRunConfig {
+            shards: get("RANKSIM_SHARDS", 8).max(1),
+            threads: get("RANKSIM_THREADS", 0),
+            theta: 0.1,
+            algorithm: Algorithm::Fv,
+            strategy: ShardStrategy::Hash,
+        }
+    }
+}
+
+/// Everything one sharded run measured.
+#[derive(Debug, Clone)]
+pub struct ShardRunReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Corpus size.
+    pub n: usize,
+    /// Ranking size.
+    pub k: usize,
+    /// Worker threads actually configured.
+    pub threads: usize,
+    /// Streaming corpus generation + routing time (s).
+    pub generate_s: f64,
+    /// Per-shard index construction time (s).
+    pub build_s: f64,
+    /// Batch wall time (s).
+    pub query_s: f64,
+    /// Queries processed.
+    pub queries: usize,
+    /// Total results over the batch.
+    pub results: usize,
+    /// Rankings per shard.
+    pub shard_sizes: Vec<usize>,
+    /// Heap bytes per shard (store + indexes).
+    pub shard_heap_bytes: Vec<usize>,
+    /// Queries each work-stealing worker claimed.
+    pub worker_queries: Vec<u64>,
+    /// Merged query stats.
+    pub stats: QueryStats,
+    /// The run configuration.
+    pub config: ShardRunConfig,
+}
+
+impl ShardRunReport {
+    /// Total heap bytes across shards.
+    pub fn total_heap_bytes(&self) -> usize {
+        self.shard_heap_bytes.iter().sum()
+    }
+
+    /// ms per 1000 queries, like the paper's plots.
+    pub fn ms_per_1000q(&self) -> f64 {
+        self.query_s * 1e3 * 1000.0 / self.queries.max(1) as f64
+    }
+
+    /// Renders the report as a JSON object (the CI artifact).
+    pub fn to_json(&self) -> String {
+        let join = |v: &[usize]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"shard_scale\",\n");
+        s.push_str(&format!(
+            "  \"workload\": {{\"dataset\": \"{}\", \"n\": {}, \"k\": {}, \"queries\": {}, \"theta\": {}, \"algorithm\": \"{}\"}},\n",
+            self.dataset, self.n, self.k, self.queries, self.config.theta, self.config.algorithm
+        ));
+        s.push_str(&format!(
+            "  \"shards\": {}, \"threads\": {}, \"strategy\": \"{:?}\",\n",
+            self.config.shards, self.threads, self.config.strategy
+        ));
+        s.push_str(&format!(
+            "  \"generate_s\": {:.3}, \"build_s\": {:.3}, \"query_s\": {:.3}, \"ms_per_1000q\": {:.3},\n",
+            self.generate_s,
+            self.build_s,
+            self.query_s,
+            self.ms_per_1000q()
+        ));
+        s.push_str(&format!(
+            "  \"total_heap_mb\": {:.1},\n",
+            self.total_heap_bytes() as f64 / (1024.0 * 1024.0)
+        ));
+        s.push_str(&format!(
+            "  \"shard_sizes\": [{}],\n",
+            join(&self.shard_sizes)
+        ));
+        s.push_str(&format!(
+            "  \"shard_heap_bytes\": [{}],\n",
+            join(&self.shard_heap_bytes)
+        ));
+        s.push_str(&format!(
+            "  \"worker_queries\": [{}],\n",
+            self.worker_queries
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str(&format!(
+            "  \"results\": {}, \"distance_calls\": {}, \"lists_accessed\": {}\n",
+            self.results, self.stats.distance_calls, self.stats.lists_accessed
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Streams a `family` corpus of `cfg` scale shard-by-shard into a
+/// [`ShardedEngine`] (no monolithic store is ever materialized), derives
+/// a query workload from evenly strided base rankings sampled during the
+/// stream, and measures a work-stealing batch run.
+pub fn run_sharded(cfg: &ExpConfig, family: Family, rc: ShardRunConfig) -> ShardRunReport {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ranksim_datasets::{perturb_ranking, ClusteredZipfGenerator, PerturbParams};
+
+    let k = 10usize;
+    let params = match family {
+        Family::Nyt => ranksim_datasets::nyt_like_params(cfg.nyt_n, k, cfg.seed),
+        Family::Yago => ranksim_datasets::yago_like_params(cfg.yago_n, k, cfg.seed + 1),
+    };
+    let n = params.n;
+    let domain = params.domain;
+    let dataset = params.name.clone();
+    let generator = ClusteredZipfGenerator::new(params);
+
+    // Stream the corpus into the shard builder; every stride-th ranking
+    // doubles as a query base (the paper draws queries from the data
+    // distribution).
+    let mut builder = ShardedEngineBuilder::new(k, rc.shards, rc.strategy)
+        .coarse_threshold(0.5)
+        .coarse_drop_threshold(0.06)
+        .algorithms(&[rc.algorithm]);
+    let stride = (n / cfg.queries.max(1)).max(1);
+    let mut bases: Vec<Vec<ItemId>> = Vec::with_capacity(cfg.queries);
+    let mut i = 0usize;
+    let t0 = Instant::now();
+    generator.for_each(|items| {
+        if i % stride == 0 && bases.len() < cfg.queries {
+            bases.push(items.to_vec());
+        }
+        builder.push_ranking(items);
+        i += 1;
+    });
+    let generate_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let sharded = builder.build();
+    let build_s = t1.elapsed().as_secs_f64();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed + 7);
+    let perturb = PerturbParams {
+        max_swaps: 3,
+        replace_prob: 0.5,
+    };
+    let mut queries = bases;
+    for q in &mut queries {
+        perturb_ranking(q, domain, perturb, &mut rng);
+    }
+
+    let raw = raw_threshold(rc.theta, k);
+    let t2 = Instant::now();
+    let (results, reports) = sharded.query_batch_reported(rc.algorithm, &queries, raw, rc.threads);
+    let query_s = t2.elapsed().as_secs_f64();
+
+    ShardRunReport {
+        dataset,
+        n,
+        k,
+        threads: reports.len(),
+        generate_s,
+        build_s,
+        query_s,
+        queries: queries.len(),
+        results: results.iter().map(|r| r.len()).sum(),
+        shard_sizes: sharded.shard_sizes(),
+        shard_heap_bytes: sharded.shard_heap_bytes(),
+        worker_queries: reports.iter().map(|r| r.queries).collect(),
+        stats: ranksim_core::merge_reports(&reports),
+        config: rc,
+    }
 }
 
 // ---------------------------------------------------------------------

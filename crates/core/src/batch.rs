@@ -2,11 +2,17 @@
 //!
 //! Two drivers live here:
 //!
-//! * [`Engine::query_batch`] — the general parallel driver: the batch is
-//!   split across scoped threads and every thread reuses **one**
-//!   [`QueryScratch`] and one result buffer for its whole share, so each
-//!   worker's steady state is allocation-free (only the per-query result
-//!   vectors handed back to the caller are allocated).
+//! * [`Engine::query_batch`] — the general parallel driver: a
+//!   **work-stealing** pool of scoped threads claims queries one at a
+//!   time from a shared atomic cursor, so a pathological sub-batch
+//!   cannot strand one worker with all the expensive queries the way the
+//!   old static equal-chunk split could. Every thread reuses **one**
+//!   [`QueryScratch`] for its whole share, so each worker's steady state
+//!   is allocation-free (only the per-query result vectors handed back
+//!   to the caller are allocated). [`Engine::query_batch_reported`]
+//!   additionally exposes one [`WorkerReport`] per worker for balance
+//!   diagnostics. The same driver backs
+//!   [`crate::shard::ShardedEngine::query_batch`].
 //! * [`batch_query`] — the coarse-index-specific sharing scheme: "the
 //!   query batch can be partitioned into related medoid rankings to prune
 //!   the search space of potential result rankings". Queries are grouped
@@ -18,6 +24,9 @@
 //!
 //! Both are bit-identical to processing each query individually.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
 use crate::coarse::CoarseIndex;
 use crate::engine::{Algorithm, Engine};
 use ranksim_metricspace::query_pairs_into;
@@ -25,12 +34,127 @@ use ranksim_rankings::{
     footrule_items, footrule_pairs, ItemId, QueryScratch, QueryStats, RankingId, RankingStore,
 };
 
+/// What one worker of a work-stealing batch run did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Queries this worker claimed and processed.
+    pub queries: u64,
+    /// The stats accumulated over exactly those queries.
+    pub stats: QueryStats,
+}
+
+/// Folds per-worker reports into one batch-wide [`QueryStats`].
+pub fn merge_reports(reports: &[WorkerReport]) -> QueryStats {
+    let mut stats = QueryStats::new();
+    for r in reports {
+        stats.merge(&r.stats);
+    }
+    stats
+}
+
+/// The shared work queue of a batch run: an atomic cursor over the query
+/// indices `0..total`. Claiming is a single `fetch_add`, so workers that
+/// finish cheap queries immediately steal the next pending one — no
+/// worker idles while another still holds unstarted work.
+struct TaskCursor {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl TaskCursor {
+    fn new(total: usize) -> Self {
+        TaskCursor {
+            next: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+}
+
+/// Resolves the worker-thread count: `0` picks the machine's available
+/// parallelism; the count never exceeds the number of queries.
+fn resolve_threads(threads: usize, num_queries: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    t.min(num_queries.max(1))
+}
+
+/// The work-stealing batch driver shared by [`Engine::query_batch`] and
+/// [`crate::shard::ShardedEngine::query_batch`]. `make_worker` builds one
+/// per-thread closure (owning that worker's scratch); the closure maps a
+/// query index to its result set. Workers rendezvous on a barrier before
+/// claiming, then drain the shared cursor; results are reassembled in
+/// input order.
+pub(crate) fn run_stealing<W, F>(
+    num_queries: usize,
+    threads: usize,
+    make_worker: W,
+) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>)
+where
+    W: Fn() -> F + Sync,
+    F: FnMut(usize, &mut QueryStats) -> Vec<RankingId>,
+{
+    if num_queries == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let threads = resolve_threads(threads, num_queries);
+    let cursor = TaskCursor::new(num_queries);
+    let barrier = Barrier::new(threads);
+    let mut per_worker: Vec<(Vec<(usize, Vec<RankingId>)>, WorkerReport)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let barrier = &barrier;
+                    let make_worker = &make_worker;
+                    scope.spawn(move || {
+                        let mut work = make_worker();
+                        let mut report = WorkerReport::default();
+                        let mut claimed: Vec<(usize, Vec<RankingId>)> = Vec::new();
+                        // All workers start before any claims, so a batch
+                        // cannot be drained before late workers exist.
+                        barrier.wait();
+                        while let Some(qi) = cursor.claim() {
+                            let out = work(qi, &mut report.stats);
+                            report.queries += 1;
+                            claimed.push((qi, out));
+                        }
+                        (claimed, report)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+    let mut results: Vec<Vec<RankingId>> = Vec::with_capacity(num_queries);
+    results.resize_with(num_queries, Vec::new);
+    let mut reports = Vec::with_capacity(threads);
+    for (claimed, report) in per_worker.drain(..) {
+        for (qi, out) in claimed {
+            results[qi] = out;
+        }
+        reports.push(report);
+    }
+    (results, reports)
+}
+
 impl Engine {
     /// Processes `queries` with `algorithm` at one raw threshold across
-    /// `threads` scoped worker threads (`0` picks the machine's available
-    /// parallelism). Returns per-query result sets in input order plus the
-    /// merged stats. Every worker reuses one scratch, so the only
-    /// steady-state allocations are the returned result vectors.
+    /// `threads` work-stealing worker threads (`0` picks the machine's
+    /// available parallelism). Returns per-query result sets in input
+    /// order plus the merged stats. Every worker reuses one scratch, so
+    /// the only steady-state allocations are the returned result vectors.
     pub fn query_batch(
         &self,
         algorithm: Algorithm,
@@ -38,37 +162,35 @@ impl Engine {
         theta_raw: u32,
         threads: usize,
     ) -> (Vec<Vec<RankingId>>, QueryStats) {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        }
-        .min(queries.len().max(1));
-        let mut results: Vec<Vec<RankingId>> = Vec::with_capacity(queries.len());
-        results.resize_with(queries.len(), Vec::new);
-        let mut partial_stats = vec![QueryStats::new(); threads];
-        let chunk = queries.len().div_ceil(threads).max(1);
-        std::thread::scope(|scope| {
-            for ((query_chunk, result_chunk), stats) in queries
-                .chunks(chunk)
-                .zip(results.chunks_mut(chunk))
-                .zip(partial_stats.iter_mut())
-            {
-                scope.spawn(move || {
-                    let mut scratch = QueryScratch::new();
-                    for (q, out) in query_chunk.iter().zip(result_chunk.iter_mut()) {
-                        self.query_into(algorithm, q, theta_raw, &mut scratch, stats, out);
-                    }
-                });
+        let (results, reports) = self.query_batch_reported(algorithm, queries, theta_raw, threads);
+        (results, merge_reports(&reports))
+    }
+
+    /// [`Engine::query_batch`] with one [`WorkerReport`] per worker
+    /// instead of pre-merged stats, exposing how evenly the stealing
+    /// spread a (possibly skewed) batch.
+    pub fn query_batch_reported(
+        &self,
+        algorithm: Algorithm,
+        queries: &[Vec<ItemId>],
+        theta_raw: u32,
+        threads: usize,
+    ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
+        run_stealing(queries.len(), threads, || {
+            let mut scratch = QueryScratch::new();
+            move |qi: usize, stats: &mut QueryStats| {
+                let mut out = Vec::new();
+                self.query_into(
+                    algorithm,
+                    &queries[qi],
+                    theta_raw,
+                    &mut scratch,
+                    stats,
+                    &mut out,
+                );
+                out
             }
-        });
-        let mut stats = QueryStats::new();
-        for p in &partial_stats {
-            stats.merge(p);
-        }
-        (results, stats)
+        })
     }
 }
 

@@ -22,6 +22,7 @@ use ranksim_adaptsearch::{AdaptCostParams, AdaptSearchIndex};
 use ranksim_invindex::{
     blocked_prune, fv, listmerge, AugmentedInvertedIndex, BlockedInvertedIndex, PlainInvertedIndex,
 };
+use ranksim_metricspace::{knn_bktree, knn_linear, query_pairs_into, BkTree};
 use ranksim_rankings::{
     raw_threshold, ItemId, ItemRemap, QueryScratch, QueryStats, Ranking, RankingId, RankingStore,
 };
@@ -88,6 +89,7 @@ pub struct EngineBuilder {
     coarse_theta_c: f64,
     coarse_theta_c_drop: Option<f64>,
     selected: Option<Vec<Algorithm>>,
+    topk_tree: bool,
 }
 
 impl EngineBuilder {
@@ -98,7 +100,17 @@ impl EngineBuilder {
             coarse_theta_c: 0.5,
             coarse_theta_c_drop: None,
             selected: None,
+            topk_tree: false,
         }
+    }
+
+    /// Additionally builds a corpus-wide BK-tree accelerating
+    /// [`Engine::query_topk`]. Off by default: threshold queries never
+    /// touch it, and [`Engine::query_topk`] falls back to an exact linear
+    /// scan when the tree is absent.
+    pub fn topk_tree(mut self, build_tree: bool) -> Self {
+        self.topk_tree = build_tree;
+        self
     }
 
     /// Normalized partitioning threshold `θ_C` for the `Coarse` index
@@ -159,6 +171,7 @@ impl EngineBuilder {
             .then(|| CoarseIndex::build_with_remap(&self.store, remap.clone(), coarse_theta));
         let coarse_drop = (want(Algorithm::CoarseDrop) && drop_theta != coarse_theta)
             .then(|| CoarseIndex::build_with_remap(&self.store, remap.clone(), drop_theta));
+        let tree = self.topk_tree.then(|| BkTree::build(&self.store));
         Engine {
             store: self.store,
             remap,
@@ -168,6 +181,7 @@ impl EngineBuilder {
             adapt,
             coarse,
             coarse_drop,
+            tree,
         }
     }
 }
@@ -183,6 +197,8 @@ pub struct Engine {
     coarse: Option<CoarseIndex>,
     /// Separately tuned coarse index for `CoarseDrop`, if configured.
     coarse_drop: Option<CoarseIndex>,
+    /// Corpus-wide BK-tree for top-k queries (built on request).
+    tree: Option<BkTree>,
 }
 
 fn require<'a, T>(index: &'a Option<T>, algorithm: Algorithm) -> &'a T {
@@ -338,6 +354,51 @@ impl Engine {
             ),
         }
     }
+
+    /// The `neighbours` corpus rankings nearest to `query`, as ascending
+    /// `(distance, id)` pairs. Exact and fully deterministic: the result
+    /// is the lexicographically smallest set of `(distance, id)` pairs,
+    /// so ties at the last distance resolve to the smallest ids — the
+    /// invariant [`crate::shard::ShardedEngine`] relies on to merge
+    /// per-shard answers bit-identically. Uses the BK-tree when
+    /// [`EngineBuilder::topk_tree`] built one, otherwise an exact linear
+    /// scan.
+    pub fn query_topk(
+        &self,
+        query: &[ItemId],
+        neighbours: usize,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, RankingId)> {
+        assert_eq!(
+            query.len(),
+            self.store.k(),
+            "query size must match the corpus ranking size"
+        );
+        if self.store.is_empty() || neighbours == 0 {
+            return Vec::new();
+        }
+        query_pairs_into(query, &mut scratch.qp);
+        match &self.tree {
+            Some(tree) => knn_bktree(tree, &self.store, &scratch.qp, neighbours, stats),
+            None => knn_linear(&self.store, &scratch.qp, neighbours, stats),
+        }
+    }
+
+    /// Heap footprint of the engine: the corpus store plus every built
+    /// index structure. Per-structure footprints are exact and each
+    /// includes the (shared) remap it holds, matching Table 6's
+    /// build-each-structure-alone accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.store.heap_bytes()
+            + self.plain.as_ref().map_or(0, |i| i.heap_bytes())
+            + self.augmented.as_ref().map_or(0, |i| i.heap_bytes())
+            + self.blocked.as_ref().map_or(0, |i| i.heap_bytes())
+            + self.adapt.as_ref().map_or(0, |i| i.heap_bytes())
+            + self.coarse.as_ref().map_or(0, |i| i.heap_bytes())
+            + self.coarse_drop.as_ref().map_or(0, |i| i.heap_bytes())
+            + self.tree.as_ref().map_or(0, |t| t.heap_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +495,50 @@ mod tests {
         let mut scratch = engine.scratch();
         let mut stats = QueryStats::new();
         let _ = engine.query_items(Algorithm::BlockedPrune, &q, 10, &mut scratch, &mut stats);
+    }
+
+    #[test]
+    fn topk_tree_and_linear_scan_agree_exactly() {
+        let ds = nyt_like(800, 10, 19);
+        let domain = ds.params.domain;
+        let with_tree = EngineBuilder::new(ds.store.clone())
+            .algorithms(&[Algorithm::Fv])
+            .topk_tree(true)
+            .build();
+        let without = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv])
+            .build();
+        assert!(with_tree.tree.is_some());
+        assert!(without.tree.is_none());
+        let wl = workload(
+            with_tree.store(),
+            domain,
+            WorkloadParams {
+                num_queries: 8,
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        let mut s1 = with_tree.scratch();
+        let mut s2 = without.scratch();
+        for q in &wl.queries {
+            for kn in [1usize, 5, 25, 2000] {
+                let mut st = QueryStats::new();
+                let a = with_tree.query_topk(q, kn, &mut s1, &mut st);
+                let b = without.query_topk(q, kn, &mut s2, &mut st);
+                assert_eq!(a, b, "kn={kn}");
+                assert_eq!(a.len(), kn.min(800));
+                assert!(
+                    a.windows(2).all(|w| w[0] < w[1]),
+                    "strictly ascending pairs"
+                );
+            }
+        }
+        // k = 0 and the trivial self-query edge.
+        let mut st = QueryStats::new();
+        assert!(with_tree
+            .query_topk(&wl.queries[0], 0, &mut s1, &mut st)
+            .is_empty());
     }
 
     #[test]

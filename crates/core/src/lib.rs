@@ -26,8 +26,11 @@ pub mod batch;
 pub mod coarse;
 pub mod cost;
 pub mod engine;
+pub mod shard;
 
+pub use batch::{merge_reports, WorkerReport};
 pub use coarse::{CoarseBuildStats, CoarseIndex};
 pub use cost::calibrate::CalibratedCosts;
 pub use cost::cdf::DistanceCdf;
 pub use cost::model::CostModel;
+pub use shard::{ShardStrategy, ShardedEngine, ShardedEngineBuilder, ShardedScratch};

@@ -1,0 +1,606 @@
+//! The sharded engine: paper-scale corpora behind the monolithic
+//! [`Engine`] semantics.
+//!
+//! The paper's headline experiments (Figures 5–9) run at 1M rankings;
+//! a single [`Engine`] tops out well below that because the corpus, the
+//! item remap and every CSR arena are monolithic. [`ShardedEngine`]
+//! partitions the corpus into `S` shards, builds an **independent** index
+//! set per shard (its own [`ItemRemap`](ranksim_rankings::ItemRemap), its
+//! own CSR arenas, via the regular [`EngineBuilder`]), runs every query
+//! against all shards, and merges the per-shard answers **exactly**:
+//!
+//! * **threshold queries** — per-shard result sets are disjoint (every
+//!   ranking lives in exactly one shard), so the merge is a
+//!   concatenation; results are returned sorted by global ranking id,
+//!   a canonical order independent of the shard count,
+//! * **top-k queries** — each shard returns its exact lexicographic
+//!   `(distance, id)` top-k; a bounded heap keeps the k smallest global
+//!   pairs. Because [`KnnHeap`] resolves distance ties to smaller ids,
+//!   the merged answer is bit-identical to the monolithic engine's.
+//!
+//! Shard assignment ([`ShardStrategy`]) is either item-sequence hashing
+//! (`Hash` — streaming-friendly, balanced) or coarse-medoid routing
+//! (`Medoid` — the first ranking of each shard becomes its medoid and
+//! later rankings join the nearest medoid, mirroring the coarse index's
+//! partition-by-proximity idea so near-duplicates co-locate). Both are
+//! deterministic functions of the push sequence, and **exactness never
+//! depends on the assignment**: the differential suite in
+//! `tests/shard_equivalence.rs` proves shard/monolith equivalence for
+//! both strategies at S ∈ {1, 2, 7}.
+//!
+//! [`ShardedEngineBuilder::push_ranking`] accepts rankings one at a time,
+//! so a 1M-ranking corpus can stream from
+//! `ranksim_datasets::ClusteredZipfGenerator::for_each` straight into the
+//! shard stores without ever materializing a monolithic corpus.
+
+use crate::batch::{merge_reports, run_stealing, WorkerReport};
+use crate::engine::{Algorithm, Engine, EngineBuilder};
+use ranksim_metricspace::KnnHeap;
+use ranksim_rankings::{ItemId, QueryScratch, QueryStats, RankingId, RankingStore};
+
+/// How rankings are routed to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Fx-hash of the item sequence modulo the shard count. Streaming-
+    /// friendly, assignment independent of push order, statistically
+    /// balanced.
+    Hash,
+    /// Coarse-medoid routing: the first ranking routed to each shard
+    /// becomes that shard's medoid; every later ranking joins the shard
+    /// with the nearest medoid (Footrule distance, ties to the lowest
+    /// shard). Co-locates near-duplicate clusters, which keeps per-shard
+    /// coarse partitionings tight.
+    Medoid,
+}
+
+/// Builder for [`ShardedEngine`]: routes pushed rankings to per-shard
+/// stores, then builds one [`Engine`] per non-empty shard.
+pub struct ShardedEngineBuilder {
+    k: usize,
+    strategy: ShardStrategy,
+    coarse_theta_c: f64,
+    coarse_theta_c_drop: Option<f64>,
+    selected: Option<Vec<Algorithm>>,
+    topk_trees: bool,
+    stores: Vec<RankingStore>,
+    globals: Vec<Vec<RankingId>>,
+    medoids: Vec<Option<Vec<ItemId>>>,
+    next_global: u32,
+}
+
+impl ShardedEngineBuilder {
+    /// A builder for `num_shards ≥ 1` shards of size-`k` rankings.
+    pub fn new(k: usize, num_shards: usize, strategy: ShardStrategy) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        ShardedEngineBuilder {
+            k,
+            strategy,
+            coarse_theta_c: 0.5,
+            coarse_theta_c_drop: None,
+            selected: None,
+            topk_trees: false,
+            stores: (0..num_shards).map(|_| RankingStore::new(k)).collect(),
+            globals: vec![Vec::new(); num_shards],
+            medoids: vec![None; num_shards],
+            next_global: 0,
+        }
+    }
+
+    /// Normalized `θ_C` for every per-shard `Coarse` index (see
+    /// [`EngineBuilder::coarse_threshold`]).
+    pub fn coarse_threshold(mut self, theta_c: f64) -> Self {
+        self.coarse_theta_c = theta_c;
+        self
+    }
+
+    /// Separate `θ_C` for `Coarse+Drop` (see
+    /// [`EngineBuilder::coarse_drop_threshold`]).
+    pub fn coarse_drop_threshold(mut self, theta_c: f64) -> Self {
+        self.coarse_theta_c_drop = Some(theta_c);
+        self
+    }
+
+    /// Restricts every shard to the index structures the given algorithms
+    /// need (see [`EngineBuilder::algorithms`]).
+    pub fn algorithms(mut self, algorithms: &[Algorithm]) -> Self {
+        self.selected = Some(algorithms.to_vec());
+        self
+    }
+
+    /// Builds a per-shard BK-tree accelerating
+    /// [`ShardedEngine::query_topk`] (falls back to exact per-shard
+    /// linear scans when off; results are identical either way).
+    pub fn topk_trees(mut self, build_trees: bool) -> Self {
+        self.topk_trees = build_trees;
+        self
+    }
+
+    /// Routes one ranking to its shard, returning the global id the
+    /// sharded engine will report it under. Items must be `k` pairwise
+    /// distinct ids (generator output upholds this by construction).
+    pub fn push_ranking(&mut self, items: &[ItemId]) -> RankingId {
+        assert_eq!(items.len(), self.k, "ranking size must match k");
+        let shard = self.route(items);
+        let global = RankingId(self.next_global);
+        self.next_global += 1;
+        self.stores[shard].push_items_unchecked(items);
+        self.globals[shard].push(global);
+        global
+    }
+
+    /// Pushes every ranking of a monolithic store (ids are preserved:
+    /// ranking `i` of the store becomes global id `i` here when the
+    /// builder started empty).
+    pub fn extend_from_store(&mut self, store: &RankingStore) {
+        assert_eq!(store.k(), self.k, "store ranking size must match k");
+        for id in store.ids() {
+            self.push_ranking(store.items(id));
+        }
+    }
+
+    fn route(&mut self, items: &[ItemId]) -> usize {
+        let num_shards = self.stores.len();
+        if num_shards == 1 {
+            return 0;
+        }
+        match self.strategy {
+            ShardStrategy::Hash => {
+                use std::hash::Hasher;
+                let mut h = ranksim_rankings::hash::FxHasher::default();
+                for i in items {
+                    h.write_u32(i.0);
+                }
+                (h.finish() % num_shards as u64) as usize
+            }
+            ShardStrategy::Medoid => {
+                if let Some(free) = self.medoids.iter().position(|m| m.is_none()) {
+                    self.medoids[free] = Some(items.to_vec());
+                    return free;
+                }
+                let mut best = 0usize;
+                let mut best_d = u32::MAX;
+                for (s, medoid) in self.medoids.iter().enumerate() {
+                    let m = medoid.as_ref().expect("all medoids claimed");
+                    let d = ranksim_rankings::footrule_items(m, items);
+                    if d < best_d {
+                        best = s;
+                        best_d = d;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Builds the per-shard engines. Empty shards (possible under medoid
+    /// routing or tiny corpora) carry no engine and are skipped by every
+    /// query.
+    pub fn build(self) -> ShardedEngine {
+        let ShardedEngineBuilder {
+            k,
+            strategy,
+            coarse_theta_c,
+            coarse_theta_c_drop,
+            selected,
+            topk_trees,
+            stores,
+            globals,
+            ..
+        } = self;
+        let shards = stores
+            .into_iter()
+            .zip(globals)
+            .map(|(store, global)| {
+                let engine = (!store.is_empty()).then(|| {
+                    let mut b = EngineBuilder::new(store)
+                        .coarse_threshold(coarse_theta_c)
+                        .topk_tree(topk_trees);
+                    if let Some(t) = coarse_theta_c_drop {
+                        b = b.coarse_drop_threshold(t);
+                    }
+                    if let Some(sel) = &selected {
+                        b = b.algorithms(sel);
+                    }
+                    b.build()
+                });
+                Shard { engine, global }
+            })
+            .collect();
+        ShardedEngine {
+            k,
+            strategy,
+            shards,
+        }
+    }
+}
+
+/// One shard: its engine (absent when the shard received no rankings)
+/// and the local-to-global ranking-id map (`global[local.index()]`,
+/// ascending because pushes append in global order).
+struct Shard {
+    engine: Option<Engine>,
+    global: Vec<RankingId>,
+}
+
+/// Reusable per-worker scratch for sharded queries: one epoch-versioned
+/// [`QueryScratch`] shared across shards (its arrays grow to the largest
+/// shard universe and stay) plus a local-result buffer for id
+/// translation. Steady-state threshold queries through
+/// [`ShardedEngine::query_into`] are allocation-free, guarded by
+/// `crates/core/tests/alloc_free.rs`.
+pub struct ShardedScratch {
+    scratch: QueryScratch,
+    local: Vec<RankingId>,
+}
+
+/// The S-shard engine. Query semantics match the monolithic [`Engine`]
+/// exactly; see the module docs for the merge rules.
+pub struct ShardedEngine {
+    k: usize,
+    strategy: ShardStrategy,
+    shards: Vec<Shard>,
+}
+
+impl ShardedEngine {
+    /// The ranking size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configured shard count (including empty shards).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing strategy the corpus was built with.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Total rankings across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.global.len()).sum()
+    }
+
+    /// Whether no rankings were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rankings per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.global.len()).collect()
+    }
+
+    /// Per-shard heap footprint (store + every built index structure;
+    /// empty shards report 0). The memory-budget guard of the `repro`
+    /// shard experiment reports and checks these.
+    pub fn shard_heap_bytes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.engine.as_ref().map_or(0, |e| e.heap_bytes())
+                    + s.global.capacity() * std::mem::size_of::<RankingId>()
+            })
+            .collect()
+    }
+
+    /// Total heap footprint across shards.
+    pub fn heap_bytes(&self) -> usize {
+        self.shard_heap_bytes().iter().sum()
+    }
+
+    /// A fresh scratch; reuse it across queries to keep the hot path
+    /// allocation-free.
+    pub fn scratch(&self) -> ShardedScratch {
+        ShardedScratch {
+            scratch: QueryScratch::new(),
+            local: Vec::new(),
+        }
+    }
+
+    /// Runs `algorithm` over every shard into a caller-owned buffer
+    /// (cleared first). Results are global ranking ids sorted ascending —
+    /// the canonical order, independent of shard count and strategy. With
+    /// a warmed-up scratch and buffer, steady-state calls perform zero
+    /// heap allocations.
+    pub fn query_into(
+        &self,
+        algorithm: Algorithm,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut ShardedScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) {
+        assert_eq!(
+            query.len(),
+            self.k,
+            "query size must match the corpus ranking size"
+        );
+        out.clear();
+        for shard in &self.shards {
+            let Some(engine) = &shard.engine else {
+                continue;
+            };
+            engine.query_into(
+                algorithm,
+                query,
+                theta_raw,
+                &mut scratch.scratch,
+                stats,
+                &mut scratch.local,
+            );
+            out.extend(scratch.local.iter().map(|id| shard.global[id.index()]));
+        }
+        out.sort_unstable();
+    }
+
+    /// Convenience wrapper around [`ShardedEngine::query_into`].
+    pub fn query_items(
+        &self,
+        algorithm: Algorithm,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut ShardedScratch,
+        stats: &mut QueryStats,
+    ) -> Vec<RankingId> {
+        let mut out = Vec::new();
+        self.query_into(algorithm, query, theta_raw, scratch, stats, &mut out);
+        out
+    }
+
+    /// The `neighbours` nearest rankings across all shards, as ascending
+    /// `(distance, global id)` pairs — bit-identical to
+    /// [`Engine::query_topk`] on the unsharded corpus: each shard yields
+    /// its exact lexicographic top-k (local ids ascend with global ids
+    /// within a shard), and the bounded merge heap keeps the k smallest
+    /// global pairs with the same smaller-ids-win tie rule.
+    pub fn query_topk(
+        &self,
+        query: &[ItemId],
+        neighbours: usize,
+        scratch: &mut ShardedScratch,
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, RankingId)> {
+        assert_eq!(
+            query.len(),
+            self.k,
+            "query size must match the corpus ranking size"
+        );
+        if neighbours == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut merge = KnnHeap::new(neighbours);
+        for shard in &self.shards {
+            let Some(engine) = &shard.engine else {
+                continue;
+            };
+            for (d, local) in engine.query_topk(query, neighbours, &mut scratch.scratch, stats) {
+                merge.offer(d, shard.global[local.index()]);
+            }
+        }
+        merge.into_sorted()
+    }
+
+    /// Processes `queries` with `algorithm` at one raw threshold across
+    /// `threads` work-stealing worker threads (`0` picks the machine's
+    /// available parallelism); every worker owns one [`ShardedScratch`]
+    /// and drains the shared query cursor, so skewed batches balance
+    /// across workers. Returns per-query result sets in input order plus
+    /// merged stats.
+    pub fn query_batch(
+        &self,
+        algorithm: Algorithm,
+        queries: &[Vec<ItemId>],
+        theta_raw: u32,
+        threads: usize,
+    ) -> (Vec<Vec<RankingId>>, QueryStats) {
+        let (results, reports) = self.query_batch_reported(algorithm, queries, theta_raw, threads);
+        (results, merge_reports(&reports))
+    }
+
+    /// [`ShardedEngine::query_batch`] with one [`WorkerReport`] per
+    /// worker instead of pre-merged stats.
+    pub fn query_batch_reported(
+        &self,
+        algorithm: Algorithm,
+        queries: &[Vec<ItemId>],
+        theta_raw: u32,
+        threads: usize,
+    ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
+        run_stealing(queries.len(), threads, || {
+            let mut scratch = self.scratch();
+            move |qi: usize, stats: &mut QueryStats| {
+                let mut out = Vec::new();
+                self.query_into(
+                    algorithm,
+                    &queries[qi],
+                    theta_raw,
+                    &mut scratch,
+                    stats,
+                    &mut out,
+                );
+                out
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksim_datasets::{nyt_like, workload, WorkloadParams};
+    use ranksim_rankings::raw_threshold;
+
+    fn sharded_from(store: &RankingStore, shards: usize, strategy: ShardStrategy) -> ShardedEngine {
+        let mut b = ShardedEngineBuilder::new(store.k(), shards, strategy)
+            .coarse_threshold(0.5)
+            .coarse_drop_threshold(0.06);
+        b.extend_from_store(store);
+        b.build()
+    }
+
+    #[test]
+    fn all_rankings_land_in_exactly_one_shard() {
+        let ds = nyt_like(600, 10, 21);
+        for strategy in [ShardStrategy::Hash, ShardStrategy::Medoid] {
+            let sharded = sharded_from(&ds.store, 4, strategy);
+            assert_eq!(sharded.len(), 600);
+            let mut seen: Vec<RankingId> = sharded
+                .shards
+                .iter()
+                .flat_map(|s| s.global.iter().copied())
+                .collect();
+            seen.sort_unstable();
+            let expect: Vec<RankingId> = ds.store.ids().collect();
+            assert_eq!(
+                seen, expect,
+                "{strategy:?}: global ids partition the corpus"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_sharding_spreads_the_corpus() {
+        let ds = nyt_like(2000, 10, 5);
+        let sharded = sharded_from(&ds.store, 4, ShardStrategy::Hash);
+        for (s, &size) in sharded.shard_sizes().iter().enumerate() {
+            assert!(size > 0, "hash shard {s} is empty");
+            assert!(size < 2000, "hash shard {s} swallowed the corpus");
+        }
+    }
+
+    #[test]
+    fn sharded_threshold_results_match_monolith() {
+        let ds = nyt_like(900, 10, 77);
+        let engine = EngineBuilder::new(ds.store.clone())
+            .coarse_threshold(0.5)
+            .coarse_drop_threshold(0.06)
+            .build();
+        let wl = workload(
+            &ds.store,
+            ds.params.domain,
+            WorkloadParams {
+                num_queries: 12,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        for strategy in [ShardStrategy::Hash, ShardStrategy::Medoid] {
+            let sharded = sharded_from(&ds.store, 3, strategy);
+            let mut ms = engine.scratch();
+            let mut ss = sharded.scratch();
+            for q in &wl.queries {
+                for theta in [0.0, 0.15, 0.3] {
+                    let raw = raw_threshold(theta, 10);
+                    for alg in [Algorithm::Fv, Algorithm::Coarse, Algorithm::ListMerge] {
+                        let mut st = QueryStats::new();
+                        let mut expect = engine.query_items(alg, q, raw, &mut ms, &mut st);
+                        expect.sort_unstable();
+                        let got = sharded.query_items(alg, q, raw, &mut ss, &mut st);
+                        assert_eq!(got, expect, "{strategy:?} {alg} θ={theta}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_topk_matches_monolith_exactly() {
+        let ds = nyt_like(700, 10, 13);
+        let engine = EngineBuilder::new(ds.store.clone()).topk_tree(true).build();
+        let wl = workload(
+            &ds.store,
+            ds.params.domain,
+            WorkloadParams {
+                num_queries: 10,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        for strategy in [ShardStrategy::Hash, ShardStrategy::Medoid] {
+            for shards in [1usize, 2, 5] {
+                let sharded = sharded_from(&ds.store, shards, strategy);
+                let mut ms = engine.scratch();
+                let mut ss = sharded.scratch();
+                for q in &wl.queries {
+                    for kn in [1usize, 7, 40] {
+                        let mut st = QueryStats::new();
+                        let expect = engine.query_topk(q, kn, &mut ms, &mut st);
+                        let got = sharded.query_topk(q, kn, &mut ss, &mut st);
+                        assert_eq!(got, expect, "{strategy:?} S={shards} kn={kn}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_equals_sequential_sharded_queries() {
+        let ds = nyt_like(500, 10, 41);
+        let sharded = sharded_from(&ds.store, 3, ShardStrategy::Hash);
+        let wl = workload(
+            &ds.store,
+            ds.params.domain,
+            WorkloadParams {
+                num_queries: 20,
+                seed: 6,
+                ..Default::default()
+            },
+        );
+        let raw = raw_threshold(0.2, 10);
+        for threads in [1usize, 4, 0] {
+            let (got, batch_stats) = sharded.query_batch(Algorithm::Fv, &wl.queries, raw, threads);
+            let mut ss = sharded.scratch();
+            let mut seq_stats = QueryStats::new();
+            for (qi, q) in wl.queries.iter().enumerate() {
+                let expect = sharded.query_items(Algorithm::Fv, q, raw, &mut ss, &mut seq_stats);
+                assert_eq!(got[qi], expect, "query {qi} at {threads} threads");
+            }
+            assert_eq!(batch_stats, seq_stats, "merged stats equal sequential");
+        }
+    }
+
+    #[test]
+    fn medoid_routing_colocates_duplicates() {
+        // Push two distant seed rankings, then duplicates of each: the
+        // duplicates must land in their seed's shard.
+        let mut b = ShardedEngineBuilder::new(4, 2, ShardStrategy::Medoid);
+        let a: Vec<ItemId> = [0u32, 1, 2, 3].map(ItemId).to_vec();
+        let z: Vec<ItemId> = [100u32, 101, 102, 103].map(ItemId).to_vec();
+        b.push_ranking(&a);
+        b.push_ranking(&z);
+        b.push_ranking(&z);
+        b.push_ranking(&a);
+        let sharded = b.build();
+        assert_eq!(sharded.shard_sizes(), vec![2, 2]);
+        assert_eq!(sharded.shards[0].global, vec![RankingId(0), RankingId(3)]);
+        assert_eq!(sharded.shards[1].global, vec![RankingId(1), RankingId(2)]);
+    }
+
+    #[test]
+    fn empty_shards_are_skipped() {
+        // One ranking, seven shards: six shards stay empty yet queries
+        // and reporting still work.
+        let mut b = ShardedEngineBuilder::new(4, 7, ShardStrategy::Hash);
+        let a: Vec<ItemId> = [5u32, 6, 7, 8].map(ItemId).to_vec();
+        b.push_ranking(&a);
+        let sharded = b.build();
+        assert_eq!(sharded.len(), 1);
+        let mut ss = sharded.scratch();
+        let mut st = QueryStats::new();
+        let got = sharded.query_items(Algorithm::Fv, &a, 0, &mut ss, &mut st);
+        assert_eq!(got, vec![RankingId(0)]);
+        let topk = sharded.query_topk(&a, 3, &mut ss, &mut st);
+        assert_eq!(topk, vec![(0, RankingId(0))]);
+        assert_eq!(
+            sharded
+                .shard_heap_bytes()
+                .iter()
+                .filter(|&&b| b == 0)
+                .count(),
+            6
+        );
+    }
+}

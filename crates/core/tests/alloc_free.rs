@@ -1,7 +1,9 @@
 //! Steady-state allocation guard: after a warm-up pass has grown the
 //! scratch's epoch arrays and the result buffer to their high-water
 //! marks, `Engine::query_into` must perform **zero** heap allocations for
-//! every algorithm at every threshold.
+//! every algorithm at every threshold — and so must
+//! `ShardedEngine::query_into`, whose per-shard engines share one
+//! grow-only scratch and whose id-translation/sort merge works in place.
 //!
 //! A counting global allocator tracks every `alloc`/`realloc`; the test
 //! runs the full (algorithm × θ × query) grid twice for warm-up and then
@@ -14,6 +16,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ranksim_core::engine::{Algorithm, EngineBuilder};
+use ranksim_core::{ShardStrategy, ShardedEngineBuilder};
 use ranksim_datasets::{nyt_like, workload, WorkloadParams};
 use ranksim_rankings::{raw_threshold, QueryStats};
 
@@ -44,6 +47,11 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 fn steady_state_query_into_performs_zero_allocations() {
     let ds = nyt_like(1500, 10, 99);
     let domain = ds.params.domain;
+    let mut sharded_builder = ShardedEngineBuilder::new(10, 3, ShardStrategy::Hash)
+        .coarse_threshold(0.5)
+        .coarse_drop_threshold(0.06);
+    sharded_builder.extend_from_store(&ds.store);
+    let sharded = sharded_builder.build();
     let engine = EngineBuilder::new(ds.store)
         .coarse_threshold(0.5)
         .coarse_drop_threshold(0.06)
@@ -92,6 +100,46 @@ fn steady_state_query_into_performs_zero_allocations() {
         after - before,
         0,
         "steady-state query_into must not touch the allocator \
+         ({} allocations during the measured pass)",
+        after - before
+    );
+
+    // The same contract for the sharded engine: one ShardedScratch per
+    // caller, every per-shard query plus the translate-and-sort merge
+    // allocation-free once warm.
+    let mut sscratch = sharded.scratch();
+    let mut sout = Vec::new();
+    let mut sstats = QueryStats::new();
+    let run_sharded_grid =
+        |scratch: &mut ranksim_core::ShardedScratch, out: &mut Vec<_>, stats: &mut _| {
+            let mut total = 0usize;
+            for alg in Algorithm::ALL {
+                for &raw in &thetas {
+                    for q in &wl.queries {
+                        sharded.query_into(alg, q, raw, scratch, stats, out);
+                        total += out.len();
+                    }
+                }
+            }
+            total
+        };
+    let swarm1 = run_sharded_grid(&mut sscratch, &mut sout, &mut sstats);
+    let swarm2 = run_sharded_grid(&mut sscratch, &mut sout, &mut sstats);
+    assert_eq!(swarm1, swarm2, "deterministic workload expected");
+    assert_eq!(
+        swarm1, warm1,
+        "sharded grid must return the same result mass"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let smeasured = run_sharded_grid(&mut sscratch, &mut sout, &mut sstats);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(smeasured, swarm1);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sharded query_into must not touch the allocator \
          ({} allocations during the measured pass)",
         after - before
     );

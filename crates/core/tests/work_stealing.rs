@@ -1,0 +1,136 @@
+//! Work-stealing batch driver under adversarial skew.
+//!
+//! The old driver split a batch into `threads` equal *static* chunks, so
+//! a batch whose expensive queries all land in one chunk serialized on a
+//! single worker while the others finished instantly and idled. These
+//! tests build exactly that batch — every pathological query inside what
+//! would have been worker 0's chunk — and assert the stealing driver
+//! (a) completes with bit-identical results and merged stats, and
+//! (b) spreads the work: **every** worker claims queries (workers
+//! rendezvous on a barrier before the first claim, and each heavy query
+//! is orders of magnitude longer than a claim, so no worker can miss the
+//! whole drain).
+
+use ranksim_core::engine::{Algorithm, EngineBuilder};
+use ranksim_core::merge_reports;
+use ranksim_datasets::nyt_like;
+use ranksim_rankings::{raw_threshold, ItemId, QueryStats};
+
+/// The corpus's `k` most / least frequent items as a query ranking:
+/// popular items have the longest postings lists, so the "heavy" query
+/// touches a large slice of the corpus while the "light" one touches
+/// almost nothing.
+fn frequency_extreme_queries(
+    store: &ranksim_rankings::RankingStore,
+    domain: u32,
+) -> (Vec<ItemId>, Vec<ItemId>) {
+    let mut freq = vec![0u32; domain as usize];
+    for id in store.ids() {
+        for item in store.items(id) {
+            freq[item.0 as usize] += 1;
+        }
+    }
+    let mut by_freq: Vec<u32> = (0..domain).collect();
+    by_freq.sort_unstable_by_key(|&i| std::cmp::Reverse(freq[i as usize]));
+    let k = store.k();
+    let heavy: Vec<ItemId> = by_freq[..k].iter().map(|&i| ItemId(i)).collect();
+    let light: Vec<ItemId> = by_freq[by_freq.len() - k..]
+        .iter()
+        .map(|&i| ItemId(i))
+        .collect();
+    (heavy, light)
+}
+
+#[test]
+fn stealing_balances_an_adversarially_skewed_batch() {
+    let ds = nyt_like(40_000, 10, 4242);
+    let domain = ds.params.domain;
+    let engine = EngineBuilder::new(ds.store)
+        .algorithms(&[Algorithm::Fv])
+        .build();
+    let (heavy, light) = frequency_extreme_queries(engine.store(), domain);
+
+    // 4 workers, 48 queries: the old static split gave worker 0 queries
+    // 0..12 — exactly the 12 pathological ones below. The other 36 are
+    // near-free, so static chunking serialized ~all of the batch.
+    let threads = 4usize;
+    let mut queries: Vec<Vec<ItemId>> = vec![heavy; 12];
+    queries.extend(std::iter::repeat_n(light, 36));
+    let theta = raw_threshold(0.3, 10);
+
+    let (results, reports) = engine.query_batch_reported(Algorithm::Fv, &queries, theta, threads);
+
+    // Completion + correctness: bit-identical to sequential processing.
+    assert_eq!(results.len(), queries.len());
+    let mut scratch = engine.scratch();
+    let mut seq_stats = QueryStats::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let expect = engine.query_items(Algorithm::Fv, q, theta, &mut scratch, &mut seq_stats);
+        assert_eq!(results[qi], expect, "query {qi}");
+    }
+    let mut heavy_stats = QueryStats::new();
+    let mut light_stats = QueryStats::new();
+    engine.query_items(
+        Algorithm::Fv,
+        &queries[0],
+        theta,
+        &mut scratch,
+        &mut heavy_stats,
+    );
+    engine.query_items(
+        Algorithm::Fv,
+        &queries[47],
+        theta,
+        &mut scratch,
+        &mut light_stats,
+    );
+    assert!(
+        heavy_stats.entries_scanned > 100 * light_stats.entries_scanned.max(1),
+        "the heavy query must dominate the light one for the skew to be real \
+         ({} vs {} postings scanned)",
+        heavy_stats.entries_scanned,
+        light_stats.entries_scanned
+    );
+
+    // Balance: every worker exists, claims work, and the claims cover
+    // the batch exactly once.
+    assert_eq!(reports.len(), threads);
+    let claimed: u64 = reports.iter().map(|r| r.queries).sum();
+    assert_eq!(claimed as usize, queries.len());
+    for (w, r) in reports.iter().enumerate() {
+        assert!(
+            r.queries > 0,
+            "worker {w} never stole a query (shares: {:?})",
+            reports.iter().map(|r| r.queries).collect::<Vec<_>>()
+        );
+    }
+    // No worker got stuck with the whole batch either.
+    let max_share = reports.iter().map(|r| r.queries).max().unwrap();
+    assert!(
+        (max_share as usize) < queries.len(),
+        "one worker processed the entire batch"
+    );
+
+    // Per-worker stats fold into exactly the sequential stats.
+    assert_eq!(merge_reports(&reports), seq_stats);
+}
+
+#[test]
+fn worker_count_never_exceeds_the_batch() {
+    let ds = nyt_like(500, 10, 7);
+    let engine = EngineBuilder::new(ds.store)
+        .algorithms(&[Algorithm::ListMerge])
+        .build();
+    let q: Vec<ItemId> = engine
+        .store()
+        .items(ranksim_rankings::RankingId(0))
+        .to_vec();
+    let theta = raw_threshold(0.1, 10);
+    let (results, reports) =
+        engine.query_batch_reported(Algorithm::ListMerge, &[q.clone(), q], theta, 16);
+    assert_eq!(results.len(), 2);
+    assert_eq!(reports.len(), 2, "two queries cap the pool at two workers");
+    let (results, reports) = engine.query_batch_reported(Algorithm::ListMerge, &[], theta, 16);
+    assert!(results.is_empty());
+    assert!(reports.is_empty());
+}

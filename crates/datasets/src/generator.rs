@@ -58,12 +58,17 @@ impl ClusteredZipfGenerator {
         ClusteredZipfGenerator { params }
     }
 
-    /// Produces the corpus (deterministic under `params.seed`).
-    pub fn generate(&self) -> Dataset {
+    /// Streams the corpus ranking-by-ranking into `sink` without
+    /// materializing a monolithic store — the builder behind sharded
+    /// paper-scale corpora (1M rankings stream straight into per-shard
+    /// stores). The ranking sequence is identical to
+    /// [`ClusteredZipfGenerator::generate`]'s under the same parameters;
+    /// the `&[ItemId]` slice is only valid for the duration of one
+    /// callback.
+    pub fn for_each<F: FnMut(&[ItemId])>(&self, mut sink: F) {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(p.seed);
         let zipf = ZipfSampler::new(p.domain, p.zipf_s);
-        let mut store = RankingStore::with_capacity(p.k, p.n);
 
         // Seed pool: fresh Zipf-sampled rankings.
         let num_seeds = p.num_seeds.clamp(1, p.n.max(1));
@@ -72,6 +77,7 @@ impl ClusteredZipfGenerator {
             .collect();
 
         let mut scratch: Vec<u32> = Vec::with_capacity(p.k);
+        let mut items: Vec<ItemId> = Vec::with_capacity(p.k);
         for _ in 0..p.n {
             scratch.clear();
             if rng.random_bool(p.cluster_fraction) {
@@ -96,10 +102,19 @@ impl ClusteredZipfGenerator {
             } else {
                 scratch.extend(zipf.sample_distinct(p.k, &mut rng));
             }
-            let items: Vec<ItemId> = scratch.iter().map(|&i| ItemId(i)).collect();
-            store.push_items_unchecked(&items);
+            items.clear();
+            items.extend(scratch.iter().map(|&i| ItemId(i)));
+            sink(&items);
         }
+    }
 
+    /// Produces the corpus (deterministic under `params.seed`).
+    pub fn generate(&self) -> Dataset {
+        let p = &self.params;
+        let mut store = RankingStore::with_capacity(p.k, p.n);
+        self.for_each(|items| {
+            store.push_items_unchecked(items);
+        });
         Dataset {
             name: p.name.clone(),
             store,
@@ -139,6 +154,22 @@ mod tests {
             sorted.dedup();
             assert_eq!(sorted.len(), 8, "duplicate item inside a ranking");
             assert!(items.iter().all(|i| i.0 < 300));
+        }
+    }
+
+    #[test]
+    fn streaming_and_materialized_generation_agree() {
+        let generator = ClusteredZipfGenerator::new(small_params(0.7));
+        let ds = generator.generate();
+        let mut streamed: Vec<Vec<ItemId>> = Vec::new();
+        generator.for_each(|items| streamed.push(items.to_vec()));
+        assert_eq!(streamed.len(), ds.store.len());
+        for (i, items) in streamed.iter().enumerate() {
+            assert_eq!(
+                items.as_slice(),
+                ds.store.items(ranksim_rankings::RankingId(i as u32)),
+                "ranking {i} diverged between streaming and materialized paths"
+            );
         }
     }
 

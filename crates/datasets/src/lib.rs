@@ -25,15 +25,15 @@ pub mod workload;
 pub mod zipf;
 
 pub use generator::{ClusteredZipfGenerator, Dataset, GeneratorParams};
+pub use workload::{perturb_ranking, PerturbParams};
 pub use workload::{workload, Workload, WorkloadParams};
 pub use zipf::{estimate_zipf_s, ZipfSampler};
 
-/// The paper's NYT dataset, scaled: web-search-result rankings with
-/// strongly skewed document popularity (`s = 0.87`) and heavy
-/// near-duplicate clustering. `n` is configurable because the original has
-/// 1M rankings — the benches default to 100k on laptop budgets.
-pub fn nyt_like(n: usize, k: usize, seed: u64) -> Dataset {
-    let params = GeneratorParams {
+/// Parameters of the NYT-like preset (see [`nyt_like`]); exposed so
+/// paper-scale corpora can be **streamed** through
+/// [`ClusteredZipfGenerator::for_each`] instead of materialized.
+pub fn nyt_like_params(n: usize, k: usize, seed: u64) -> GeneratorParams {
+    GeneratorParams {
         name: format!("nyt-like(n={n},k={k})"),
         n,
         k,
@@ -47,15 +47,12 @@ pub fn nyt_like(n: usize, k: usize, seed: u64) -> Dataset {
         max_swaps: 3,
         replace_prob: 0.4,
         seed,
-    };
-    ClusteredZipfGenerator::new(params).generate()
+    }
 }
 
-/// The paper's Yago dataset, at original scale by default (25k rankings):
-/// entity rankings with near-uniform item popularity (`s = 0.53`), a large
-/// item domain relative to `n`, and small tight clusters.
-pub fn yago_like(n: usize, k: usize, seed: u64) -> Dataset {
-    let params = GeneratorParams {
+/// Parameters of the Yago-like preset (see [`yago_like`]).
+pub fn yago_like_params(n: usize, k: usize, seed: u64) -> GeneratorParams {
+    GeneratorParams {
         name: format!("yago-like(n={n},k={k})"),
         n,
         k,
@@ -67,8 +64,22 @@ pub fn yago_like(n: usize, k: usize, seed: u64) -> Dataset {
         max_swaps: 2,
         replace_prob: 0.25,
         seed,
-    };
-    ClusteredZipfGenerator::new(params).generate()
+    }
+}
+
+/// The paper's NYT dataset, scaled: web-search-result rankings with
+/// strongly skewed document popularity (`s = 0.87`) and heavy
+/// near-duplicate clustering. `n` is configurable because the original has
+/// 1M rankings — the benches default to 100k on laptop budgets.
+pub fn nyt_like(n: usize, k: usize, seed: u64) -> Dataset {
+    ClusteredZipfGenerator::new(nyt_like_params(n, k, seed)).generate()
+}
+
+/// The paper's Yago dataset, at original scale by default (25k rankings):
+/// entity rankings with near-uniform item popularity (`s = 0.53`), a large
+/// item domain relative to `n`, and small tight clusters.
+pub fn yago_like(n: usize, k: usize, seed: u64) -> Dataset {
+    ClusteredZipfGenerator::new(yago_like_params(n, k, seed)).generate()
 }
 
 #[cfg(test)]

@@ -53,6 +53,39 @@ impl Workload {
     }
 }
 
+/// The light perturbation applied to a base ranking to derive a query
+/// from it (shared by [`workload`] and streaming query derivation, where
+/// no monolithic store exists to sample bases from).
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbParams {
+    /// Maximum adjacent swaps.
+    pub max_swaps: usize,
+    /// Probability of replacing one item with a fresh domain item.
+    pub replace_prob: f64,
+}
+
+/// Perturbs `items` in place: up to `max_swaps` adjacent swaps plus an
+/// optional single-item replacement drawn from `0..domain` (distinctness
+/// preserved). Deterministic under the caller's RNG state.
+pub fn perturb_ranking(items: &mut [ItemId], domain: u32, params: PerturbParams, rng: &mut StdRng) {
+    let k = items.len();
+    let swaps = rng.random_range(0..=params.max_swaps);
+    for _ in 0..swaps {
+        let a = rng.random_range(0..k.saturating_sub(1));
+        items.swap(a, a + 1);
+    }
+    if rng.random_bool(params.replace_prob) {
+        let pos = rng.random_range(0..k);
+        loop {
+            let cand = ItemId(rng.random_range(0..domain));
+            if !items.contains(&cand) {
+                items[pos] = cand;
+                break;
+            }
+        }
+    }
+}
+
 /// Derives a workload from a corpus (deterministic under `params.seed`).
 ///
 /// `domain` bounds the fresh items used for replacements; pass the
@@ -63,26 +96,15 @@ pub fn workload(store: &RankingStore, domain: u32, params: WorkloadParams) -> Wo
         "cannot derive queries from an empty corpus"
     );
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let k = store.k();
+    let perturb = PerturbParams {
+        max_swaps: params.max_swaps,
+        replace_prob: params.replace_prob,
+    };
     let queries = (0..params.num_queries)
         .map(|_| {
             let base = RankingId(rng.random_range(0..store.len() as u32));
             let mut items: Vec<ItemId> = store.items(base).to_vec();
-            let swaps = rng.random_range(0..=params.max_swaps);
-            for _ in 0..swaps {
-                let a = rng.random_range(0..k.saturating_sub(1));
-                items.swap(a, a + 1);
-            }
-            if rng.random_bool(params.replace_prob) {
-                let pos = rng.random_range(0..k);
-                loop {
-                    let cand = ItemId(rng.random_range(0..domain));
-                    if !items.contains(&cand) {
-                        items[pos] = cand;
-                        break;
-                    }
-                }
-            }
+            perturb_ranking(&mut items, domain, perturb, &mut rng);
             items
         })
         .collect();

@@ -7,9 +7,13 @@
 //! candidates and its worst distance `τ` prunes subtrees exactly like a
 //! shrinking range query.
 //!
-//! Results are `(distance, id)` pairs sorted ascending; ties beyond the
-//! k-th distance are broken arbitrarily (tests therefore compare distance
-//! multisets against the linear-scan oracle).
+//! Results are `(distance, id)` pairs sorted ascending and fully
+//! deterministic: the heap keeps the k lexicographically smallest
+//! `(distance, id)` pairs, so ties at the k-th distance resolve to the
+//! smallest ranking ids. Every traversal (linear scan, BK-, VP- and
+//! M-tree) therefore returns the **same** result set, which is what lets
+//! a sharded search merge per-shard top-k lists into a bit-identical
+//! global answer (see `ranksim_core::shard`).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -46,12 +50,15 @@ impl KnnHeap {
         }
     }
 
-    /// Offers a candidate.
+    /// Offers a candidate. The heap keeps the k lexicographically
+    /// smallest `(distance, id)` pairs: a candidate tied at the k-th
+    /// distance still displaces a larger id, so the result set is
+    /// independent of offer order (and of how a corpus is sharded).
     #[inline]
     pub fn offer(&mut self, dist: u32, id: RankingId) {
         if self.heap.len() < self.k {
             self.heap.push((dist, id));
-        } else if dist < self.tau() {
+        } else if (dist, id) < *self.heap.peek().expect("non-empty") {
             self.heap.push((dist, id));
             self.heap.pop();
         }
@@ -202,6 +209,51 @@ mod tests {
                 let expect = knn_linear(&store, &q, k, &mut s1);
                 let got = tree.knn(&store, &q, k, &mut s2);
                 assert_eq!(distances(&got), distances(&expect), "qid={qid} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_ties_resolve_to_smallest_ids_everywhere() {
+        // A store with heavy distance ties: every ranking duplicated, so
+        // the k-th distance is almost always shared by several ids. All
+        // four traversals must return the exact lexicographic top-k —
+        // the property the sharded merge relies on.
+        let base = random_store(120, 6, 25, 11);
+        let mut store = RankingStore::new(6);
+        for id in base.ids() {
+            store.push_items_unchecked(base.items(id));
+            store.push_items_unchecked(base.items(id));
+        }
+        let bk = BkTree::build(&store);
+        let vp = VpTree::build(&store, 4);
+        let mt = MTree::build(&store);
+        for qid in [0u32, 37, 121, 239] {
+            let q = query_pairs(store.items(RankingId(qid)));
+            for k in [1usize, 3, 9, 30] {
+                let mut s = QueryStats::new();
+                let expect = knn_linear(&store, &q, k, &mut s);
+                // The linear oracle itself is the lexicographic optimum:
+                // re-offering in reverse id order changes nothing.
+                let mut h = KnnHeap::new(k);
+                for id in store.ids().collect::<Vec<_>>().into_iter().rev() {
+                    h.offer(
+                        ranksim_rankings::footrule_pairs(&q, store.sorted_pairs(id), store.k()),
+                        id,
+                    );
+                }
+                assert_eq!(h.into_sorted(), expect, "offer order changed the top-k");
+                assert_eq!(
+                    knn_bktree(&bk, &store, &q, k, &mut s),
+                    expect,
+                    "bk qid={qid} k={k}"
+                );
+                assert_eq!(
+                    knn_vptree(&vp, &store, &q, k, &mut s),
+                    expect,
+                    "vp qid={qid} k={k}"
+                );
+                assert_eq!(mt.knn(&store, &q, k, &mut s), expect, "mt qid={qid} k={k}");
             }
         }
     }

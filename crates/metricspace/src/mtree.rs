@@ -377,8 +377,9 @@ impl MTree {
         }
     }
 
-    /// Best-first KNN: the `k_neighbours` nearest rankings, sorted by
-    /// ascending distance (ties beyond the k-th broken arbitrarily).
+    /// Best-first KNN: the `k_neighbours` nearest rankings as ascending
+    /// `(distance, id)` pairs — the exact lexicographic top-k, ties at
+    /// the k-th distance resolving to smallest ids (see [`crate::knn`]).
     pub fn knn(
         &self,
         store: &RankingStore,

@@ -1,0 +1,164 @@
+//! Differential harness: the sharded engine must be **indistinguishable**
+//! from the monolithic engine.
+//!
+//! Random corpora are built twice — once into a monolithic [`Engine`],
+//! once into a [`ShardedEngine`] at S ∈ {1, 2, 7} under both routing
+//! strategies — and queried with rotating algorithms at mixed thresholds
+//! plus top-k. Thresholds compare canonical (sorted) result sets; top-k
+//! answers must be bit-identical `(distance, id)` sequences, which the
+//! lexicographic tie rule of the KNN heap guarantees across any shard
+//! layout.
+
+use proptest::prelude::*;
+use ranksim::prelude::*;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Strategy: a corpus of `n` size-`k` rankings over `0..domain`, biased
+/// towards overlap so result sets are non-trivial.
+fn corpus(n: usize, k: usize, domain: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::sample::subsequence((0..domain).collect::<Vec<u32>>(), k).prop_shuffle(),
+        n,
+    )
+}
+
+fn store_of(rankings: &[Vec<u32>]) -> RankingStore {
+    let k = rankings[0].len();
+    let mut store = RankingStore::new(k);
+    for r in rankings {
+        store
+            .push(&Ranking::new(r.iter().copied()).unwrap())
+            .unwrap();
+    }
+    store
+}
+
+fn monolith(store: RankingStore, theta_c: f64) -> Engine {
+    EngineBuilder::new(store)
+        .coarse_threshold(theta_c)
+        .coarse_drop_threshold(0.06)
+        .topk_tree(true)
+        .build()
+}
+
+fn sharded(
+    store: &RankingStore,
+    shards: usize,
+    strategy: ShardStrategy,
+    theta_c: f64,
+    topk_trees: bool,
+) -> ShardedEngine {
+    let mut b = ShardedEngineBuilder::new(store.k(), shards, strategy)
+        .coarse_threshold(theta_c)
+        .coarse_drop_threshold(0.06)
+        .topk_trees(topk_trees);
+    b.extend_from_store(store);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Threshold queries: every algorithm, every shard count, both
+    /// strategies, mixed θ — sharded result sets equal the monolith's.
+    #[test]
+    fn sharded_threshold_queries_equal_monolith(
+        rankings in corpus(80, 6, 25),
+        query in proptest::sample::subsequence((0..25u32).collect::<Vec<u32>>(), 6).prop_shuffle(),
+        theta in 0.0f64..0.5,
+        theta_c in 0.1f64..0.6,
+    ) {
+        let store = store_of(&rankings);
+        let engine = monolith(store.clone(), theta_c);
+        let raw = raw_threshold(theta, 6);
+        let q: Vec<ItemId> = query.into_iter().map(ItemId).collect();
+        let mut mscratch = engine.scratch();
+        for strategy in [ShardStrategy::Hash, ShardStrategy::Medoid] {
+            for (si, &shards) in SHARD_COUNTS.iter().enumerate() {
+                let se = sharded(&store, shards, strategy, theta_c, false);
+                prop_assert_eq!(se.len(), store.len());
+                let mut sscratch = se.scratch();
+                // Rotate which algorithm checks which shard count so the
+                // whole grid is covered across cases without running the
+                // full 8 × 6 cross product every time.
+                for (ai, &alg) in Algorithm::ALL.iter().enumerate() {
+                    if ai % SHARD_COUNTS.len() != si {
+                        continue;
+                    }
+                    let mut st = QueryStats::new();
+                    let mut expect = engine.query_items(alg, &q, raw, &mut mscratch, &mut st);
+                    expect.sort_unstable();
+                    let got = se.query_items(alg, &q, raw, &mut sscratch, &mut st);
+                    prop_assert_eq!(
+                        got, expect,
+                        "{:?} S={} {} θ={}", strategy, shards, alg, theta
+                    );
+                }
+            }
+        }
+    }
+
+    /// Top-k queries: bit-identical `(distance, id)` sequences between
+    /// the sharded merge and the monolithic BK-tree/linear answers.
+    #[test]
+    fn sharded_topk_queries_equal_monolith(
+        rankings in corpus(70, 6, 20),
+        query in proptest::sample::subsequence((0..20u32).collect::<Vec<u32>>(), 6).prop_shuffle(),
+        neighbours in 1usize..30,
+    ) {
+        let store = store_of(&rankings);
+        let engine = monolith(store.clone(), 0.3);
+        let q: Vec<ItemId> = query.into_iter().map(ItemId).collect();
+        let mut mscratch = engine.scratch();
+        let mut st = QueryStats::new();
+        let expect = engine.query_topk(&q, neighbours, &mut mscratch, &mut st);
+        prop_assert_eq!(expect.len(), neighbours.min(store.len()));
+        for strategy in [ShardStrategy::Hash, ShardStrategy::Medoid] {
+            for &shards in &SHARD_COUNTS {
+                // Alternate per-shard BK-trees and per-shard linear scans:
+                // the answer must not depend on the shard-local method.
+                let trees = shards % 2 == 0;
+                let se = sharded(&store, shards, strategy, 0.3, trees);
+                let mut sscratch = se.scratch();
+                let got = se.query_topk(&q, neighbours, &mut sscratch, &mut st);
+                prop_assert_eq!(
+                    got,
+                    expect.clone(),
+                    "{:?} S={} kn={}", strategy, shards, neighbours
+                );
+            }
+        }
+    }
+
+    /// The work-stealing sharded batch driver equals per-query sharded
+    /// processing (and therefore the monolith, by the tests above).
+    #[test]
+    fn sharded_batch_driver_equals_sequential(
+        rankings in corpus(60, 5, 18),
+        queries in proptest::collection::vec(
+            proptest::sample::subsequence((0..18u32).collect::<Vec<u32>>(), 5).prop_shuffle(),
+            1..12,
+        ),
+        theta in 0.0f64..0.4,
+        threads in 1usize..5,
+    ) {
+        let store = store_of(&rankings);
+        let raw = raw_threshold(theta, 5);
+        let qs: Vec<Vec<ItemId>> = queries
+            .into_iter()
+            .map(|q| q.into_iter().map(ItemId).collect())
+            .collect();
+        let se = sharded(&store, 2, ShardStrategy::Hash, 0.3, false);
+        let (got, reports) = se.query_batch_reported(Algorithm::Fv, &qs, raw, threads);
+        let mut sscratch = se.scratch();
+        let mut seq = QueryStats::new();
+        for (qi, q) in qs.iter().enumerate() {
+            let expect = se.query_items(Algorithm::Fv, q, raw, &mut sscratch, &mut seq);
+            prop_assert_eq!(&got[qi], &expect, "query {}", qi);
+        }
+        let claimed: u64 = reports.iter().map(|r| r.queries).sum();
+        prop_assert_eq!(claimed as usize, qs.len());
+        prop_assert_eq!(ranksim::core::merge_reports(&reports), seq);
+    }
+}

@@ -2,26 +2,72 @@
 
 use crate::strategy::Strategy;
 use rand::rngs::StdRng;
+use rand::Rng;
 
-/// A strategy for `Vec`s of exactly `len` elements drawn from `element`.
-///
-/// Upstream accepts any size range here; the workspace only ever asks for
-/// fixed lengths, so that is all the vendored subset supports.
-pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
-    VecStrategy { element, len }
+/// The length specification of [`vec`]: a fixed size or a half-open
+/// `min..max` range, mirroring the subset of upstream's `SizeRange`
+/// conversions the workspace uses.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            min: len,
+            max: len + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty length range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// A strategy for `Vec`s whose length is drawn from `len` (a fixed size
+/// or a `min..max` range) and whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into(),
+    }
 }
 
 /// See [`vec`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
-    len: usize,
+    len: SizeRange,
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
-        (0..self.len).map(|_| self.element.generate(rng)).collect()
+        let len = if self.len.min + 1 == self.len.max {
+            self.len.min
+        } else {
+            rng.random_range(self.len.min..self.len.max)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
     }
 }

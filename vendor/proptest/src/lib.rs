@@ -12,15 +12,29 @@
 //!   generated inputs (default 256),
 //! * `prop_assert*!` failures abort only the failing case and report the
 //!   generated inputs,
-//! * generation is deterministic: the RNG is seeded from the test's name,
-//!   so CI failures reproduce locally.
+//! * generation is deterministic: a master RNG seeded from the test's
+//!   name draws one **case seed** per case, so CI failures reproduce
+//!   locally.
+//!
+//! Because this subset does not shrink failing inputs, a failure
+//! additionally prints its case seed and the exact environment override
+//! to replay *only* that case:
+//!
+//! ```text
+//! RANKSIM_PROPTEST_SEED=0x53a9... cargo test -p <crate> <test_name>
+//! ```
+//!
+//! With `RANKSIM_PROPTEST_SEED` set (hex `0x…` or decimal), every
+//! `proptest!` test in the process runs exactly one case from that seed —
+//! the stopgap for debugging until real shrinking exists (see
+//! `vendor/README.md`).
 //!
 //! Deliberately dropped (none of the workspace's tests rely on them):
 //! shrinking of failing inputs, persisted failure regressions, `any<T>()`
 //! and the full strategy combinator zoo.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 pub mod bool;
 pub mod collection;
@@ -82,6 +96,39 @@ pub fn test_rng(test_name: &str) -> StdRng {
     StdRng::seed_from_u64(h)
 }
 
+/// Draws the next case seed from the master RNG (one per case, so a
+/// failing case is replayable in isolation from its seed alone).
+pub fn case_seed(master: &mut StdRng) -> u64 {
+    master.random()
+}
+
+/// The RNG of one case, reconstructed from its seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Parses a seed string: hex with a `0x` prefix, or decimal.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The `RANKSIM_PROPTEST_SEED` environment override, if set and valid:
+/// run exactly one case from this seed instead of the full sweep.
+pub fn seed_override() -> Option<u64> {
+    let v = std::env::var("RANKSIM_PROPTEST_SEED").ok()?;
+    let parsed = parse_seed(&v);
+    assert!(
+        parsed.is_some(),
+        "RANKSIM_PROPTEST_SEED='{v}' is not a hex (0x…) or decimal u64"
+    );
+    parsed
+}
+
 /// The entry-point macro: wraps `#[test] fn name(arg in strategy, ...)`
 /// items into zero-argument libtest tests that run many generated cases.
 #[macro_export]
@@ -103,8 +150,21 @@ macro_rules! __proptest_tests {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..config.cases {
+                // One seed per case, drawn from the name-seeded master
+                // RNG — or a single externally supplied seed when
+                // RANKSIM_PROPTEST_SEED re-runs one failing case.
+                let seeds: ::std::vec::Vec<u64> = match $crate::seed_override() {
+                    ::core::option::Option::Some(seed) => vec![seed],
+                    ::core::option::Option::None => {
+                        let mut master = $crate::test_rng(
+                            concat!(module_path!(), "::", stringify!($name)),
+                        );
+                        (0..config.cases).map(|_| $crate::case_seed(&mut master)).collect()
+                    }
+                };
+                let total = seeds.len();
+                for (case, seed) in seeds.into_iter().enumerate() {
+                    let mut rng = $crate::rng_from_seed(seed);
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
                     let inputs = format!(
                         concat!($(stringify!($arg), " = {:?}; ",)*),
@@ -117,17 +177,65 @@ macro_rules! __proptest_tests {
                         })();
                     if let ::core::result::Result::Err(e) = outcome {
                         panic!(
-                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            "proptest case {}/{} failed: {}\n  inputs: {}\n  re-run exactly this case with: RANKSIM_PROPTEST_SEED={:#018x} cargo test {}",
                             case + 1,
-                            config.cases,
+                            total,
                             e,
-                            inputs
+                            inputs,
+                            seed,
+                            stringify!($name)
                         );
                     }
                 }
             }
         )*
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("0X0000000000000010"), Some(16));
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 0xdeadbeef "), Some(0xdead_beef));
+        assert_eq!(parse_seed("zzz"), None);
+        assert_eq!(parse_seed("0x"), None);
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic_per_test_name() {
+        let draw = |name: &str| {
+            let mut master = test_rng(name);
+            (0..4).map(|_| case_seed(&mut master)).collect::<Vec<u64>>()
+        };
+        assert_eq!(draw("mod::a"), draw("mod::a"));
+        assert_ne!(draw("mod::a"), draw("mod::b"));
+    }
+
+    #[test]
+    fn case_rng_replays_from_its_seed_alone() {
+        let mut master = test_rng("mod::replay");
+        let seed = case_seed(&mut master);
+        let a: u64 = rng_from_seed(seed).random();
+        let b: u64 = rng_from_seed(seed).random();
+        assert_eq!(a, b);
+    }
+
+    // A deliberately failing proptest: the panic must carry the exact
+    // RANKSIM_PROPTEST_SEED re-run line (the no-shrinking stopgap).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        #[should_panic(expected = "re-run exactly this case with: RANKSIM_PROPTEST_SEED=0x")]
+        fn failing_case_prints_rerun_seed(x in 0u32..100) {
+            prop_assert!(x > 1000, "x = {} is never above 1000", x);
+        }
+    }
 }
 
 /// Asserts a condition inside a proptest case; on failure the case aborts
