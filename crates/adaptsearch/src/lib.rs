@@ -35,7 +35,9 @@
 use std::sync::Arc;
 
 use ranksim_invindex::drop::omega;
-use ranksim_rankings::{ItemId, ItemRemap, QueryScratch, QueryStats, RankingId, RankingStore};
+use ranksim_rankings::{
+    ExecStats, ItemId, ItemRemap, QueryExecutor, QueryScratch, QueryStats, RankingId, RankingStore,
+};
 
 /// Cost-model constants for the adaptive prefix-length choice.
 #[derive(Debug, Clone, Copy)]
@@ -294,6 +296,39 @@ impl AdaptSearchIndex {
             + self.ids.capacity() * std::mem::size_of::<RankingId>()
             + self.pos_offsets.capacity() * std::mem::size_of::<u32>()
             + self.remap.heap_bytes()
+    }
+}
+
+/// [`QueryExecutor`] running AdaptSearch over a shared delta index.
+pub struct AdaptSearchExecutor {
+    index: Arc<AdaptSearchIndex>,
+}
+
+impl AdaptSearchExecutor {
+    /// Wraps a shared delta index.
+    pub fn new(index: Arc<AdaptSearchIndex>) -> Self {
+        AdaptSearchExecutor { index }
+    }
+}
+
+impl QueryExecutor for AdaptSearchExecutor {
+    fn name(&self) -> &'static str {
+        "AdaptSearch"
+    }
+
+    fn execute(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) -> ExecStats {
+        let before = *stats;
+        self.index
+            .search_into(store, query, theta_raw, scratch, stats, out);
+        ExecStats::since(&before, stats)
     }
 }
 

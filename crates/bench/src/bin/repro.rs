@@ -7,12 +7,17 @@
 //! RANKSIM_NYT_N=100000 cargo run -p ranksim-bench --release --bin repro -- fig7
 //! # paper scale (NYT 1M rankings) through the sharded engine:
 //! cargo run -p ranksim-bench --release --bin repro -- --scale paper shard
+//! # cost-model planner vs the per-configuration oracle, restricted set:
+//! cargo run -p ranksim-bench --release --bin repro -- --algorithms fv,listmerge,coarse planner
 //! ```
 //!
 //! `--scale small|default|paper` picks the corpus-size baseline;
-//! `RANKSIM_*` environment variables still override individual knobs.
+//! `--algorithms a,b,c` feeds the planner's candidate set (paper names or
+//! lax spellings: `fv`, `F&V+Drop`, `blocked_prune`, …); `RANKSIM_*`
+//! environment variables still override individual knobs.
 
 use ranksim_bench::*;
+use ranksim_core::engine::Algorithm;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,7 +36,26 @@ fn main() {
         };
         args.drain(pos..=pos + 1);
     }
+    let mut algorithms: Option<Vec<Algorithm>> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--algorithms") {
+        let Some(list) = args.get(pos + 1) else {
+            eprintln!("--algorithms needs a comma-separated list, e.g. fv,listmerge,coarse");
+            std::process::exit(2);
+        };
+        match parse_algorithms_flag(list) {
+            Ok(list) => algorithms = Some(list),
+            Err(e) => {
+                eprintln!("--algorithms: {e}");
+                std::process::exit(2);
+            }
+        }
+        args.drain(pos..=pos + 1);
+    }
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    if algorithms.is_some() && what != "planner" {
+        eprintln!("--algorithms feeds the planner's candidate set and only applies to the 'planner' experiment (got '{what}')");
+        std::process::exit(2);
+    }
     let cfg = base.with_env_overrides();
     eprintln!(
         "# config: nyt_n={} yago_n={} queries={} (override via RANKSIM_NYT_N / RANKSIM_YAGO_N / RANKSIM_QUERIES)",
@@ -51,6 +75,7 @@ fn main() {
         "table6" => run_table6(&cfg),
         "ablation" => run_ablation(&cfg),
         "shard" => run_shard(&cfg, t0),
+        "planner" => run_planner(&cfg, algorithms),
         "all" => {
             run_verify(&cfg);
             run_fig3(&cfg);
@@ -65,7 +90,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard all"
+                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner all"
             );
             std::process::exit(2);
         }
@@ -146,6 +171,76 @@ fn run_shard(cfg: &ExpConfig, t0: std::time::Instant) {
             std::process::exit(1);
         }
         println!("time budget ok: {elapsed:.1}s <= {budget_s:.1}s");
+    }
+}
+
+/// The planner sweep: `Algorithm::Auto` (cost model + online
+/// recalibration) against every fixed candidate and the per-cell oracle
+/// across (corpus size × θ), printing per-algorithm win rates and the
+/// planner's regret, and writing `BENCH_planner.json` (path override:
+/// `RANKSIM_PLANNER_JSON`). `RANKSIM_PLANNER_REGRET_BUDGET` (a fraction,
+/// e.g. `0.15`) turns the run into a CI guard that fails when the
+/// sweep-wide regret vs oracle-best exceeds the budget.
+fn run_planner(cfg: &ExpConfig, algorithms: Option<Vec<Algorithm>>) {
+    let rc = PlannerRunConfig::from_env(cfg, algorithms);
+    println!(
+        "== planner sweep: NYT-family, k=10, {} candidates, sizes {:?}, θ {:?} ==",
+        rc.candidates.len(),
+        rc.sizes,
+        rc.thetas
+    );
+    let report = run_planner_sweep(cfg, &rc);
+    println!(
+        "{:>8} {:>6} {:>12} {:>20} {:>12} {:>8}  picks",
+        "n", "θ", "auto ms", "oracle", "oracle ms", "regret"
+    );
+    for r in &report.rows {
+        let picks: Vec<String> = r
+            .picks
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(a, n)| format!("{a}:{n}"))
+            .collect();
+        println!(
+            "{:>8} {:>6.2} {:>12.2} {:>20} {:>12.2} {:>7.1}%  {}",
+            r.n,
+            r.theta,
+            r.auto_ms,
+            r.oracle.name(),
+            r.oracle_ms,
+            r.regret() * 100.0,
+            picks.join(" ")
+        );
+    }
+    let overall = report.overall_regret();
+    println!("win rates:");
+    for (alg, w) in report.win_rate() {
+        println!("  {:<20} {:>6.1}%", alg.name(), w * 100.0);
+    }
+    println!("overall regret vs oracle-best: {:.1}%", overall * 100.0);
+
+    let json_path =
+        std::env::var("RANKSIM_PLANNER_JSON").unwrap_or_else(|_| "BENCH_planner.json".into());
+    std::fs::write(&json_path, report.to_json()).expect("write planner report JSON");
+    println!("report written to {json_path}");
+
+    if let Some(budget) = std::env::var("RANKSIM_PLANNER_REGRET_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if overall > budget {
+            eprintln!(
+                "REGRET BUDGET EXCEEDED: {:.1}% > {:.1}%",
+                overall * 100.0,
+                budget * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "regret budget ok: {:.1}% <= {:.1}%",
+            overall * 100.0,
+            budget * 100.0
+        );
     }
 }
 

@@ -920,6 +920,316 @@ pub fn run_sharded(cfg: &ExpConfig, family: Family, rc: ShardRunConfig) -> Shard
 }
 
 // ---------------------------------------------------------------------
+// Planner sweep: Algorithm::Auto vs the per-configuration oracle
+// ---------------------------------------------------------------------
+
+/// Configuration of one `repro planner` sweep.
+#[derive(Debug, Clone)]
+pub struct PlannerRunConfig {
+    /// The planner's candidate set (the `--algorithms` flag; defaults to
+    /// all eight techniques).
+    pub candidates: Vec<Algorithm>,
+    /// Normalized query thresholds swept.
+    pub thetas: Vec<f64>,
+    /// Corpus sizes swept.
+    pub sizes: Vec<usize>,
+    /// Timed passes per configuration (the median is reported).
+    pub rounds: usize,
+}
+
+/// Parses the `--algorithms` flag value: a comma-separated list of
+/// planner candidates in paper names or lax spellings (`fv`,
+/// `F&V+Drop`, `blocked_prune`, …). At least one concrete algorithm is
+/// required and `Auto` is rejected — the flag *configures* Auto's
+/// candidate set.
+pub fn parse_algorithms_flag(list: &str) -> Result<Vec<Algorithm>, String> {
+    let parsed: Result<Vec<Algorithm>, _> = list.split(',').map(|s| s.trim().parse()).collect();
+    match parsed {
+        Ok(algs) if algs.is_empty() => Err("expected at least one algorithm".into()),
+        Ok(algs) if algs.contains(&Algorithm::Auto) => {
+            Err("Auto cannot be its own candidate; list concrete algorithms".into())
+        }
+        Ok(algs) => {
+            // Dedup (order-preserving): a repeated candidate would get
+            // multiple exploration slots and double-count in win rates.
+            let mut seen = Vec::new();
+            for a in algs {
+                if !seen.contains(&a) {
+                    seen.push(a);
+                }
+            }
+            Ok(seen)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+impl PlannerRunConfig {
+    /// Defaults: all eight candidates, θ ∈ {0.05, 0.1, 0.2, 0.3}, corpus
+    /// sizes {n/4, n}, 2 timed rounds (`RANKSIM_PLANNER_ROUNDS`).
+    pub fn from_env(cfg: &ExpConfig, candidates: Option<Vec<Algorithm>>) -> Self {
+        let rounds = std::env::var("RANKSIM_PLANNER_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2usize)
+            .max(1);
+        PlannerRunConfig {
+            candidates: candidates.unwrap_or_else(|| Algorithm::ALL.to_vec()),
+            thetas: vec![0.05, 0.1, 0.2, 0.3],
+            sizes: vec![(cfg.nyt_n / 4).max(500), cfg.nyt_n],
+            rounds,
+        }
+    }
+}
+
+/// One (corpus size, θ) cell of the planner sweep.
+#[derive(Debug, Clone)]
+pub struct PlannerRow {
+    /// Corpus size.
+    pub n: usize,
+    /// Normalized query threshold.
+    pub theta: f64,
+    /// Measured ms / 1000 queries per fixed candidate algorithm.
+    pub alg_ms: Vec<(Algorithm, f64)>,
+    /// Measured ms / 1000 queries for `Auto` (planning + dispatch
+    /// overhead included), after four recalibration warm-up passes.
+    pub auto_ms: f64,
+    /// The best fixed algorithm of this cell (the oracle).
+    pub oracle: Algorithm,
+    /// The oracle's time.
+    pub oracle_ms: f64,
+    /// Planner picks per algorithm over the measured pass.
+    pub picks: Vec<(Algorithm, u64)>,
+    /// Sum of planner-predicted costs over the measured pass (calibrated ns).
+    pub predicted_ns: f64,
+    /// Sum of measured executor runtimes over the measured pass (ns).
+    pub actual_ns: f64,
+}
+
+impl PlannerRow {
+    /// `auto / oracle − 1`: how much slower Auto was than the
+    /// best-in-hindsight fixed choice (negative when per-query switching
+    /// beats every fixed algorithm).
+    pub fn regret(&self) -> f64 {
+        self.auto_ms / self.oracle_ms.max(1e-9) - 1.0
+    }
+}
+
+/// Everything one planner sweep measured (the `BENCH_planner.json`
+/// artifact).
+#[derive(Debug, Clone)]
+pub struct PlannerReport {
+    /// Dataset family name.
+    pub dataset: String,
+    /// Ranking size.
+    pub k: usize,
+    /// Queries per configuration.
+    pub queries: usize,
+    /// The candidate set in effect.
+    pub candidates: Vec<Algorithm>,
+    /// One row per (corpus size, θ).
+    pub rows: Vec<PlannerRow>,
+}
+
+impl PlannerReport {
+    /// Time-weighted sweep-wide regret: `Σ auto / Σ oracle − 1`.
+    pub fn overall_regret(&self) -> f64 {
+        let auto: f64 = self.rows.iter().map(|r| r.auto_ms).sum();
+        let oracle: f64 = self.rows.iter().map(|r| r.oracle_ms).sum();
+        auto / oracle.max(1e-9) - 1.0
+    }
+
+    /// Fraction of planner picks per algorithm across the whole sweep.
+    pub fn win_rate(&self) -> Vec<(Algorithm, f64)> {
+        let mut totals: Vec<(Algorithm, u64)> =
+            self.candidates.iter().map(|&a| (a, 0u64)).collect();
+        let mut all = 0u64;
+        for row in &self.rows {
+            for &(alg, n) in &row.picks {
+                if let Some(t) = totals.iter_mut().find(|(a, _)| *a == alg) {
+                    t.1 += n;
+                }
+                all += n;
+            }
+        }
+        totals
+            .into_iter()
+            .map(|(a, n)| (a, n as f64 / all.max(1) as f64))
+            .collect()
+    }
+
+    /// Renders the report as a JSON object (the CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"planner_sweep\",\n");
+        s.push_str(&format!(
+            "  \"workload\": {{\"dataset\": \"{}\", \"k\": {}, \"queries\": {}}},\n",
+            self.dataset, self.k, self.queries
+        ));
+        s.push_str(&format!(
+            "  \"candidates\": [{}],\n",
+            self.candidates
+                .iter()
+                .map(|a| format!("\"{a}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str(&format!(
+            "  \"overall_regret\": {:.4},\n",
+            self.overall_regret()
+        ));
+        s.push_str(&format!(
+            "  \"win_rate\": {{{}}},\n",
+            self.win_rate()
+                .iter()
+                .map(|(a, w)| format!("\"{a}\": {w:.4}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"n\": {}, \"theta\": {}, \"auto_ms\": {:.3}, \"oracle\": \"{}\", \
+                 \"oracle_ms\": {:.3}, \"regret\": {:.4}, \"predicted_ns\": {:.0}, \
+                 \"actual_ns\": {:.0}, \"alg_ms\": {{{}}}, \"picks\": {{{}}}}}{}\n",
+                r.n,
+                r.theta,
+                r.auto_ms,
+                r.oracle,
+                r.oracle_ms,
+                r.regret(),
+                r.predicted_ns,
+                r.actual_ns,
+                r.alg_ms
+                    .iter()
+                    .map(|(a, m)| format!("\"{a}\": {m:.3}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                r.picks
+                    .iter()
+                    .map(|(a, n)| format!("\"{a}\": {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// The `repro planner` sweep: for every (corpus size, θ) it interleaves
+/// timed passes of each fixed candidate algorithm with `Algorithm::Auto`
+/// (after four recalibration warm-up passes over the workload) and
+/// reports per-technique medians, per-cell win-rates, and the planner's
+/// regret against the best-in-hindsight fixed algorithm. Each engine
+/// carries the real measured machine calibration, so the planner runs
+/// exactly as a production caller would see it.
+pub fn run_planner_sweep(cfg: &ExpConfig, rc: &PlannerRunConfig) -> PlannerReport {
+    let k = 10usize;
+    let mut rows = Vec::new();
+    for &n in &rc.sizes {
+        let mut sized = *cfg;
+        sized.nyt_n = n;
+        let bench = Bench::load(&sized, Family::Nyt, k);
+        let mut selected = rc.candidates.clone();
+        selected.push(Algorithm::Auto);
+        let engine = EngineBuilder::new(bench.ds.store.clone())
+            .coarse_threshold(0.5)
+            .coarse_drop_threshold(0.06)
+            .algorithms(&selected)
+            .build();
+        let mut scratch = engine.scratch();
+        let mut out = Vec::new();
+        for &theta in &rc.thetas {
+            let raw = raw_threshold(theta, k);
+            let mut run_pass = |alg: Algorithm| -> (Duration, ranksim_core::PlanStats) {
+                let mut plan = ranksim_core::PlanStats::new();
+                let mut stats = QueryStats::new();
+                let start = Instant::now();
+                for q in &bench.queries {
+                    let trace =
+                        engine.query_into_traced(alg, q, raw, &mut scratch, &mut stats, &mut out);
+                    plan.record(&trace);
+                }
+                (start.elapsed(), plan)
+            };
+            // Warm-up passes drain this θ-bucket's exploration phase and
+            // recalibrate its level estimates from measured runtimes;
+            // the measured rounds then reflect the planner's steady
+            // state.
+            for _ in 0..4 {
+                let _ = run_pass(Algorithm::Auto);
+            }
+            // Measured rounds interleave every fixed arm with Auto so
+            // environmental drift (CPU frequency, noisy neighbours)
+            // spreads evenly instead of systematically taxing whichever
+            // technique happens to run last; medians per technique are
+            // then comparable, and symmetric between the arms and Auto.
+            // Round 0 is an untimed warm round: it gives every *fixed*
+            // arm the same warmed start Auto already got from its
+            // recalibration passes.
+            let mut arm_rounds: Vec<Vec<Duration>> = vec![Vec::new(); rc.candidates.len()];
+            let mut auto_rounds: Vec<(Duration, ranksim_core::PlanStats)> = Vec::new();
+            for round in 0..=rc.rounds {
+                for (ai, &alg) in rc.candidates.iter().enumerate() {
+                    let d = run_pass(alg).0;
+                    if round > 0 {
+                        arm_rounds[ai].push(d);
+                    }
+                }
+                let r = run_pass(Algorithm::Auto);
+                if round > 0 {
+                    auto_rounds.push(r);
+                }
+            }
+            // Lower median: well-defined for even round counts and
+            // applied identically to the arms and Auto.
+            let median = |mut ds: Vec<Duration>| -> Duration {
+                ds.sort_unstable();
+                ds[(ds.len() - 1) / 2]
+            };
+            let alg_ms: Vec<(Algorithm, f64)> = rc
+                .candidates
+                .iter()
+                .zip(arm_rounds)
+                .map(|(&alg, ds)| (alg, ms(median(ds)) * bench.scale_to_1000))
+                .collect();
+            auto_rounds.sort_unstable_by_key(|&(d, _)| d);
+            let (auto_d, plan) = auto_rounds.swap_remove((auto_rounds.len() - 1) / 2);
+            let auto_ms = ms(auto_d) * bench.scale_to_1000;
+            let &(oracle, oracle_ms) = alg_ms
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty candidate set");
+            rows.push(PlannerRow {
+                n,
+                theta,
+                alg_ms: alg_ms.clone(),
+                auto_ms,
+                oracle,
+                oracle_ms,
+                picks: rc
+                    .candidates
+                    .iter()
+                    .map(|&a| (a, plan.picks_of(a)))
+                    .collect(),
+                predicted_ns: plan.predicted_ns,
+                actual_ns: plan.actual_ns,
+            });
+        }
+    }
+    PlannerReport {
+        dataset: "NYT".into(),
+        k,
+        queries: cfg.queries,
+        candidates: rc.candidates.clone(),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Verification sweep
 // ---------------------------------------------------------------------
 
@@ -1015,6 +1325,26 @@ pub fn ablation_drop_policy(bench: &Bench, theta: f64) -> Vec<AblationRow> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn algorithms_flag_parses_lax_spellings_and_rejects_bad_input() {
+        assert_eq!(
+            parse_algorithms_flag("fv, listmerge ,Coarse+Drop").unwrap(),
+            vec![Algorithm::Fv, Algorithm::ListMerge, Algorithm::CoarseDrop]
+        );
+        assert_eq!(
+            parse_algorithms_flag("F&V+Drop,blocked_prune_drop").unwrap(),
+            vec![Algorithm::FvDrop, Algorithm::BlockedPruneDrop]
+        );
+        assert!(parse_algorithms_flag("fv,unknown")
+            .unwrap_err()
+            .contains("unknown algorithm 'unknown'"));
+        assert!(
+            parse_algorithms_flag("auto").is_err(),
+            "Auto is not a candidate"
+        );
+        assert!(parse_algorithms_flag("").is_err());
+    }
 
     #[test]
     fn table6_sizes_account_for_headers_and_structures_exactly() {

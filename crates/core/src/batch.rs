@@ -29,18 +29,23 @@ use std::sync::Barrier;
 
 use crate::coarse::CoarseIndex;
 use crate::engine::{Algorithm, Engine};
+use crate::planner::PlanStats;
 use ranksim_metricspace::query_pairs_into;
 use ranksim_rankings::{
     footrule_items, footrule_pairs, ItemId, QueryScratch, QueryStats, RankingId, RankingStore,
 };
 
 /// What one worker of a work-stealing batch run did.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkerReport {
     /// Queries this worker claimed and processed.
     pub queries: u64,
     /// The stats accumulated over exactly those queries.
     pub stats: QueryStats,
+    /// Planner telemetry accumulated over exactly those queries (all
+    /// zero unless the batch ran [`Algorithm::Auto`]): per-algorithm pick
+    /// counts plus predicted-vs-actual cost totals.
+    pub plan: PlanStats,
 }
 
 /// Folds per-worker reports into one batch-wide [`QueryStats`].
@@ -50,6 +55,15 @@ pub fn merge_reports(reports: &[WorkerReport]) -> QueryStats {
         stats.merge(&r.stats);
     }
     stats
+}
+
+/// Folds per-worker reports into one batch-wide [`PlanStats`].
+pub fn merge_plan_reports(reports: &[WorkerReport]) -> PlanStats {
+    let mut plan = PlanStats::new();
+    for r in reports {
+        plan.merge(&r.plan);
+    }
+    plan
 }
 
 /// The shared work queue of a batch run: an atomic cursor over the query
@@ -101,7 +115,7 @@ pub(crate) fn run_stealing<W, F>(
 ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>)
 where
     W: Fn() -> F + Sync,
-    F: FnMut(usize, &mut QueryStats) -> Vec<RankingId>,
+    F: FnMut(usize, &mut WorkerReport) -> Vec<RankingId>,
 {
     if num_queries == 0 {
         return (Vec::new(), Vec::new());
@@ -124,7 +138,7 @@ where
                         // cannot be drained before late workers exist.
                         barrier.wait();
                         while let Some(qi) = cursor.claim() {
-                            let out = work(qi, &mut report.stats);
+                            let out = work(qi, &mut report);
                             report.queries += 1;
                             claimed.push((qi, out));
                         }
@@ -178,16 +192,17 @@ impl Engine {
     ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
         run_stealing(queries.len(), threads, || {
             let mut scratch = QueryScratch::new();
-            move |qi: usize, stats: &mut QueryStats| {
+            move |qi: usize, report: &mut WorkerReport| {
                 let mut out = Vec::new();
-                self.query_into(
+                let trace = self.query_into_traced(
                     algorithm,
                     &queries[qi],
                     theta_raw,
                     &mut scratch,
-                    stats,
+                    &mut report.stats,
                     &mut out,
                 );
+                report.plan.record(&trace);
                 out
             }
         })

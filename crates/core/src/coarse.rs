@@ -26,7 +26,8 @@ use ranksim_invindex::fv::filter_validate_relaxed_into;
 use ranksim_invindex::PlainInvertedIndex;
 use ranksim_metricspace::{query_pairs_into, BkPartitioner, Partitioning};
 use ranksim_rankings::{
-    footrule_pairs, ItemId, ItemRemap, QueryScratch, QueryStats, RankingId, RankingStore,
+    footrule_pairs, ExecStats, ItemId, ItemRemap, QueryExecutor, QueryScratch, QueryStats,
+    RankingId, RankingStore,
 };
 
 /// Construction-time statistics (Table 6 reporting).
@@ -302,6 +303,53 @@ impl CoarseIndex {
         self.partitioning.heap_bytes()
             + self.medoid_index.heap_bytes()
             + self.medoid_to_partition.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// [`QueryExecutor`] running the coarse hybrid path (`Coarse` or, with
+/// `drop_lists`, `Coarse+Drop`) over a shared coarse index — the
+/// metric-space side of the engine's executor table.
+pub struct CoarseExecutor {
+    index: Arc<CoarseIndex>,
+    drop_lists: bool,
+}
+
+impl CoarseExecutor {
+    /// Wraps a shared coarse index; `drop_lists` selects `Coarse+Drop`.
+    pub fn new(index: Arc<CoarseIndex>, drop_lists: bool) -> Self {
+        CoarseExecutor { index, drop_lists }
+    }
+}
+
+impl QueryExecutor for CoarseExecutor {
+    fn name(&self) -> &'static str {
+        if self.drop_lists {
+            "Coarse+Drop"
+        } else {
+            "Coarse"
+        }
+    }
+
+    fn execute(
+        &self,
+        store: &RankingStore,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) -> ExecStats {
+        let before = *stats;
+        self.index.query_into(
+            store,
+            query,
+            theta_raw,
+            self.drop_lists,
+            scratch,
+            stats,
+            out,
+        );
+        ExecStats::since(&before, stats)
     }
 }
 

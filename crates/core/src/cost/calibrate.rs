@@ -90,6 +90,24 @@ impl CalibratedCosts {
         }
     }
 
+    /// [`CalibratedCosts::measure`] with a process-wide per-`k` cache:
+    /// the micro-measurement runs once per ranking size and every later
+    /// engine (or shard) build reuses the result. Within one process the
+    /// returned costs are therefore stable, which keeps planner decisions
+    /// reproducible across engines built in the same run.
+    pub fn measured_cached(k: usize) -> Self {
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<Vec<(usize, CalibratedCosts)>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        let mut guard = cache.lock().expect("calibration cache poisoned");
+        if let Some(&(_, costs)) = guard.iter().find(|&&(ck, _)| ck == k) {
+            return costs;
+        }
+        let costs = Self::measure(k);
+        guard.push((k, costs));
+        costs
+    }
+
     /// `Cost_merge(k, size)`: merging `k` lists of `size` postings each.
     pub fn merge_cost(&self, k: usize, size: f64) -> f64 {
         self.merge_posting_ns * k as f64 * size

@@ -1,33 +1,52 @@
 //! The unified query engine: every algorithm of the paper's evaluation
-//! behind one dispatch enum.
+//! behind one executor table, with a cost-model planner picking the sweet
+//! spot per query.
 //!
 //! [`Engine`] owns the corpus and the index structures; [`Algorithm`]
 //! names the paper's processing techniques (Section 7, "Algorithms under
 //! Investigation") minus `Minimal F&V`, which is a workload-dependent
 //! oracle rather than an ad-hoc index (see
-//! [`ranksim_invindex::MinimalFv`]).
+//! [`ranksim_invindex::MinimalFv`]) — plus [`Algorithm::Auto`], which
+//! lets the calibrated cost model choose the technique per `(query, θ)`
+//! (the paper's Sections 8–9 outlook, implemented in
+//! [`crate::planner::Planner`]).
+//!
+//! Dispatch is **not** a central `match` anymore: each algorithm is a
+//! [`QueryExecutor`] living next to its index structure
+//! (`ranksim-invindex`, `ranksim-adaptsearch`, the coarse path in this
+//! crate), and the engine holds one executor per built structure in a
+//! dense table. [`Engine::query_into`] resolves `Auto` through the
+//! planner, runs the chosen executor, and feeds the measured runtime back
+//! for online recalibration.
 //!
 //! All indexes share one corpus-wide [`ItemRemap`], and every query
 //! threads a caller-owned [`QueryScratch`] through
 //! [`Engine::query_items`] / [`Engine::query_into`] — the latter writes
 //! into a reusable result buffer and performs **zero** heap allocations
-//! once scratch and buffer are warmed up. [`EngineBuilder::algorithms`]
-//! restricts construction to the index structures the selected algorithms
-//! need.
+//! once scratch and buffer are warmed up, planner included.
+//! [`EngineBuilder::algorithms`] restricts construction to the index
+//! structures the selected algorithms need and doubles as the planner's
+//! candidate set when [`Algorithm::Auto`] is selected.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use crate::coarse::CoarseIndex;
-use ranksim_adaptsearch::{AdaptCostParams, AdaptSearchIndex};
+use crate::coarse::{CoarseExecutor, CoarseIndex};
+use crate::cost::calibrate::CalibratedCosts;
+use crate::planner::Planner;
+use ranksim_adaptsearch::{AdaptCostParams, AdaptSearchExecutor, AdaptSearchIndex};
 use ranksim_invindex::{
-    blocked_prune, fv, listmerge, AugmentedInvertedIndex, BlockedInvertedIndex, PlainInvertedIndex,
+    AugmentedInvertedIndex, BlockedInvertedIndex, BlockedPruneExecutor, FvDropExecutor, FvExecutor,
+    ListMergeExecutor, PlainInvertedIndex,
 };
 use ranksim_metricspace::{knn_bktree, knn_linear, query_pairs_into, BkTree};
 use ranksim_rankings::{
-    raw_threshold, ItemId, ItemRemap, QueryScratch, QueryStats, Ranking, RankingId, RankingStore,
+    raw_threshold, ExecStats, ItemId, ItemRemap, QueryExecutor, QueryScratch, QueryStats, Ranking,
+    RankingId, RankingStore,
 };
 
-/// The query-processing techniques of the paper's evaluation.
+/// The query-processing techniques of the paper's evaluation, plus
+/// cost-model-driven automatic selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Filter & validate over the plain inverted index (baseline).
@@ -47,10 +66,17 @@ pub enum Algorithm {
     CoarseDrop,
     /// The AdaptSearch competitor (adaptive prefix filtering).
     AdaptSearch,
+    /// Per-query selection among the engine's candidate set by the
+    /// calibrated cost model (see [`crate::planner::Planner`]).
+    Auto,
 }
 
 impl Algorithm {
-    /// All algorithms, in the paper's presentation order.
+    /// Number of concrete (dispatchable) algorithms.
+    pub const COUNT: usize = 8;
+
+    /// All concrete algorithms, in the paper's presentation order
+    /// (`Auto` is a selection policy, not a ninth technique).
     pub const ALL: [Algorithm; 8] = [
         Algorithm::Fv,
         Algorithm::ListMerge,
@@ -73,6 +99,39 @@ impl Algorithm {
             Algorithm::Coarse => "Coarse",
             Algorithm::CoarseDrop => "Coarse+Drop",
             Algorithm::AdaptSearch => "AdaptSearch",
+            Algorithm::Auto => "Auto",
+        }
+    }
+
+    /// Stable dense index of a concrete algorithm (`None` for `Auto`);
+    /// the coordinate of every per-algorithm table — executor slots,
+    /// planner corrections, batch pick counters.
+    pub fn dense_index(self) -> Option<usize> {
+        match self {
+            Algorithm::Fv => Some(0),
+            Algorithm::FvDrop => Some(1),
+            Algorithm::ListMerge => Some(2),
+            Algorithm::BlockedPrune => Some(3),
+            Algorithm::BlockedPruneDrop => Some(4),
+            Algorithm::Coarse => Some(5),
+            Algorithm::CoarseDrop => Some(6),
+            Algorithm::AdaptSearch => Some(7),
+            Algorithm::Auto => None,
+        }
+    }
+
+    /// Inverse of [`Algorithm::dense_index`].
+    pub fn from_dense_index(index: usize) -> Option<Algorithm> {
+        match index {
+            0 => Some(Algorithm::Fv),
+            1 => Some(Algorithm::FvDrop),
+            2 => Some(Algorithm::ListMerge),
+            3 => Some(Algorithm::BlockedPrune),
+            4 => Some(Algorithm::BlockedPruneDrop),
+            5 => Some(Algorithm::Coarse),
+            6 => Some(Algorithm::CoarseDrop),
+            7 => Some(Algorithm::AdaptSearch),
+            _ => None,
         }
     }
 }
@@ -83,6 +142,74 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+/// Error of [`Algorithm::from_str`]: the input named no known algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown algorithm '{}'; expected one of: {}, Auto",
+            self.input,
+            Algorithm::ALL.map(|a| a.name()).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+impl std::str::FromStr for Algorithm {
+    type Err = ParseAlgorithmError;
+
+    /// Parses the paper display names (round-tripping [`Algorithm`]'s
+    /// `Display`) case-insensitively, ignoring the `&`/`+`/`-`/`_`/space
+    /// separators: `"F&V+Drop"`, `"fv-drop"` and `"FVDROP"` all parse to
+    /// [`Algorithm::FvDrop`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        let all = Algorithm::ALL.iter().copied().chain([Algorithm::Auto]);
+        for a in all {
+            let canon: String = a
+                .name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .map(|c| c.to_ascii_lowercase())
+                .collect();
+            if norm == canon {
+                return Ok(a);
+            }
+        }
+        Err(ParseAlgorithmError {
+            input: s.to_string(),
+        })
+    }
+}
+
+/// What one [`Engine::query_into_traced`] call did: the executor that
+/// ran (the planner's pick under `Auto`), its instrumented counters, and
+/// the predicted/measured costs feeding the recalibration loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryTrace {
+    /// The concrete algorithm that executed.
+    pub algorithm: Algorithm,
+    /// Whether the planner chose it (`Auto`) or the caller named it.
+    pub planned: bool,
+    /// Counter deltas of exactly this execution.
+    pub exec: ExecStats,
+    /// The planner's predicted cost in calibrated ns (0 when not
+    /// planned or the planner was degenerate).
+    pub predicted_ns: f64,
+    /// Measured executor wall time in ns (0 when not planned).
+    pub actual_ns: f64,
+}
+
 /// Builder for [`Engine`].
 pub struct EngineBuilder {
     store: RankingStore,
@@ -90,6 +217,7 @@ pub struct EngineBuilder {
     coarse_theta_c_drop: Option<f64>,
     selected: Option<Vec<Algorithm>>,
     topk_tree: bool,
+    calibrated: Option<CalibratedCosts>,
 }
 
 impl EngineBuilder {
@@ -101,6 +229,7 @@ impl EngineBuilder {
             coarse_theta_c_drop: None,
             selected: None,
             topk_tree: false,
+            calibrated: None,
         }
     }
 
@@ -130,33 +259,81 @@ impl EngineBuilder {
     /// Restricts construction to the index structures the given
     /// algorithms need (single-algorithm benches skip the other builds
     /// entirely); [`EngineBuilder::build`] without this call keeps the
-    /// build-everything default.
+    /// build-everything default, which also arms the planner with all
+    /// eight techniques.
+    ///
+    /// When the list contains [`Algorithm::Auto`], the *concrete*
+    /// algorithms in the list become the planner's candidate set (all
+    /// eight when `Auto` stands alone) and the planner is built alongside
+    /// the indexes; without `Auto` in a restricted list no planner is
+    /// built and `Auto` queries panic.
     pub fn algorithms(mut self, algorithms: &[Algorithm]) -> Self {
         self.selected = Some(algorithms.to_vec());
         self
     }
 
-    /// Builds the selected index structures (all of them by default).
+    /// Overrides the calibrated machine primitives the planner prices
+    /// executors with (defaults to a cached micro-measurement of this
+    /// machine; fixed [`CalibratedCosts::nominal`] values keep tests
+    /// deterministic).
+    pub fn calibrated_costs(mut self, costs: CalibratedCosts) -> Self {
+        self.calibrated = Some(costs);
+        self
+    }
+
+    /// Builds the selected index structures (all of them by default),
+    /// their executors, and — for the default build or when
+    /// [`Algorithm::Auto`] was selected — the cost-model planner.
     pub fn build(self) -> Engine {
         let k = self.store.k();
-        let want = |a: Algorithm| self.selected.as_ref().map_or(true, |s| s.contains(&a));
+        // Resolve the candidate set and whether the planner is wanted.
+        let (candidates, want_auto) = match &self.selected {
+            None => (Algorithm::ALL.to_vec(), true),
+            Some(sel) => {
+                let auto = sel.contains(&Algorithm::Auto);
+                let concrete: Vec<Algorithm> = Algorithm::ALL
+                    .iter()
+                    .copied()
+                    .filter(|a| sel.contains(a))
+                    .collect();
+                let concrete = if auto && concrete.is_empty() {
+                    Algorithm::ALL.to_vec()
+                } else {
+                    concrete
+                };
+                (concrete, auto)
+            }
+        };
+        let want = |a: Algorithm| candidates.contains(&a);
         let remap = Arc::new(ItemRemap::build(&self.store));
         let plain = (want(Algorithm::Fv) || want(Algorithm::FvDrop)).then(|| {
-            PlainInvertedIndex::build_with_remap(&self.store, remap.clone(), self.store.ids())
+            Arc::new(PlainInvertedIndex::build_with_remap(
+                &self.store,
+                remap.clone(),
+                self.store.ids(),
+            ))
         });
         let augmented = want(Algorithm::ListMerge).then(|| {
-            AugmentedInvertedIndex::build_with_remap(&self.store, remap.clone(), self.store.ids())
+            Arc::new(AugmentedInvertedIndex::build_with_remap(
+                &self.store,
+                remap.clone(),
+                self.store.ids(),
+            ))
         });
         let blocked =
             (want(Algorithm::BlockedPrune) || want(Algorithm::BlockedPruneDrop)).then(|| {
-                BlockedInvertedIndex::build_with_remap(&self.store, remap.clone(), self.store.ids())
+                Arc::new(BlockedInvertedIndex::build_with_remap(
+                    &self.store,
+                    remap.clone(),
+                    self.store.ids(),
+                ))
             });
         let adapt = want(Algorithm::AdaptSearch).then(|| {
-            AdaptSearchIndex::build_with_remap(
+            Arc::new(AdaptSearchIndex::build_with_remap(
                 &self.store,
                 remap.clone(),
                 AdaptCostParams::default(),
-            )
+            ))
         });
         let coarse_theta = raw_threshold(self.coarse_theta_c, k);
         let drop_theta = self
@@ -167,11 +344,69 @@ impl EngineBuilder {
         // matches; a separately tuned index is built otherwise.
         let need_shared_coarse =
             want(Algorithm::Coarse) || (want(Algorithm::CoarseDrop) && drop_theta == coarse_theta);
-        let coarse = need_shared_coarse
-            .then(|| CoarseIndex::build_with_remap(&self.store, remap.clone(), coarse_theta));
-        let coarse_drop = (want(Algorithm::CoarseDrop) && drop_theta != coarse_theta)
-            .then(|| CoarseIndex::build_with_remap(&self.store, remap.clone(), drop_theta));
+        let coarse = need_shared_coarse.then(|| {
+            Arc::new(CoarseIndex::build_with_remap(
+                &self.store,
+                remap.clone(),
+                coarse_theta,
+            ))
+        });
+        let coarse_drop = (want(Algorithm::CoarseDrop) && drop_theta != coarse_theta).then(|| {
+            Arc::new(CoarseIndex::build_with_remap(
+                &self.store,
+                remap.clone(),
+                drop_theta,
+            ))
+        });
         let tree = self.topk_tree.then(|| BkTree::build(&self.store));
+
+        // One executor per built structure: selecting `FvDrop` also makes
+        // the plain index (hence `Fv`) available, matching the pre-
+        // executor dispatch semantics exactly.
+        let mut executors: Vec<Option<Box<dyn QueryExecutor>>> =
+            (0..Algorithm::COUNT).map(|_| None).collect();
+        let slot = |a: Algorithm| a.dense_index().expect("concrete algorithm");
+        if let Some(p) = &plain {
+            executors[slot(Algorithm::Fv)] = Some(Box::new(FvExecutor::new(p.clone())));
+            executors[slot(Algorithm::FvDrop)] = Some(Box::new(FvDropExecutor::new(p.clone())));
+        }
+        if let Some(a) = &augmented {
+            executors[slot(Algorithm::ListMerge)] =
+                Some(Box::new(ListMergeExecutor::new(a.clone())));
+        }
+        if let Some(b) = &blocked {
+            executors[slot(Algorithm::BlockedPrune)] =
+                Some(Box::new(BlockedPruneExecutor::new(b.clone(), false)));
+            executors[slot(Algorithm::BlockedPruneDrop)] =
+                Some(Box::new(BlockedPruneExecutor::new(b.clone(), true)));
+        }
+        if let Some(a) = &adapt {
+            executors[slot(Algorithm::AdaptSearch)] =
+                Some(Box::new(AdaptSearchExecutor::new(a.clone())));
+        }
+        if let Some(c) = &coarse {
+            executors[slot(Algorithm::Coarse)] =
+                Some(Box::new(CoarseExecutor::new(c.clone(), false)));
+        }
+        if let Some(c) = coarse_drop.as_ref().or(coarse.as_ref()) {
+            executors[slot(Algorithm::CoarseDrop)] =
+                Some(Box::new(CoarseExecutor::new(c.clone(), true)));
+        }
+
+        let planner = want_auto.then(|| {
+            let costs = self
+                .calibrated
+                .unwrap_or_else(|| CalibratedCosts::measured_cached(k));
+            Planner::build(
+                &self.store,
+                remap.clone(),
+                candidates.clone(),
+                costs,
+                coarse_theta,
+                drop_theta,
+            )
+        });
+
         Engine {
             store: self.store,
             remap,
@@ -182,6 +417,8 @@ impl EngineBuilder {
             coarse,
             coarse_drop,
             tree,
+            executors,
+            planner,
         }
     }
 }
@@ -190,19 +427,25 @@ impl EngineBuilder {
 pub struct Engine {
     store: RankingStore,
     remap: Arc<ItemRemap>,
-    plain: Option<PlainInvertedIndex>,
-    augmented: Option<AugmentedInvertedIndex>,
-    blocked: Option<BlockedInvertedIndex>,
-    adapt: Option<AdaptSearchIndex>,
-    coarse: Option<CoarseIndex>,
+    plain: Option<Arc<PlainInvertedIndex>>,
+    augmented: Option<Arc<AugmentedInvertedIndex>>,
+    blocked: Option<Arc<BlockedInvertedIndex>>,
+    adapt: Option<Arc<AdaptSearchIndex>>,
+    coarse: Option<Arc<CoarseIndex>>,
     /// Separately tuned coarse index for `CoarseDrop`, if configured.
-    coarse_drop: Option<CoarseIndex>,
+    coarse_drop: Option<Arc<CoarseIndex>>,
     /// Corpus-wide BK-tree for top-k queries (built on request).
     tree: Option<BkTree>,
+    /// One executor per built index structure, indexed by
+    /// [`Algorithm::dense_index`].
+    executors: Vec<Option<Box<dyn QueryExecutor>>>,
+    /// The cost-model planner behind [`Algorithm::Auto`] (present on
+    /// default builds and whenever `Auto` was selected).
+    planner: Option<Planner>,
 }
 
-fn require<'a, T>(index: &'a Option<T>, algorithm: Algorithm) -> &'a T {
-    index.as_ref().unwrap_or_else(|| {
+fn require<T>(index: &Option<Arc<T>>, algorithm: Algorithm) -> &T {
+    index.as_deref().unwrap_or_else(|| {
         panic!(
             "index for {algorithm} was not built; include it in EngineBuilder::algorithms \
              or build the engine with the default build-everything configuration"
@@ -224,6 +467,26 @@ impl Engine {
     /// The coarse index (for `Coarse`). Panics if it was not built.
     pub fn coarse_index(&self) -> &CoarseIndex {
         require(&self.coarse, Algorithm::Coarse)
+    }
+
+    /// The cost-model planner behind [`Algorithm::Auto`], if built.
+    pub fn planner(&self) -> Option<&Planner> {
+        self.planner.as_ref()
+    }
+
+    /// The executor registered for a concrete algorithm. Panics with the
+    /// same diagnostic the old enum dispatch produced when the backing
+    /// index was not built.
+    fn executor(&self, algorithm: Algorithm) -> &dyn QueryExecutor {
+        let slot = algorithm
+            .dense_index()
+            .expect("Auto is resolved by the planner before dispatch");
+        self.executors[slot].as_deref().unwrap_or_else(|| {
+            panic!(
+                "index for {algorithm} was not built; include it in EngineBuilder::algorithms \
+                 or build the engine with the default build-everything configuration"
+            )
+        })
     }
 
     /// A fresh scratch for this engine's queries; reuse it across queries
@@ -268,7 +531,7 @@ impl Engine {
 
     /// Runs `algorithm` into a caller-owned result buffer (cleared
     /// first). With a warmed-up scratch and buffer, steady-state calls
-    /// perform zero heap allocations.
+    /// perform zero heap allocations — [`Algorithm::Auto`] included.
     pub fn query_into(
         &self,
         algorithm: Algorithm,
@@ -278,81 +541,87 @@ impl Engine {
         stats: &mut QueryStats,
         out: &mut Vec<RankingId>,
     ) {
+        let _ = self.query_into_traced(algorithm, query, theta_raw, scratch, stats, out);
+    }
+
+    /// [`Engine::query_into`] returning the [`QueryTrace`]: which
+    /// executor ran (the planner's pick under [`Algorithm::Auto`]), its
+    /// instrumented [`ExecStats`], and the predicted/measured costs. The
+    /// batch drivers accumulate these into per-worker reports.
+    pub fn query_into_traced(
+        &self,
+        algorithm: Algorithm,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) -> QueryTrace {
         assert_eq!(
             query.len(),
             self.store.k(),
             "query size must match the corpus ranking size"
         );
         out.clear();
-        match algorithm {
-            Algorithm::Fv => fv::filter_validate_into(
-                require(&self.plain, algorithm),
+        if algorithm == Algorithm::Auto {
+            let planner = self.planner.as_ref().unwrap_or_else(|| {
+                panic!(
+                    "planner for Auto was not built; include Algorithm::Auto in \
+                     EngineBuilder::algorithms or build the engine with the default \
+                     build-everything configuration"
+                )
+            });
+            let decision = planner.plan(query, theta_raw, scratch);
+            let start = Instant::now();
+            let exec = self.executor(decision.algorithm).execute(
                 &self.store,
                 query,
                 theta_raw,
                 scratch,
                 stats,
                 out,
-            ),
-            Algorithm::FvDrop => fv::filter_validate_drop_into(
-                require(&self.plain, algorithm),
+            );
+            let actual_ns = start.elapsed().as_nanos() as f64;
+            planner.record(&decision, actual_ns);
+            QueryTrace {
+                algorithm: decision.algorithm,
+                planned: true,
+                exec,
+                predicted_ns: decision.predicted_ns,
+                actual_ns,
+            }
+        } else {
+            let exec = self.executor(algorithm).execute(
                 &self.store,
                 query,
                 theta_raw,
                 scratch,
                 stats,
                 out,
-            ),
-            Algorithm::ListMerge => listmerge::list_merge_into(
-                require(&self.augmented, algorithm),
-                &self.store,
-                query,
-                theta_raw,
-                scratch,
-                stats,
-                out,
-            ),
-            Algorithm::BlockedPrune => blocked_prune::blocked_prune_into(
-                require(&self.blocked, algorithm),
-                &self.store,
-                query,
-                theta_raw,
-                scratch,
-                stats,
-                out,
-            ),
-            Algorithm::BlockedPruneDrop => blocked_prune::blocked_prune_drop_into(
-                require(&self.blocked, algorithm),
-                &self.store,
-                query,
-                theta_raw,
-                scratch,
-                stats,
-                out,
-            ),
-            Algorithm::Coarse => require(&self.coarse, algorithm).query_into(
-                &self.store,
-                query,
-                theta_raw,
-                false,
-                scratch,
-                stats,
-                out,
-            ),
-            Algorithm::CoarseDrop => self
-                .coarse_drop
-                .as_ref()
-                .unwrap_or_else(|| require(&self.coarse, algorithm))
-                .query_into(&self.store, query, theta_raw, true, scratch, stats, out),
-            Algorithm::AdaptSearch => require(&self.adapt, algorithm).search_into(
-                &self.store,
-                query,
-                theta_raw,
-                scratch,
-                stats,
-                out,
-            ),
+            );
+            QueryTrace {
+                algorithm,
+                planned: false,
+                exec,
+                predicted_ns: 0.0,
+                actual_ns: 0.0,
+            }
         }
+    }
+
+    /// Cost-model-selected query ([`Algorithm::Auto`] shorthand): runs
+    /// the predicted-cheapest candidate executor and returns which
+    /// concrete algorithm the planner picked.
+    pub fn query_auto(
+        &self,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) -> Algorithm {
+        self.query_into_traced(Algorithm::Auto, query, theta_raw, scratch, stats, out)
+            .algorithm
     }
 
     /// The `neighbours` corpus rankings nearest to `query`, as ascending
@@ -386,9 +655,9 @@ impl Engine {
     }
 
     /// Heap footprint of the engine: the corpus store plus every built
-    /// index structure. Per-structure footprints are exact and each
-    /// includes the (shared) remap it holds, matching Table 6's
-    /// build-each-structure-alone accounting.
+    /// index structure (and the planner's tables). Per-structure
+    /// footprints are exact and each includes the (shared) remap it
+    /// holds, matching Table 6's build-each-structure-alone accounting.
     pub fn heap_bytes(&self) -> usize {
         self.store.heap_bytes()
             + self.plain.as_ref().map_or(0, |i| i.heap_bytes())
@@ -398,6 +667,7 @@ impl Engine {
             + self.coarse.as_ref().map_or(0, |i| i.heap_bytes())
             + self.coarse_drop.as_ref().map_or(0, |i| i.heap_bytes())
             + self.tree.as_ref().map_or(0, |t| t.heap_bytes())
+            + self.planner.as_ref().map_or(0, |p| p.heap_bytes())
     }
 }
 
@@ -441,6 +711,11 @@ mod tests {
                     got.sort_unstable();
                     assert_eq!(got, expect, "{alg} disagrees at θ={theta}");
                 }
+                // Auto routes through one of the above and must agree too.
+                let mut stats = QueryStats::new();
+                let mut got = engine.query_items(Algorithm::Auto, q, raw, &mut scratch, &mut stats);
+                got.sort_unstable();
+                assert_eq!(got, expect, "Auto disagrees at θ={theta}");
             }
         }
     }
@@ -456,6 +731,10 @@ mod tests {
         assert!(engine.blocked.is_none());
         assert!(engine.adapt.is_none());
         assert!(engine.coarse.is_none());
+        assert!(
+            engine.planner.is_none(),
+            "no planner without Auto in a restricted build"
+        );
         // The selected algorithms agree with each other.
         let q: Vec<ItemId> = engine.store().items(RankingId(3)).to_vec();
         let raw = raw_threshold(0.2, 10);
@@ -467,6 +746,48 @@ mod tests {
         b.sort_unstable();
         assert_eq!(a, b);
         assert!(a.contains(&RankingId(3)));
+    }
+
+    #[test]
+    fn auto_in_restricted_build_scopes_the_candidate_set() {
+        let ds = nyt_like(400, 10, 19);
+        let engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Auto, Algorithm::Fv, Algorithm::Coarse])
+            .calibrated_costs(CalibratedCosts::nominal(10))
+            .build();
+        let planner = engine.planner().expect("Auto builds the planner");
+        assert_eq!(planner.candidates(), &[Algorithm::Fv, Algorithm::Coarse]);
+        assert!(engine.plain.is_some());
+        assert!(engine.coarse.is_some());
+        assert!(engine.augmented.is_none());
+        assert!(engine.blocked.is_none());
+        let q: Vec<ItemId> = engine.store().items(RankingId(1)).to_vec();
+        let mut scratch = engine.scratch();
+        let mut stats = QueryStats::new();
+        let mut out = Vec::new();
+        let chosen = engine.query_auto(
+            &q,
+            raw_threshold(0.1, 10),
+            &mut scratch,
+            &mut stats,
+            &mut out,
+        );
+        assert!(matches!(chosen, Algorithm::Fv | Algorithm::Coarse));
+        assert!(out.contains(&RankingId(1)));
+    }
+
+    #[test]
+    fn auto_alone_arms_all_eight_candidates() {
+        let ds = nyt_like(300, 10, 23);
+        let engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Auto])
+            .calibrated_costs(CalibratedCosts::nominal(10))
+            .build();
+        assert_eq!(engine.planner().unwrap().candidates(), &Algorithm::ALL);
+        for alg in Algorithm::ALL {
+            // Every executor must be registered.
+            let _ = engine.executor(alg);
+        }
     }
 
     #[test]
@@ -495,6 +816,19 @@ mod tests {
         let mut scratch = engine.scratch();
         let mut stats = QueryStats::new();
         let _ = engine.query_items(Algorithm::BlockedPrune, &q, 10, &mut scratch, &mut stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "planner for Auto was not built")]
+    fn auto_without_planner_panics_with_guidance() {
+        let ds = nyt_like(100, 10, 2);
+        let engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv])
+            .build();
+        let q: Vec<ItemId> = engine.store().items(RankingId(0)).to_vec();
+        let mut scratch = engine.scratch();
+        let mut stats = QueryStats::new();
+        let _ = engine.query_items(Algorithm::Auto, &q, 10, &mut scratch, &mut stats);
     }
 
     #[test]
@@ -549,6 +883,69 @@ mod tests {
             "Blocked+Prune+Drop"
         );
         assert_eq!(Algorithm::ALL.len(), 8);
+        assert_eq!(Algorithm::Auto.to_string(), "Auto");
+    }
+
+    #[test]
+    fn from_str_round_trips_display_and_accepts_lax_spellings() {
+        for a in Algorithm::ALL.iter().copied().chain([Algorithm::Auto]) {
+            let parsed: Algorithm = a.name().parse().expect("display name parses");
+            assert_eq!(parsed, a, "round trip of {}", a.name());
+        }
+        assert_eq!("fv".parse::<Algorithm>().unwrap(), Algorithm::Fv);
+        assert_eq!("FV-DROP".parse::<Algorithm>().unwrap(), Algorithm::FvDrop);
+        assert_eq!(
+            "blocked_prune_drop".parse::<Algorithm>().unwrap(),
+            Algorithm::BlockedPruneDrop
+        );
+        assert_eq!(
+            "coarse drop".parse::<Algorithm>().unwrap(),
+            Algorithm::CoarseDrop
+        );
+        assert_eq!("auto".parse::<Algorithm>().unwrap(), Algorithm::Auto);
+        let err = "nope".parse::<Algorithm>().unwrap_err();
+        assert!(err.to_string().contains("unknown algorithm 'nope'"));
+    }
+
+    #[test]
+    fn dense_indexes_are_a_permutation_of_the_slots() {
+        let mut seen = [false; Algorithm::COUNT];
+        for a in Algorithm::ALL {
+            let i = a.dense_index().expect("concrete algorithms have slots");
+            assert!(!seen[i], "slot {i} assigned twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(Algorithm::Auto.dense_index(), None);
+    }
+
+    #[test]
+    fn traced_queries_report_the_executed_algorithm_and_exec_stats() {
+        let ds = nyt_like(500, 10, 3);
+        let engine = EngineBuilder::new(ds.store)
+            .calibrated_costs(CalibratedCosts::nominal(10))
+            .build();
+        let q: Vec<ItemId> = engine.store().items(RankingId(7)).to_vec();
+        let mut scratch = engine.scratch();
+        let mut stats = QueryStats::new();
+        let mut out = Vec::new();
+        let raw = raw_threshold(0.2, 10);
+        let t =
+            engine.query_into_traced(Algorithm::Fv, &q, raw, &mut scratch, &mut stats, &mut out);
+        assert_eq!(t.algorithm, Algorithm::Fv);
+        assert!(!t.planned);
+        assert!(t.exec.postings_scanned > 0);
+        assert!(t.exec.distance_calls > 0);
+        assert_eq!(t.predicted_ns, 0.0);
+        let t =
+            engine.query_into_traced(Algorithm::Auto, &q, raw, &mut scratch, &mut stats, &mut out);
+        assert!(t.planned);
+        assert!(
+            t.algorithm.dense_index().is_some(),
+            "Auto resolves to a concrete algorithm"
+        );
+        assert!(t.predicted_ns > 0.0);
+        assert!(t.actual_ns > 0.0);
     }
 
     #[test]

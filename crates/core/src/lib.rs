@@ -19,18 +19,24 @@
 //! [`CostModel::optimal_theta_c`] picks the sweet spot the paper names.
 //!
 //! [`engine::Engine`] wraps the coarse index together with every baseline
-//! and competitor algorithm of the paper's evaluation behind one enum-
-//! dispatched API.
+//! and competitor algorithm of the paper's evaluation behind a uniform
+//! [`ranksim_rankings::QueryExecutor`] table, and [`planner::Planner`]
+//! puts the calibrated cost model in the driver's seat:
+//! [`engine::Algorithm::Auto`] picks the predicted-cheapest technique per
+//! `(query, θ)` and recalibrates online from measured runtimes.
 
 pub mod batch;
 pub mod coarse;
 pub mod cost;
 pub mod engine;
+pub mod planner;
 pub mod shard;
 
-pub use batch::{merge_reports, WorkerReport};
-pub use coarse::{CoarseBuildStats, CoarseIndex};
+pub use batch::{merge_plan_reports, merge_reports, WorkerReport};
+pub use coarse::{CoarseBuildStats, CoarseExecutor, CoarseIndex};
 pub use cost::calibrate::CalibratedCosts;
 pub use cost::cdf::DistanceCdf;
 pub use cost::model::CostModel;
+pub use engine::{Algorithm, Engine, EngineBuilder, ParseAlgorithmError, QueryTrace};
+pub use planner::{PlanDecision, PlanStats, Planner, THETA_BUCKETS};
 pub use shard::{ShardStrategy, ShardedEngine, ShardedEngineBuilder, ShardedScratch};

@@ -35,6 +35,7 @@
 
 use crate::batch::{merge_reports, run_stealing, WorkerReport};
 use crate::engine::{Algorithm, Engine, EngineBuilder};
+use crate::planner::PlanStats;
 use ranksim_metricspace::KnnHeap;
 use ranksim_rankings::{ItemId, QueryScratch, QueryStats, RankingId, RankingStore};
 
@@ -62,6 +63,7 @@ pub struct ShardedEngineBuilder {
     coarse_theta_c_drop: Option<f64>,
     selected: Option<Vec<Algorithm>>,
     topk_trees: bool,
+    calibrated: Option<crate::CalibratedCosts>,
     stores: Vec<RankingStore>,
     globals: Vec<Vec<RankingId>>,
     medoids: Vec<Option<Vec<ItemId>>>,
@@ -79,6 +81,7 @@ impl ShardedEngineBuilder {
             coarse_theta_c_drop: None,
             selected: None,
             topk_trees: false,
+            calibrated: None,
             stores: (0..num_shards).map(|_| RankingStore::new(k)).collect(),
             globals: vec![Vec::new(); num_shards],
             medoids: vec![None; num_shards],
@@ -112,6 +115,15 @@ impl ShardedEngineBuilder {
     /// linear scans when off; results are identical either way).
     pub fn topk_trees(mut self, build_trees: bool) -> Self {
         self.topk_trees = build_trees;
+        self
+    }
+
+    /// Overrides the calibrated machine primitives every per-shard
+    /// planner prices executors with (see
+    /// [`EngineBuilder::calibrated_costs`]; fixed nominal costs keep
+    /// sharded `Auto` planning deterministic in tests).
+    pub fn calibrated_costs(mut self, costs: crate::CalibratedCosts) -> Self {
+        self.calibrated = Some(costs);
         self
     }
 
@@ -183,6 +195,7 @@ impl ShardedEngineBuilder {
             coarse_theta_c_drop,
             selected,
             topk_trees,
+            calibrated,
             stores,
             globals,
             ..
@@ -200,6 +213,9 @@ impl ShardedEngineBuilder {
                     }
                     if let Some(sel) = &selected {
                         b = b.algorithms(sel);
+                    }
+                    if let Some(costs) = calibrated {
+                        b = b.calibrated_costs(costs);
                     }
                     b.build()
                 });
@@ -313,6 +329,27 @@ impl ShardedEngine {
         stats: &mut QueryStats,
         out: &mut Vec<RankingId>,
     ) {
+        let mut plan = PlanStats::new();
+        self.query_into_recorded(algorithm, query, theta_raw, scratch, stats, &mut plan, out);
+    }
+
+    /// [`ShardedEngine::query_into`] additionally folding per-shard
+    /// planner telemetry into `plan`. Under [`Algorithm::Auto`] every
+    /// shard plans **independently** — shards differ in size and item
+    /// distribution, so the same query may legitimately take different
+    /// paths on different shards; `plan` then counts one pick per
+    /// (query, non-empty shard).
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_into_recorded(
+        &self,
+        algorithm: Algorithm,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut ShardedScratch,
+        stats: &mut QueryStats,
+        plan: &mut PlanStats,
+        out: &mut Vec<RankingId>,
+    ) {
         assert_eq!(
             query.len(),
             self.k,
@@ -323,7 +360,7 @@ impl ShardedEngine {
             let Some(engine) = &shard.engine else {
                 continue;
             };
-            engine.query_into(
+            let trace = engine.query_into_traced(
                 algorithm,
                 query,
                 theta_raw,
@@ -331,6 +368,7 @@ impl ShardedEngine {
                 stats,
                 &mut scratch.local,
             );
+            plan.record(&trace);
             out.extend(scratch.local.iter().map(|id| shard.global[id.index()]));
         }
         out.sort_unstable();
@@ -411,14 +449,15 @@ impl ShardedEngine {
     ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
         run_stealing(queries.len(), threads, || {
             let mut scratch = self.scratch();
-            move |qi: usize, stats: &mut QueryStats| {
+            move |qi: usize, report: &mut WorkerReport| {
                 let mut out = Vec::new();
-                self.query_into(
+                self.query_into_recorded(
                     algorithm,
                     &queries[qi],
                     theta_raw,
                     &mut scratch,
-                    stats,
+                    &mut report.stats,
+                    &mut report.plan,
                     &mut out,
                 );
                 out

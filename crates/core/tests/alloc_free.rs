@@ -3,7 +3,11 @@
 //! marks, `Engine::query_into` must perform **zero** heap allocations for
 //! every algorithm at every threshold — and so must
 //! `ShardedEngine::query_into`, whose per-shard engines share one
-//! grow-only scratch and whose id-translation/sort merge works in place.
+//! grow-only scratch and whose id-translation/sort merge works in place,
+//! and `Algorithm::Auto` on both engines: the planner prices candidates
+//! from pre-computed tables and the scratch's `plan_freqs` buffer, and
+//! its recalibration loop is a pair of relaxed atomics — no per-query
+//! heap work anywhere.
 //!
 //! A counting global allocator tracks every `alloc`/`realloc`; the test
 //! runs the full (algorithm × θ × query) grid twice for warm-up and then
@@ -140,6 +144,66 @@ fn steady_state_query_into_performs_zero_allocations() {
         after - before,
         0,
         "steady-state sharded query_into must not touch the allocator \
+         ({} allocations during the measured pass)",
+        after - before
+    );
+
+    // `Algorithm::Auto`: planning (candidate pricing + argmin) and the
+    // recalibration feedback must add zero allocations on top of the
+    // chosen executor. Both engines carry planners (default build /
+    // explicit Auto selection); all executors' buffers are already at
+    // their high-water marks from the grids above, and the extra warm-up
+    // passes grow `plan_freqs` and settle the planner's picks.
+    let run_auto_grid = |scratch: &mut _, out: &mut Vec<_>, stats: &mut _| {
+        let mut total = 0usize;
+        for &raw in &thetas {
+            for q in &wl.queries {
+                engine.query_into(Algorithm::Auto, q, raw, scratch, stats, out);
+                total += out.len();
+            }
+        }
+        total
+    };
+    let awarm1 = run_auto_grid(&mut scratch, &mut out, &mut stats);
+    let awarm2 = run_auto_grid(&mut scratch, &mut out, &mut stats);
+    assert_eq!(awarm1, awarm2, "Auto results are algorithm-independent");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let ameasured = run_auto_grid(&mut scratch, &mut out, &mut stats);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(ameasured, awarm1);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state query_auto must not touch the allocator \
+         ({} allocations during the measured pass)",
+        after - before
+    );
+
+    let run_sharded_auto_grid =
+        |scratch: &mut ranksim_core::ShardedScratch, out: &mut Vec<_>, stats: &mut _| {
+            let mut total = 0usize;
+            for &raw in &thetas {
+                for q in &wl.queries {
+                    sharded.query_into(Algorithm::Auto, q, raw, scratch, stats, out);
+                    total += out.len();
+                }
+            }
+            total
+        };
+    let sawarm1 = run_sharded_auto_grid(&mut sscratch, &mut sout, &mut sstats);
+    let sawarm2 = run_sharded_auto_grid(&mut sscratch, &mut sout, &mut sstats);
+    assert_eq!(sawarm1, sawarm2);
+    assert_eq!(sawarm1, awarm1, "sharded Auto returns the same result mass");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let sameasured = run_sharded_auto_grid(&mut sscratch, &mut sout, &mut sstats);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(sameasured, sawarm1);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sharded query_auto must not touch the allocator \
          ({} allocations during the measured pass)",
         after - before
     );

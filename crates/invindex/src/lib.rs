@@ -29,6 +29,7 @@ pub mod blocked;
 pub mod blocked_prune;
 pub mod bounds;
 pub mod drop;
+pub mod executors;
 pub mod fv;
 pub mod listmerge;
 pub mod minimal;
@@ -37,6 +38,7 @@ pub mod plain;
 pub use augmented::{AugmentedInvertedIndex, Posting};
 pub use blocked::BlockedInvertedIndex;
 pub use drop::{keep_positions, keep_positions_into, omega};
+pub use executors::{BlockedPruneExecutor, FvDropExecutor, FvExecutor, ListMergeExecutor};
 pub use minimal::MinimalFv;
 pub use plain::PlainInvertedIndex;
 

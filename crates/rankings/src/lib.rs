@@ -25,6 +25,7 @@
 //! thresholds in `[0, 1]` are converted at the API boundary via
 //! [`footrule::raw_threshold`].
 
+pub mod executor;
 pub mod footrule;
 pub mod hash;
 pub mod kendall;
@@ -33,6 +34,7 @@ pub mod remap;
 pub mod scratch;
 pub mod stats;
 
+pub use executor::{ExecStats, QueryExecutor};
 pub use footrule::{
     footrule_items, footrule_pairs, footrule_store, max_distance, min_distance_for_overlap,
     one_side_total, raw_threshold, PositionMap,

@@ -297,6 +297,9 @@ pub struct QueryScratch {
     pub qp: Vec<(ItemId, u32)>,
     /// BK-tree traversal stack (coarse validation).
     pub tree_stack: Vec<u32>,
+    /// Query-item corpus frequencies, sorted ascending (cost-model
+    /// planner input; grows to `k` once and is then reused).
+    pub plan_freqs: Vec<u32>,
 }
 
 impl QueryScratch {

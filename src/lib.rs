@@ -48,12 +48,13 @@ pub use ranksim_rankings as rankings;
 
 /// Everything a typical application needs, one `use` away.
 pub mod prelude {
-    pub use ranksim_core::engine::{Algorithm, Engine, EngineBuilder};
+    pub use ranksim_core::engine::{Algorithm, Engine, EngineBuilder, QueryTrace};
     pub use ranksim_core::{
-        CoarseIndex, CostModel, ShardStrategy, ShardedEngine, ShardedEngineBuilder, WorkerReport,
+        CalibratedCosts, CoarseIndex, CostModel, PlanStats, Planner, ShardStrategy, ShardedEngine,
+        ShardedEngineBuilder, WorkerReport,
     };
     pub use ranksim_rankings::{
-        footrule_pairs, raw_threshold, ItemId, ItemRemap, PositionMap, QueryScratch, QueryStats,
-        Ranking, RankingId, RankingStore,
+        footrule_pairs, raw_threshold, ExecStats, ItemId, ItemRemap, PositionMap, QueryExecutor,
+        QueryScratch, QueryStats, Ranking, RankingId, RankingStore,
     };
 }

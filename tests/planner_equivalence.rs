@@ -1,0 +1,245 @@
+//! Differential harness for [`Algorithm::Auto`]: whatever the cost-model
+//! planner picks, the **results must be algorithm-independent** — bit-
+//! identical (after canonical sorting) to the `Fv` oracle — across mixed
+//! thresholds, corpus shapes, restricted candidate sets, recalibration
+//! state, and sharded vs monolithic engines.
+//!
+//! The planner is free to route different queries (and different shards
+//! of the *same* query) to different executors; these tests pin down
+//! that this freedom can never change an answer.
+
+use proptest::prelude::*;
+use ranksim::core::{merge_plan_reports, merge_reports, CalibratedCosts};
+use ranksim::datasets::{nyt_like, workload, yago_like, WorkloadParams};
+use ranksim::prelude::*;
+
+fn oracle(engine: &Engine, q: &[ItemId], raw: u32, scratch: &mut QueryScratch) -> Vec<RankingId> {
+    let mut stats = QueryStats::new();
+    let mut out = engine.query_items(Algorithm::Fv, q, raw, scratch, &mut stats);
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn auto_equals_fv_oracle_across_corpus_shapes_and_thetas() {
+    for (name, ds) in [
+        ("nyt", nyt_like(900, 10, 41)),
+        ("yago", yago_like(700, 10, 42)),
+    ] {
+        let domain = ds.params.domain;
+        let engine = EngineBuilder::new(ds.store)
+            .coarse_threshold(0.5)
+            .coarse_drop_threshold(0.06)
+            .build();
+        let wl = workload(
+            engine.store(),
+            domain,
+            WorkloadParams {
+                num_queries: 15,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let mut scratch = engine.scratch();
+        let mut out = Vec::new();
+        for (qi, q) in wl.queries.iter().enumerate() {
+            for theta in [0.0, 0.1, 0.2, 0.35] {
+                let raw = raw_threshold(theta, 10);
+                let expect = oracle(&engine, q, raw, &mut scratch);
+                let mut stats = QueryStats::new();
+                // Every Auto call also recalibrates, so later iterations
+                // exercise the planner in a moved state — results must
+                // never move with it.
+                let chosen = engine.query_auto(q, raw, &mut scratch, &mut stats, &mut out);
+                assert!(
+                    chosen.dense_index().is_some(),
+                    "Auto must resolve to a concrete algorithm"
+                );
+                out.sort_unstable();
+                assert_eq!(
+                    out, expect,
+                    "{name}: Auto (ran {chosen}) diverged from the Fv oracle \
+                     at θ={theta}, query {qi}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_equals_oracle_under_restricted_candidate_sets() {
+    let ds = nyt_like(600, 10, 57);
+    let domain = ds.params.domain;
+    let candidate_sets: [&[Algorithm]; 3] = [
+        &[Algorithm::Auto, Algorithm::ListMerge, Algorithm::Coarse],
+        &[Algorithm::Auto, Algorithm::Fv, Algorithm::BlockedPruneDrop],
+        &[Algorithm::Auto, Algorithm::AdaptSearch],
+    ];
+    let oracle_engine = EngineBuilder::new(ds.store.clone())
+        .algorithms(&[Algorithm::Fv])
+        .build();
+    let wl = workload(
+        &ds.store,
+        domain,
+        WorkloadParams {
+            num_queries: 10,
+            seed: 21,
+            ..Default::default()
+        },
+    );
+    let mut oscratch = oracle_engine.scratch();
+    for set in candidate_sets {
+        let engine = EngineBuilder::new(ds.store.clone())
+            .coarse_threshold(0.4)
+            .algorithms(set)
+            .calibrated_costs(CalibratedCosts::nominal(10))
+            .build();
+        let planner = engine.planner().expect("Auto builds the planner");
+        assert_eq!(planner.candidates().len(), set.len() - 1);
+        let mut scratch = engine.scratch();
+        let mut out = Vec::new();
+        for q in &wl.queries {
+            for theta in [0.05, 0.2, 0.3] {
+                let raw = raw_threshold(theta, 10);
+                let expect = oracle(&oracle_engine, q, raw, &mut oscratch);
+                let mut stats = QueryStats::new();
+                let chosen = engine.query_auto(q, raw, &mut scratch, &mut stats, &mut out);
+                assert!(
+                    planner.candidates().contains(&chosen),
+                    "planner escaped its candidate set: picked {chosen}"
+                );
+                out.sort_unstable();
+                assert_eq!(out, expect, "candidates {set:?}, θ={theta}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_auto_equals_monolith_oracle() {
+    let ds = nyt_like(800, 10, 73);
+    let domain = ds.params.domain;
+    let engine = EngineBuilder::new(ds.store.clone())
+        .algorithms(&[Algorithm::Fv])
+        .build();
+    let wl = workload(
+        &ds.store,
+        domain,
+        WorkloadParams {
+            num_queries: 12,
+            seed: 31,
+            ..Default::default()
+        },
+    );
+    let mut mscratch = engine.scratch();
+    for strategy in [ShardStrategy::Hash, ShardStrategy::Medoid] {
+        for shards in [1usize, 3] {
+            let mut b = ShardedEngineBuilder::new(10, shards, strategy)
+                .coarse_threshold(0.5)
+                .coarse_drop_threshold(0.06)
+                .algorithms(&[Algorithm::Auto])
+                .calibrated_costs(CalibratedCosts::nominal(10));
+            b.extend_from_store(&ds.store);
+            let se = b.build();
+            let mut sscratch = se.scratch();
+            for q in &wl.queries {
+                for theta in [0.0, 0.15, 0.3] {
+                    let raw = raw_threshold(theta, 10);
+                    let expect = oracle(&engine, q, raw, &mut mscratch);
+                    let mut stats = QueryStats::new();
+                    // Sharded results are already canonically sorted;
+                    // per-shard planners may pick different executors
+                    // per shard without changing the merged answer.
+                    let got = se.query_items(Algorithm::Auto, q, raw, &mut sscratch, &mut stats);
+                    assert_eq!(got, expect, "{strategy:?} S={shards} θ={theta}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_batch_driver_matches_sequential_auto_results_and_counts_picks() {
+    let ds = nyt_like(700, 10, 91);
+    let domain = ds.params.domain;
+    let engine = EngineBuilder::new(ds.store.clone())
+        .coarse_threshold(0.5)
+        .coarse_drop_threshold(0.06)
+        .build();
+    let wl = workload(
+        &ds.store,
+        domain,
+        WorkloadParams {
+            num_queries: 24,
+            seed: 17,
+            ..Default::default()
+        },
+    );
+    let raw = raw_threshold(0.2, 10);
+    let oracle_engine = EngineBuilder::new(ds.store)
+        .algorithms(&[Algorithm::Fv])
+        .build();
+    let mut oscratch = oracle_engine.scratch();
+    for threads in [1usize, 3] {
+        let (got, reports) =
+            engine.query_batch_reported(Algorithm::Auto, &wl.queries, raw, threads);
+        for (qi, q) in wl.queries.iter().enumerate() {
+            let expect = oracle(&oracle_engine, q, raw, &mut oscratch);
+            let mut sorted = got[qi].clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, expect, "query {qi} at {threads} threads");
+        }
+        // Telemetry invariants: every query planned exactly once, the
+        // pick histogram sums to the batch, and predicted/actual cost
+        // accumulators moved.
+        let plan = merge_plan_reports(&reports);
+        assert_eq!(plan.planned as usize, wl.queries.len());
+        assert_eq!(plan.picks.iter().sum::<u64>(), plan.planned);
+        assert!(plan.actual_ns > 0.0);
+        let stats = merge_reports(&reports);
+        assert!(stats.distance_calls + stats.entries_scanned > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random corpora and queries: Auto equals the Fv oracle on both the
+    /// monolithic and a 2-shard engine at arbitrary thresholds.
+    #[test]
+    fn auto_equals_oracle_on_random_corpora(
+        rankings in proptest::collection::vec(
+            proptest::sample::subsequence((0..24u32).collect::<Vec<u32>>(), 6).prop_shuffle(),
+            60,
+        ),
+        query in proptest::sample::subsequence((0..24u32).collect::<Vec<u32>>(), 6).prop_shuffle(),
+        theta in 0.0f64..0.5,
+    ) {
+        let mut store = RankingStore::new(6);
+        for r in &rankings {
+            store.push(&Ranking::new(r.iter().copied()).unwrap()).unwrap();
+        }
+        let raw = raw_threshold(theta, 6);
+        let q: Vec<ItemId> = query.into_iter().map(ItemId).collect();
+        let engine = EngineBuilder::new(store.clone())
+            .coarse_threshold(0.3)
+            .build();
+        let mut scratch = engine.scratch();
+        let expect = oracle(&engine, &q, raw, &mut scratch);
+        let mut stats = QueryStats::new();
+        let mut out = Vec::new();
+        engine.query_auto(&q, raw, &mut scratch, &mut stats, &mut out);
+        out.sort_unstable();
+        prop_assert_eq!(&out, &expect, "monolith Auto θ={}", theta);
+
+        let mut b = ShardedEngineBuilder::new(6, 2, ShardStrategy::Hash)
+            .coarse_threshold(0.3)
+            .algorithms(&[Algorithm::Auto])
+            .calibrated_costs(CalibratedCosts::nominal(6));
+        b.extend_from_store(&store);
+        let se = b.build();
+        let mut sscratch = se.scratch();
+        let got = se.query_items(Algorithm::Auto, &q, raw, &mut sscratch, &mut stats);
+        prop_assert_eq!(&got, &expect, "sharded Auto θ={}", theta);
+    }
+}
