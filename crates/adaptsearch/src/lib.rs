@@ -99,7 +99,7 @@ impl AdaptSearchIndex {
         let stride = k + 1;
         // Pass 1: global item frequencies by dense id.
         let mut freq = vec![0u32; m];
-        for id in store.ids() {
+        for id in store.live_ids() {
             for &item in store.items(id) {
                 let d = remap.dense(item).expect("item missing from remap");
                 freq[d as usize] += 1;
@@ -117,7 +117,7 @@ impl AdaptSearchIndex {
             }));
             record.sort_unstable();
         };
-        for id in store.ids() {
+        for id in store.live_ids() {
             reorder(&mut record, store.items(id));
             for (pos, &(_, item)) in record.iter().enumerate() {
                 let d = remap.dense(item).unwrap() as usize;
@@ -132,7 +132,7 @@ impl AdaptSearchIndex {
         let mut ids = vec![RankingId(0); total];
         // Pass 3: fill; iterating store ids ascending keeps every
         // (item, position) run id-sorted.
-        for id in store.ids() {
+        for id in store.live_ids() {
             reorder(&mut record, store.items(id));
             for (pos, &(_, item)) in record.iter().enumerate() {
                 let d = remap.dense(item).unwrap() as usize;
@@ -147,7 +147,7 @@ impl AdaptSearchIndex {
             freq,
             ids,
             pos_offsets,
-            indexed: store.len(),
+            indexed: store.live_len(),
             params,
         }
     }

@@ -76,6 +76,7 @@ fn main() {
         "ablation" => run_ablation(&cfg),
         "shard" => run_shard(&cfg, t0),
         "planner" => run_planner(&cfg, algorithms),
+        "churn" => run_churn_cmd(&cfg, t0),
         "all" => {
             run_verify(&cfg);
             run_fig3(&cfg);
@@ -90,7 +91,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner all"
+                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner churn all"
             );
             std::process::exit(2);
         }
@@ -165,6 +166,78 @@ fn run_shard(cfg: &ExpConfig, t0: std::time::Instant) {
         println!("memory budget ok: {total_mb:.1} MB <= {budget_mb:.1} MB");
     }
     if let Some(budget_s) = budget_env("RANKSIM_SHARD_TIME_BUDGET_S") {
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed > budget_s {
+            eprintln!("TIME BUDGET EXCEEDED: {elapsed:.1}s > {budget_s:.1}s");
+            std::process::exit(1);
+        }
+        println!("time budget ok: {elapsed:.1}s <= {budget_s:.1}s");
+    }
+}
+
+/// The live-corpus churn experiment: a 90/10 read/write mix against the
+/// mutable engine, reporting read latency and memory before the mix,
+/// during it, on the tombstone-laden engine, and after `Engine::compact`
+/// — written to `BENCH_churn.json` (path override: `RANKSIM_CHURN_JSON`).
+/// `RANKSIM_CHURN_TIME_BUDGET_S` turns the run into a CI guard bounding
+/// the end-to-end wall clock.
+fn run_churn_cmd(cfg: &ExpConfig, t0: std::time::Instant) {
+    let rc = ChurnRunConfig::from_env(cfg);
+    println!(
+        "== live-corpus churn: NYT-family n={}, {} ops at {}% writes, {} at θ={} ==",
+        cfg.nyt_n,
+        rc.ops,
+        (rc.write_fraction * 100.0).round(),
+        rc.algorithm,
+        rc.theta
+    );
+    let report = run_churn(cfg, rc);
+    println!(
+        "build: {:.2}s   mixed phase: {} reads / {} inserts / {} removes",
+        report.build_s, report.reads, report.inserts, report.removes
+    );
+    println!("{:>22} {:>16} {:>12}", "phase", "read ms/1000q", "heap MB");
+    let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+    println!(
+        "{:>22} {:>16.1} {:>12.1}",
+        "pristine",
+        report.baseline_ms_per_1000q,
+        mb(report.heap_before_bytes)
+    );
+    println!(
+        "{:>22} {:>16.1} {:>12}",
+        "during churn", report.churn_read_ms_per_1000q, "-"
+    );
+    println!(
+        "{:>22} {:>16.1} {:>12.1}",
+        "post-churn (tombstoned)",
+        report.post_churn_ms_per_1000q,
+        mb(report.heap_after_churn_bytes)
+    );
+    println!(
+        "{:>22} {:>16.1} {:>12.1}",
+        "post-compaction",
+        report.post_compact_ms_per_1000q,
+        mb(report.heap_after_compact_bytes)
+    );
+    println!(
+        "writes: {:.1} µs/op; compaction: {:.2}s folded {} delta rankings + {} tombstones; live: {}",
+        report.churn_write_us_per_op,
+        report.compact_s,
+        report.delta_len,
+        report.tombstones,
+        report.live_len
+    );
+
+    let json_path =
+        std::env::var("RANKSIM_CHURN_JSON").unwrap_or_else(|_| "BENCH_churn.json".into());
+    std::fs::write(&json_path, report.to_json()).expect("write churn report JSON");
+    println!("report written to {json_path}");
+
+    if let Some(budget_s) = std::env::var("RANKSIM_CHURN_TIME_BUDGET_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
         let elapsed = t0.elapsed().as_secs_f64();
         if elapsed > budget_s {
             eprintln!("TIME BUDGET EXCEEDED: {elapsed:.1}s > {budget_s:.1}s");

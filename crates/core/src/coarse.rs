@@ -40,6 +40,14 @@ pub struct CoarseBuildStats {
 }
 
 /// The coarse hybrid index.
+///
+/// Supports a live corpus: [`CoarseIndex::insert`] appends a ranking to
+/// the covering partition (preserving the Lemma 1 radius invariant) or
+/// opens a fresh partition whose medoid is kept in a linearly-scanned
+/// overlay next to the CSR medoid index; removals need no index
+/// operation at all — tombstoned members are filtered at emission and a
+/// tombstoned medoid keeps representing its partition with frozen
+/// content, so every triangle-inequality bound stays exact.
 #[derive(Debug, Clone)]
 pub struct CoarseIndex {
     theta_c_raw: u32,
@@ -49,6 +57,10 @@ pub struct CoarseIndex {
     /// `u32::MAX` otherwise — a flat array instead of a hash map, sized by
     /// the corpus.
     medoid_to_partition: Vec<u32>,
+    /// Medoids of partitions opened after the build — invisible to the
+    /// CSR medoid index, so the filter phase scans them linearly (they
+    /// are few until the next rebuild folds them in).
+    extra_medoids: Vec<(RankingId, u32)>,
     build: CoarseBuildStats,
 }
 
@@ -99,8 +111,42 @@ impl CoarseIndex {
             partitioning,
             medoid_index,
             medoid_to_partition,
+            extra_medoids: Vec::new(),
             build,
         }
+    }
+
+    /// Appends ranking `id` — the incremental insert path. Joins the
+    /// nearest partition whose medoid lies within `θ_C` (ties to the
+    /// lowest partition index), or opens a fresh single-member partition
+    /// with `id` as an overlay medoid. Either way the radius invariant
+    /// behind Lemma 1 is preserved, so query results stay exact.
+    pub fn insert(&mut self, store: &RankingStore, id: RankingId) {
+        let pairs = store.sorted_pairs(id);
+        let k = store.k();
+        let mut best: Option<(usize, u32)> = None;
+        for (pi, p) in self.partitioning.partitions().iter().enumerate() {
+            let d = footrule_pairs(pairs, store.sorted_pairs(p.medoid), k);
+            if d <= self.theta_c_raw && best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((pi, d));
+            }
+        }
+        if id.index() >= self.medoid_to_partition.len() {
+            self.medoid_to_partition.resize(store.len(), u32::MAX);
+        }
+        match best {
+            Some((pi, _)) => self.partitioning.insert_member(store, pi, id),
+            None => {
+                let pi = self.partitioning.push_partition(id) as u32;
+                self.extra_medoids.push((id, pi));
+                self.medoid_to_partition[id.index()] = pi;
+            }
+        }
+    }
+
+    /// Number of overlay medoids awaiting the next rebuild.
+    pub fn extra_medoid_len(&self) -> usize {
+        self.extra_medoids.len()
     }
 
     /// The partitioning radius in raw Footrule units.
@@ -191,6 +237,18 @@ impl CoarseIndex {
                 .map(|&(medoid, d)| (self.medoid_to_partition[medoid.index()], d)),
         );
         scratch.hits = hits;
+        // Overlay medoids (partitions opened since the build) are not in
+        // the CSR index: scan them linearly against the relaxed bound.
+        if !self.extra_medoids.is_empty() {
+            query_pairs_into(query, &mut scratch.qp);
+            for &(m, pi) in &self.extra_medoids {
+                stats.count_distance();
+                let d = footrule_pairs(&scratch.qp, store.sorted_pairs(m), store.k());
+                if d <= relaxed {
+                    out.push((pi, d));
+                }
+            }
+        }
     }
 
     /// **Validation phase** (Algorithm 1, lines 2–4): runs the original
@@ -303,6 +361,7 @@ impl CoarseIndex {
         self.partitioning.heap_bytes()
             + self.medoid_index.heap_bytes()
             + self.medoid_to_partition.capacity() * std::mem::size_of::<u32>()
+            + self.extra_medoids.capacity() * std::mem::size_of::<(RankingId, u32)>()
     }
 }
 
@@ -410,6 +469,57 @@ mod tests {
         // θ + θC ≥ d_max triggers the medoid-scan fallback; results must
         // still be exact.
         check_against_scan(0.8, &[0.3]);
+    }
+
+    #[test]
+    fn incremental_inserts_and_tombstones_stay_exact() {
+        // The append/tombstone path of the coarse index: post-build
+        // inserts join covering partitions or open overlay-medoid
+        // partitions, removals tombstone members and medoids alike, and
+        // every query keeps matching the live-corpus linear scan — at
+        // feasible thresholds (CSR + overlay scan) and through the
+        // medoid-scan fallback.
+        let ds = nyt_like(800, 10, 31);
+        let mut store = ds.store;
+        let mut index = CoarseIndex::build(&store, raw_threshold(0.3, 10));
+        let base_partitions = index.num_partitions();
+        // Near-duplicates (join partitions) and far-out rankings (open
+        // overlay partitions).
+        for i in 0..60u32 {
+            let id = if i % 2 == 0 {
+                let donor = RankingId(i);
+                let mut items: Vec<ItemId> = store.items(donor).to_vec();
+                items.swap(0, 9);
+                store.push_items_unchecked(&items)
+            } else {
+                let base = 1_000_000 + i * 10;
+                let items: Vec<ItemId> = (0..10).map(|j| ItemId(base + j)).collect();
+                store.push_items_unchecked(&items)
+            };
+            index.insert(&store, id);
+        }
+        assert!(index.extra_medoid_len() > 0, "far inserts open partitions");
+        assert!(index.num_partitions() >= base_partitions);
+        // Tombstone old members, a likely medoid, and a fresh insert.
+        for v in [0u32, 5, 17, 801, 803] {
+            assert!(store.remove(RankingId(v)));
+        }
+        let mut scratch = QueryScratch::new();
+        for qid in [2u32, 444, 805, 859] {
+            let q: Vec<ItemId> = store.items(RankingId(qid)).to_vec();
+            let qp = query_pairs(&q);
+            for theta in [0.0, 0.15, 0.3, 0.6] {
+                let raw = raw_threshold(theta, 10);
+                let mut s1 = QueryStats::new();
+                let mut s2 = QueryStats::new();
+                let mut expect = linear_scan(&store, &qp, raw, &mut s1);
+                let mut got = Vec::new();
+                index.query_into(&store, &q, raw, false, &mut scratch, &mut s2, &mut got);
+                expect.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, expect, "qid={qid} θ={theta}");
+            }
+        }
     }
 
     #[test]

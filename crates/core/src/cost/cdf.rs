@@ -17,12 +17,17 @@ pub struct DistanceCdf {
 }
 
 impl DistanceCdf {
-    /// Estimates the CDF from `num_pairs` random (unequal) pairs.
+    /// Estimates the CDF from `num_pairs` random (unequal) pairs of
+    /// **live** rankings. On a pristine store this draws the exact RNG
+    /// stream it always did; on a mutated corpus tombstoned slots are
+    /// excluded from the sample — the refresh path of the planner's
+    /// corpus statistics.
     pub fn sample(store: &RankingStore, num_pairs: usize, seed: u64) -> Self {
-        assert!(store.len() >= 2, "need at least two rankings");
+        let live: Vec<RankingId> = store.live_ids().collect();
+        assert!(live.len() >= 2, "need at least two live rankings");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut counts = vec![0u64; store.max_distance() as usize + 1];
-        let n = store.len() as u32;
+        let n = live.len() as u32;
         let k = store.k();
         for _ in 0..num_pairs {
             let a = rng.random_range(0..n);
@@ -31,8 +36,8 @@ impl DistanceCdf {
                 b = rng.random_range(0..n);
             }
             let d = footrule_pairs(
-                store.sorted_pairs(RankingId(a)),
-                store.sorted_pairs(RankingId(b)),
+                store.sorted_pairs(live[a as usize]),
+                store.sorted_pairs(live[b as usize]),
                 k,
             );
             counts[d as usize] += 1;
@@ -43,18 +48,15 @@ impl DistanceCdf {
         }
     }
 
-    /// Exact CDF over all pairs (tests only; `O(n²)`).
+    /// Exact CDF over all live pairs (tests only; `O(n²)`).
     pub fn exhaustive(store: &RankingStore) -> Self {
         let mut counts = vec![0u64; store.max_distance() as usize + 1];
         let mut total = 0u64;
         let k = store.k();
-        for a in 0..store.len() as u32 {
-            for b in (a + 1)..store.len() as u32 {
-                let d = footrule_pairs(
-                    store.sorted_pairs(RankingId(a)),
-                    store.sorted_pairs(RankingId(b)),
-                    k,
-                );
+        let live: Vec<RankingId> = store.live_ids().collect();
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                let d = footrule_pairs(store.sorted_pairs(a), store.sorted_pairs(b), k);
                 counts[d as usize] += 1;
                 total += 1;
             }

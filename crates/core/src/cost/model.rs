@@ -54,7 +54,7 @@ impl CostModel {
         let s = estimate_zipf_s(store).max(0.0);
         let v = count_distinct_items(store) as f64;
         CostModel {
-            n: store.len(),
+            n: store.live_len(),
             k: store.k(),
             v,
             s,
@@ -167,7 +167,7 @@ fn generalized_harmonic(v: u64, s: f64) -> f64 {
 fn count_distinct_items(store: &RankingStore) -> usize {
     use ranksim_rankings::hash::FxHashSet;
     let mut set = FxHashSet::default();
-    for id in store.ids() {
+    for id in store.live_ids() {
         set.extend(store.items(id).iter().copied());
     }
     set.len()

@@ -41,9 +41,19 @@ use ranksim_invindex::{
 };
 use ranksim_metricspace::{knn_bktree, knn_linear, query_pairs_into, BkTree};
 use ranksim_rankings::{
-    raw_threshold, ExecStats, ItemId, ItemRemap, QueryExecutor, QueryScratch, QueryStats, Ranking,
-    RankingId, RankingStore,
+    footrule_pairs, raw_threshold, ExecStats, ItemId, ItemRemap, QueryExecutor, QueryScratch,
+    QueryStats, Ranking, RankingId, RankingStore,
 };
+
+/// Process-wide generation source: every engine build, compaction and
+/// mutation draws a fresh stamp, so a [`QueryScratch`] moving between
+/// engines (or across a mutation on one engine) always observes a
+/// generation change and invalidates its residual buffers.
+static GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+}
 
 /// The query-processing techniques of the paper's evaluation, plus
 /// cost-model-driven automatic selection.
@@ -210,14 +220,27 @@ pub struct QueryTrace {
     pub actual_ns: f64,
 }
 
-/// Builder for [`Engine`].
-pub struct EngineBuilder {
-    store: RankingStore,
+/// Everything the engine needs to (re)build its index structures — the
+/// builder's knobs, retained by the engine so [`Engine::compact`] can
+/// reconstruct the exact same configuration over the compacted corpus.
+#[derive(Clone)]
+struct EngineConfig {
     coarse_theta_c: f64,
     coarse_theta_c_drop: Option<f64>,
     selected: Option<Vec<Algorithm>>,
     topk_tree: bool,
     calibrated: Option<CalibratedCosts>,
+    /// Auto-compaction trigger: compact once base tombstones exceed this
+    /// fraction of the base live size (`f64::INFINITY` disables).
+    compact_tombstone_fraction: f64,
+    /// Planner corpus-statistics refresh budget in mutations.
+    planner_refresh_budget: usize,
+}
+
+/// Builder for [`Engine`].
+pub struct EngineBuilder {
+    store: RankingStore,
+    config: EngineConfig,
 }
 
 impl EngineBuilder {
@@ -225,12 +248,34 @@ impl EngineBuilder {
     pub fn new(store: RankingStore) -> Self {
         EngineBuilder {
             store,
-            coarse_theta_c: 0.5,
-            coarse_theta_c_drop: None,
-            selected: None,
-            topk_tree: false,
-            calibrated: None,
+            config: EngineConfig {
+                coarse_theta_c: 0.5,
+                coarse_theta_c_drop: None,
+                selected: None,
+                topk_tree: false,
+                calibrated: None,
+                compact_tombstone_fraction: 0.5,
+                planner_refresh_budget: 1024,
+            },
         }
+    }
+
+    /// Tombstone fraction of the base corpus at which a removal triggers
+    /// an automatic [`Engine::compact`] (default 0.5 — compact once half
+    /// the base is dead; `f64::INFINITY` disables auto-compaction and
+    /// leaves compaction fully to the caller).
+    pub fn compaction_threshold(mut self, tombstone_fraction: f64) -> Self {
+        self.config.compact_tombstone_fraction = tombstone_fraction;
+        self
+    }
+
+    /// Mutation budget after which the planner's sampled corpus
+    /// statistics (distance CDF, Zipf skew, coarse cost tables) are
+    /// refreshed at mutation time (default 1024; posting-length counts
+    /// track every mutation exactly regardless).
+    pub fn planner_refresh_budget(mut self, mutations: usize) -> Self {
+        self.config.planner_refresh_budget = mutations.max(1);
+        self
     }
 
     /// Additionally builds a corpus-wide BK-tree accelerating
@@ -238,21 +283,21 @@ impl EngineBuilder {
     /// touch it, and [`Engine::query_topk`] falls back to an exact linear
     /// scan when the tree is absent.
     pub fn topk_tree(mut self, build_tree: bool) -> Self {
-        self.topk_tree = build_tree;
+        self.config.topk_tree = build_tree;
         self
     }
 
     /// Normalized partitioning threshold `θ_C` for the `Coarse` index
     /// (paper default for the comparison figures: 0.5).
     pub fn coarse_threshold(mut self, theta_c: f64) -> Self {
-        self.coarse_theta_c = theta_c;
+        self.config.coarse_theta_c = theta_c;
         self
     }
 
     /// Separate `θ_C` for `Coarse+Drop` (the paper measured 0.06 as
     /// optimal there). Defaults to the `Coarse` threshold when unset.
     pub fn coarse_drop_threshold(mut self, theta_c: f64) -> Self {
-        self.coarse_theta_c_drop = Some(theta_c);
+        self.config.coarse_theta_c_drop = Some(theta_c);
         self
     }
 
@@ -268,7 +313,7 @@ impl EngineBuilder {
     /// the indexes; without `Auto` in a restricted list no planner is
     /// built and `Auto` queries panic.
     pub fn algorithms(mut self, algorithms: &[Algorithm]) -> Self {
-        self.selected = Some(algorithms.to_vec());
+        self.config.selected = Some(algorithms.to_vec());
         self
     }
 
@@ -277,7 +322,7 @@ impl EngineBuilder {
     /// machine; fixed [`CalibratedCosts::nominal`] values keep tests
     /// deterministic).
     pub fn calibrated_costs(mut self, costs: CalibratedCosts) -> Self {
-        self.calibrated = Some(costs);
+        self.config.calibrated = Some(costs);
         self
     }
 
@@ -285,141 +330,177 @@ impl EngineBuilder {
     /// their executors, and — for the default build or when
     /// [`Algorithm::Auto`] was selected — the cost-model planner.
     pub fn build(self) -> Engine {
-        let k = self.store.k();
-        // Resolve the candidate set and whether the planner is wanted.
-        let (candidates, want_auto) = match &self.selected {
-            None => (Algorithm::ALL.to_vec(), true),
-            Some(sel) => {
-                let auto = sel.contains(&Algorithm::Auto);
-                let concrete: Vec<Algorithm> = Algorithm::ALL
-                    .iter()
-                    .copied()
-                    .filter(|a| sel.contains(a))
-                    .collect();
-                let concrete = if auto && concrete.is_empty() {
-                    Algorithm::ALL.to_vec()
-                } else {
-                    concrete
-                };
-                (concrete, auto)
-            }
-        };
-        let want = |a: Algorithm| candidates.contains(&a);
-        let remap = Arc::new(ItemRemap::build(&self.store));
-        let plain = (want(Algorithm::Fv) || want(Algorithm::FvDrop)).then(|| {
-            Arc::new(PlainInvertedIndex::build_with_remap(
-                &self.store,
-                remap.clone(),
-                self.store.ids(),
-            ))
-        });
-        let augmented = want(Algorithm::ListMerge).then(|| {
-            Arc::new(AugmentedInvertedIndex::build_with_remap(
-                &self.store,
-                remap.clone(),
-                self.store.ids(),
-            ))
-        });
-        let blocked =
-            (want(Algorithm::BlockedPrune) || want(Algorithm::BlockedPruneDrop)).then(|| {
-                Arc::new(BlockedInvertedIndex::build_with_remap(
-                    &self.store,
-                    remap.clone(),
-                    self.store.ids(),
-                ))
-            });
-        let adapt = want(Algorithm::AdaptSearch).then(|| {
-            Arc::new(AdaptSearchIndex::build_with_remap(
-                &self.store,
-                remap.clone(),
-                AdaptCostParams::default(),
-            ))
-        });
-        let coarse_theta = raw_threshold(self.coarse_theta_c, k);
-        let drop_theta = self
-            .coarse_theta_c_drop
-            .map(|t| raw_threshold(t, k))
-            .unwrap_or(coarse_theta);
-        // `CoarseDrop` falls back to the shared coarse index when its θ_C
-        // matches; a separately tuned index is built otherwise.
-        let need_shared_coarse =
-            want(Algorithm::Coarse) || (want(Algorithm::CoarseDrop) && drop_theta == coarse_theta);
-        let coarse = need_shared_coarse.then(|| {
-            Arc::new(CoarseIndex::build_with_remap(
-                &self.store,
-                remap.clone(),
-                coarse_theta,
-            ))
-        });
-        let coarse_drop = (want(Algorithm::CoarseDrop) && drop_theta != coarse_theta).then(|| {
-            Arc::new(CoarseIndex::build_with_remap(
-                &self.store,
-                remap.clone(),
-                drop_theta,
-            ))
-        });
-        let tree = self.topk_tree.then(|| BkTree::build(&self.store));
-
-        // One executor per built structure: selecting `FvDrop` also makes
-        // the plain index (hence `Fv`) available, matching the pre-
-        // executor dispatch semantics exactly.
-        let mut executors: Vec<Option<Box<dyn QueryExecutor>>> =
-            (0..Algorithm::COUNT).map(|_| None).collect();
-        let slot = |a: Algorithm| a.dense_index().expect("concrete algorithm");
-        if let Some(p) = &plain {
-            executors[slot(Algorithm::Fv)] = Some(Box::new(FvExecutor::new(p.clone())));
-            executors[slot(Algorithm::FvDrop)] = Some(Box::new(FvDropExecutor::new(p.clone())));
-        }
-        if let Some(a) = &augmented {
-            executors[slot(Algorithm::ListMerge)] =
-                Some(Box::new(ListMergeExecutor::new(a.clone())));
-        }
-        if let Some(b) = &blocked {
-            executors[slot(Algorithm::BlockedPrune)] =
-                Some(Box::new(BlockedPruneExecutor::new(b.clone(), false)));
-            executors[slot(Algorithm::BlockedPruneDrop)] =
-                Some(Box::new(BlockedPruneExecutor::new(b.clone(), true)));
-        }
-        if let Some(a) = &adapt {
-            executors[slot(Algorithm::AdaptSearch)] =
-                Some(Box::new(AdaptSearchExecutor::new(a.clone())));
-        }
-        if let Some(c) = &coarse {
-            executors[slot(Algorithm::Coarse)] =
-                Some(Box::new(CoarseExecutor::new(c.clone(), false)));
-        }
-        if let Some(c) = coarse_drop.as_ref().or(coarse.as_ref()) {
-            executors[slot(Algorithm::CoarseDrop)] =
-                Some(Box::new(CoarseExecutor::new(c.clone(), true)));
-        }
-
-        let planner = want_auto.then(|| {
-            let costs = self
-                .calibrated
-                .unwrap_or_else(|| CalibratedCosts::measured_cached(k));
-            Planner::build(
-                &self.store,
-                remap.clone(),
-                candidates.clone(),
-                costs,
-                coarse_theta,
-                drop_theta,
-            )
-        });
-
+        let EngineBuilder { store, config } = self;
+        let remap = Arc::new(ItemRemap::build(&store));
+        let parts = build_parts(&store, &config, remap.clone());
+        let delta_pos = vec![0u32; store.len()];
+        let base_live_at_build = store.live_len();
         Engine {
-            store: self.store,
+            store,
             remap,
-            plain,
-            augmented,
-            blocked,
-            adapt,
-            coarse,
-            coarse_drop,
-            tree,
-            executors,
-            planner,
+            plain: parts.plain,
+            augmented: parts.augmented,
+            blocked: parts.blocked,
+            adapt: parts.adapt,
+            coarse: parts.coarse,
+            coarse_drop: parts.coarse_drop,
+            tree: parts.tree,
+            executors: parts.executors,
+            planner: parts.planner,
+            config,
+            generation: next_generation(),
+            delta: Vec::new(),
+            delta_pos,
+            base_dead: 0,
+            base_live_at_build,
         }
+    }
+}
+
+/// The engine's index structures, executors and planner, built over the
+/// store's **live** rankings — shared between [`EngineBuilder::build`]
+/// and [`Engine::compact`].
+struct EngineParts {
+    plain: Option<Arc<PlainInvertedIndex>>,
+    augmented: Option<Arc<AugmentedInvertedIndex>>,
+    blocked: Option<Arc<BlockedInvertedIndex>>,
+    adapt: Option<Arc<AdaptSearchIndex>>,
+    coarse: Option<Arc<CoarseIndex>>,
+    coarse_drop: Option<Arc<CoarseIndex>>,
+    tree: Option<BkTree>,
+    executors: Vec<Option<Box<dyn QueryExecutor>>>,
+    planner: Option<Planner>,
+}
+
+fn build_parts(store: &RankingStore, config: &EngineConfig, remap: Arc<ItemRemap>) -> EngineParts {
+    let k = store.k();
+    // Resolve the candidate set and whether the planner is wanted.
+    let (candidates, want_auto) = match &config.selected {
+        None => (Algorithm::ALL.to_vec(), true),
+        Some(sel) => {
+            let auto = sel.contains(&Algorithm::Auto);
+            let concrete: Vec<Algorithm> = Algorithm::ALL
+                .iter()
+                .copied()
+                .filter(|a| sel.contains(a))
+                .collect();
+            let concrete = if auto && concrete.is_empty() {
+                Algorithm::ALL.to_vec()
+            } else {
+                concrete
+            };
+            (concrete, auto)
+        }
+    };
+    let want = |a: Algorithm| candidates.contains(&a);
+    let plain = (want(Algorithm::Fv) || want(Algorithm::FvDrop)).then(|| {
+        Arc::new(PlainInvertedIndex::build_with_remap(
+            store,
+            remap.clone(),
+            store.live_ids(),
+        ))
+    });
+    let augmented = want(Algorithm::ListMerge).then(|| {
+        Arc::new(AugmentedInvertedIndex::build_with_remap(
+            store,
+            remap.clone(),
+            store.live_ids(),
+        ))
+    });
+    let blocked = (want(Algorithm::BlockedPrune) || want(Algorithm::BlockedPruneDrop)).then(|| {
+        Arc::new(BlockedInvertedIndex::build_with_remap(
+            store,
+            remap.clone(),
+            store.live_ids(),
+        ))
+    });
+    let adapt = want(Algorithm::AdaptSearch).then(|| {
+        Arc::new(AdaptSearchIndex::build_with_remap(
+            store,
+            remap.clone(),
+            AdaptCostParams::default(),
+        ))
+    });
+    let coarse_theta = raw_threshold(config.coarse_theta_c, k);
+    let drop_theta = config
+        .coarse_theta_c_drop
+        .map(|t| raw_threshold(t, k))
+        .unwrap_or(coarse_theta);
+    // `CoarseDrop` falls back to the shared coarse index when its θ_C
+    // matches; a separately tuned index is built otherwise.
+    let need_shared_coarse =
+        want(Algorithm::Coarse) || (want(Algorithm::CoarseDrop) && drop_theta == coarse_theta);
+    let coarse = need_shared_coarse.then(|| {
+        Arc::new(CoarseIndex::build_with_remap(
+            store,
+            remap.clone(),
+            coarse_theta,
+        ))
+    });
+    let coarse_drop = (want(Algorithm::CoarseDrop) && drop_theta != coarse_theta).then(|| {
+        Arc::new(CoarseIndex::build_with_remap(
+            store,
+            remap.clone(),
+            drop_theta,
+        ))
+    });
+    let tree = config.topk_tree.then(|| BkTree::build(store));
+
+    // One executor per built structure: selecting `FvDrop` also makes
+    // the plain index (hence `Fv`) available, matching the pre-
+    // executor dispatch semantics exactly.
+    let mut executors: Vec<Option<Box<dyn QueryExecutor>>> =
+        (0..Algorithm::COUNT).map(|_| None).collect();
+    let slot = |a: Algorithm| a.dense_index().expect("concrete algorithm");
+    if let Some(p) = &plain {
+        executors[slot(Algorithm::Fv)] = Some(Box::new(FvExecutor::new(p.clone())));
+        executors[slot(Algorithm::FvDrop)] = Some(Box::new(FvDropExecutor::new(p.clone())));
+    }
+    if let Some(a) = &augmented {
+        executors[slot(Algorithm::ListMerge)] = Some(Box::new(ListMergeExecutor::new(a.clone())));
+    }
+    if let Some(b) = &blocked {
+        executors[slot(Algorithm::BlockedPrune)] =
+            Some(Box::new(BlockedPruneExecutor::new(b.clone(), false)));
+        executors[slot(Algorithm::BlockedPruneDrop)] =
+            Some(Box::new(BlockedPruneExecutor::new(b.clone(), true)));
+    }
+    if let Some(a) = &adapt {
+        executors[slot(Algorithm::AdaptSearch)] =
+            Some(Box::new(AdaptSearchExecutor::new(a.clone())));
+    }
+    if let Some(c) = &coarse {
+        executors[slot(Algorithm::Coarse)] = Some(Box::new(CoarseExecutor::new(c.clone(), false)));
+    }
+    if let Some(c) = coarse_drop.as_ref().or(coarse.as_ref()) {
+        executors[slot(Algorithm::CoarseDrop)] =
+            Some(Box::new(CoarseExecutor::new(c.clone(), true)));
+    }
+
+    let planner = want_auto.then(|| {
+        let costs = config
+            .calibrated
+            .unwrap_or_else(|| CalibratedCosts::measured_cached(k));
+        Planner::build(
+            store,
+            remap.clone(),
+            candidates.clone(),
+            costs,
+            coarse_theta,
+            drop_theta,
+        )
+    });
+
+    EngineParts {
+        plain,
+        augmented,
+        blocked,
+        adapt,
+        coarse,
+        coarse_drop,
+        tree,
+        executors,
+        planner,
     }
 }
 
@@ -442,6 +523,26 @@ pub struct Engine {
     /// The cost-model planner behind [`Algorithm::Auto`] (present on
     /// default builds and whenever `Auto` was selected).
     planner: Option<Planner>,
+    /// Build configuration, retained so [`Engine::compact`] rebuilds the
+    /// same structures.
+    config: EngineConfig,
+    /// Corpus generation: a process-unique stamp drawn afresh on every
+    /// build, mutation and compaction; queries push it into the scratch
+    /// (see [`QueryScratch::ensure_generation`]).
+    generation: u64,
+    /// The delta overlay: live ranking ids inserted since the last
+    /// (re)build, not yet part of any base index structure. Every
+    /// threshold query validates them linearly and exactly against the
+    /// store; compaction folds them into fresh arenas.
+    delta: Vec<RankingId>,
+    /// `delta_pos[id] = position in delta + 1` (0 = not in the delta),
+    /// sized by the store's id space — O(1) delta removal.
+    delta_pos: Vec<u32>,
+    /// Rankings of the *base* (indexed at the last build) tombstoned
+    /// since — the lazy-tombstone count the compaction trigger watches.
+    base_dead: usize,
+    /// Live corpus size at the last (re)build.
+    base_live_at_build: usize,
 }
 
 fn require<T>(index: &Option<Arc<T>>, algorithm: Algorithm) -> &T {
@@ -493,6 +594,214 @@ impl Engine {
     /// to keep the hot path allocation-free.
     pub fn scratch(&self) -> QueryScratch {
         QueryScratch::new()
+    }
+
+    // --- live-corpus mutation API -----------------------------------
+
+    /// Number of live rankings (the corpus queries run against).
+    pub fn live_len(&self) -> usize {
+        self.store.live_len()
+    }
+
+    /// Whether ranking `id` is live.
+    pub fn is_live(&self, id: RankingId) -> bool {
+        self.store.is_live(id)
+    }
+
+    /// Rankings in the delta overlay (inserted since the last build or
+    /// compaction, served by exact linear validation).
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Base rankings tombstoned since the last build or compaction.
+    pub fn base_tombstones(&self) -> usize {
+        self.base_dead
+    }
+
+    /// The corpus generation stamp (changes on every mutation and
+    /// compaction; see [`QueryScratch::ensure_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Pre-reserves every mutation-side arena (store rows, delta overlay,
+    /// id tables) for `n` further insertions, pinning the allocation
+    /// points of [`Engine::insert_ranking`] / [`Engine::remove_ranking`]
+    /// to arena growth only: after this call, the next `n` mutations
+    /// perform zero heap allocations on an engine without a top-k tree
+    /// and planner (tree node arenas and the planner's statistic refresh
+    /// have their own growth points).
+    pub fn reserve_mutations(&mut self, n: usize) {
+        self.store.reserve_rankings(n);
+        self.delta.reserve(n);
+        self.delta_pos.reserve(n);
+    }
+
+    /// Inserts a ranking into the live corpus, returning its (fresh,
+    /// monotonically increasing) id. The ranking lands in the delta
+    /// overlay — every algorithm sees it immediately via exact linear
+    /// validation, the top-k tree absorbs it natively — and is folded
+    /// into the CSR arenas by the next [`Engine::compact`]. Items must be
+    /// `k` pairwise-distinct ids.
+    pub fn insert_ranking(&mut self, items: &[ItemId]) -> RankingId {
+        Self::validate_items(items, self.store.k());
+        let id = self.store.push_items_unchecked(items);
+        self.register_insert(id);
+        id
+    }
+
+    /// Re-inserts a ranking **at a released id** (one removed before the
+    /// last compaction, see [`RankingStore::release_removed_slots`]) —
+    /// the id-stable re-insertion path. Panics when `id` is not a
+    /// released slot: live or still-quarantined content is frozen for
+    /// the index structures and must never be overwritten.
+    pub fn insert_ranking_at(&mut self, id: RankingId, items: &[ItemId]) {
+        Self::validate_items(items, self.store.k());
+        self.store.insert_items_at_unchecked(id, items);
+        self.register_insert(id);
+    }
+
+    /// Tombstones ranking `id`: it disappears from every query result
+    /// immediately (emission-time filtering; postings and tree nodes stay
+    /// until compaction) and its slot is quarantined for reuse after the
+    /// next compaction. Triggers an automatic [`Engine::compact`] once
+    /// base tombstones exceed the configured fraction. Returns `false`
+    /// when `id` was not live.
+    pub fn remove_ranking(&mut self, id: RankingId) -> bool {
+        if !self.store.remove(id) {
+            return false;
+        }
+        if let Some(planner) = &mut self.planner {
+            planner.note_remove(self.store.items(id));
+        }
+        let dp = self.delta_pos[id.index()];
+        if dp > 0 {
+            // Delta entries leave the overlay outright — nothing else
+            // references them... except an absorbed top-k tree node,
+            // which the store's quarantine keeps sound either way.
+            let pos = (dp - 1) as usize;
+            self.delta.swap_remove(pos);
+            self.delta_pos[id.index()] = 0;
+            if pos < self.delta.len() {
+                self.delta_pos[self.delta[pos].index()] = (pos + 1) as u32;
+            }
+        } else {
+            self.base_dead += 1;
+        }
+        self.after_mutation();
+        let threshold = self.config.compact_tombstone_fraction;
+        if threshold.is_finite()
+            && self.base_dead as f64 > threshold * self.base_live_at_build.max(1) as f64
+        {
+            self.compact();
+        }
+        true
+    }
+
+    /// Rebuilds every index arena in place over the live corpus: releases
+    /// quarantined slots, reclaims trailing storage, grows the shared
+    /// [`ItemRemap`] with the delta overlay's items (surviving items keep
+    /// their dense ids), reconstructs the selected index structures, the
+    /// executor table and the planner with the retained build
+    /// configuration, and clears the overlay/tombstone state. Ranking ids
+    /// are stable across compaction; released ids become available to
+    /// [`Engine::insert_ranking_at`].
+    /// (The id space is deliberately **not** truncated: a fresh insert
+    /// must never silently collide with a previously assigned id, so
+    /// `insert_ranking` stays monotone and only `insert_ranking_at`
+    /// can repopulate released slots.)
+    pub fn compact(&mut self) {
+        self.store.release_removed_slots();
+        let remap = Arc::new(
+            self.remap.grown(
+                self.delta
+                    .iter()
+                    .flat_map(|&id| self.store.items(id).iter().copied()),
+            ),
+        );
+        let parts = build_parts(&self.store, &self.config, remap.clone());
+        self.remap = remap;
+        self.plain = parts.plain;
+        self.augmented = parts.augmented;
+        self.blocked = parts.blocked;
+        self.adapt = parts.adapt;
+        self.coarse = parts.coarse;
+        self.coarse_drop = parts.coarse_drop;
+        self.tree = parts.tree;
+        self.executors = parts.executors;
+        self.planner = parts.planner;
+        self.delta.clear();
+        self.delta_pos.clear();
+        self.delta_pos.resize(self.store.len(), 0);
+        self.base_dead = 0;
+        self.base_live_at_build = self.store.live_len();
+        self.generation = next_generation();
+    }
+
+    fn validate_items(items: &[ItemId], k: usize) {
+        assert_eq!(items.len(), k, "ranking size must match the corpus k");
+        for (i, a) in items.iter().enumerate() {
+            assert!(
+                !items[i + 1..].contains(a),
+                "duplicate item {a} in inserted ranking"
+            );
+        }
+    }
+
+    fn register_insert(&mut self, id: RankingId) {
+        if self.delta_pos.len() < self.store.len() {
+            self.delta_pos.resize(self.store.len(), 0);
+        }
+        self.delta.push(id);
+        self.delta_pos[id.index()] = self.delta.len() as u32;
+        if let Some(tree) = &mut self.tree {
+            tree.insert(&self.store, id);
+        }
+        if let Some(planner) = &mut self.planner {
+            planner.note_insert(self.store.items(id));
+        }
+        self.after_mutation();
+    }
+
+    fn after_mutation(&mut self) {
+        self.generation = next_generation();
+        if let Some(planner) = &mut self.planner {
+            if planner.pending_mutations() >= self.config.planner_refresh_budget {
+                planner.refresh_corpus_stats(&self.store);
+            }
+        }
+    }
+
+    /// Applies the live-corpus overlay to an executor's output: drops
+    /// tombstoned base rankings (their postings are filtered lazily at
+    /// emission) and validates every delta ranking exactly against the
+    /// query. No-ops — and costs nothing — on a pristine engine.
+    fn apply_mutation_overlay(
+        &self,
+        query: &[ItemId],
+        theta_raw: u32,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        out: &mut Vec<RankingId>,
+    ) {
+        if self.base_dead > 0 {
+            let before = out.len();
+            out.retain(|&id| self.store.is_live(id));
+            stats.results = stats.results.saturating_sub((before - out.len()) as u64);
+        }
+        if !self.delta.is_empty() {
+            query_pairs_into(query, &mut scratch.qp);
+            let k = self.store.k();
+            let start = out.len();
+            for &id in &self.delta {
+                stats.count_distance();
+                if footrule_pairs(&scratch.qp, self.store.sorted_pairs(id), k) <= theta_raw {
+                    out.push(id);
+                }
+            }
+            stats.results += (out.len() - start) as u64;
+        }
     }
 
     /// Runs `algorithm` for a query ranking at normalized threshold
@@ -563,7 +872,8 @@ impl Engine {
             "query size must match the corpus ranking size"
         );
         out.clear();
-        if algorithm == Algorithm::Auto {
+        scratch.ensure_generation(self.generation);
+        let trace = if algorithm == Algorithm::Auto {
             let planner = self.planner.as_ref().unwrap_or_else(|| {
                 panic!(
                     "planner for Auto was not built; include Algorithm::Auto in \
@@ -606,7 +916,9 @@ impl Engine {
                 predicted_ns: 0.0,
                 actual_ns: 0.0,
             }
-        }
+        };
+        self.apply_mutation_overlay(query, theta_raw, scratch, stats, out);
+        trace
     }
 
     /// Cost-model-selected query ([`Algorithm::Auto`] shorthand): runs
@@ -644,10 +956,14 @@ impl Engine {
             self.store.k(),
             "query size must match the corpus ranking size"
         );
-        if self.store.is_empty() || neighbours == 0 {
+        if self.store.live_len() == 0 || neighbours == 0 {
             return Vec::new();
         }
+        scratch.ensure_generation(self.generation);
         query_pairs_into(query, &mut scratch.qp);
+        // Both paths track the live corpus natively: the BK-tree absorbs
+        // every insert (`register_insert`) and skips tombstoned nodes at
+        // offer time; the linear scan enumerates live ids directly.
         match &self.tree {
             Some(tree) => knn_bktree(tree, &self.store, &scratch.qp, neighbours, stats),
             None => knn_linear(&self.store, &scratch.qp, neighbours, stats),
@@ -668,6 +984,8 @@ impl Engine {
             + self.coarse_drop.as_ref().map_or(0, |i| i.heap_bytes())
             + self.tree.as_ref().map_or(0, |t| t.heap_bytes())
             + self.planner.as_ref().map_or(0, |p| p.heap_bytes())
+            + self.delta.capacity() * std::mem::size_of::<RankingId>()
+            + self.delta_pos.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -873,6 +1191,118 @@ mod tests {
         assert!(with_tree
             .query_topk(&wl.queries[0], 0, &mut s1, &mut st)
             .is_empty());
+    }
+
+    #[test]
+    fn mutations_track_the_live_corpus_across_every_algorithm() {
+        let ds = nyt_like(600, 10, 47);
+        let mut engine = EngineBuilder::new(ds.store.clone())
+            .coarse_threshold(0.5)
+            .coarse_drop_threshold(0.06)
+            .topk_tree(true)
+            .calibrated_costs(CalibratedCosts::nominal(10))
+            .compaction_threshold(f64::INFINITY)
+            .build();
+        // Mutate: remove a spread of base rankings, insert perturbed and
+        // brand-new ones (new items included).
+        for id in (0..600u32).step_by(7) {
+            assert!(engine.remove_ranking(RankingId(id)));
+        }
+        for i in 0..80u32 {
+            if i % 2 == 0 {
+                let donor = RankingId(i * 3 + 1);
+                let mut items: Vec<ItemId> = engine.store().items(donor).to_vec();
+                items.swap(2, 7);
+                engine.insert_ranking(&items);
+            } else {
+                let base = 900_000 + i * 12;
+                let items: Vec<ItemId> = (0..10).map(|j| ItemId(base + j)).collect();
+                engine.insert_ranking(&items);
+            }
+        }
+        assert_eq!(engine.delta_len(), 80);
+        assert!(engine.base_tombstones() > 0);
+        let check = |engine: &Engine| {
+            let mut scratch = engine.scratch();
+            for qid in [1u32, 300, 601, 660] {
+                let q: Vec<ItemId> = engine.store().items(RankingId(qid)).to_vec();
+                let qmap = PositionMap::new(&q);
+                for theta in [0.0, 0.15, 0.3] {
+                    let raw = raw_threshold(theta, 10);
+                    let mut expect: Vec<RankingId> = engine
+                        .store()
+                        .live_ids()
+                        .filter(|&id| qmap.distance_to(engine.store().items(id)) <= raw)
+                        .collect();
+                    expect.sort_unstable();
+                    for alg in Algorithm::ALL.iter().copied().chain([Algorithm::Auto]) {
+                        let mut stats = QueryStats::new();
+                        let mut got = engine.query_items(alg, &q, raw, &mut scratch, &mut stats);
+                        got.sort_unstable();
+                        assert_eq!(got, expect, "{alg} diverged at θ={theta} qid={qid}");
+                    }
+                }
+            }
+        };
+        check(&engine);
+        // Compaction folds the overlay in and keeps every answer.
+        let live_before = engine.live_len();
+        engine.compact();
+        assert_eq!(engine.delta_len(), 0);
+        assert_eq!(engine.base_tombstones(), 0);
+        assert_eq!(engine.live_len(), live_before);
+        check(&engine);
+        // Released ids accept id-stable re-insertions.
+        let freed = engine.store().first_free_slot().expect("released slots");
+        engine.insert_ranking_at(freed, &ds.store.items(freed).to_vec());
+        assert!(engine.is_live(freed));
+        check(&engine);
+    }
+
+    #[test]
+    fn removal_past_threshold_triggers_auto_compaction() {
+        let ds = nyt_like(300, 10, 11);
+        let mut engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv])
+            .compaction_threshold(0.25)
+            .build();
+        let mut compacted = false;
+        for id in 0..120u32 {
+            engine.remove_ranking(RankingId(id));
+            if engine.base_tombstones() == 0 {
+                compacted = true;
+                break;
+            }
+        }
+        assert!(compacted, "auto-compaction never fired below 40% dead");
+        assert!(engine.store().free_len() > 0, "slots were released");
+        let mut scratch = engine.scratch();
+        let mut stats = QueryStats::new();
+        let q: Vec<ItemId> = engine.store().items(RankingId(200)).to_vec();
+        let got = engine.query_items(Algorithm::Fv, &q, 0, &mut scratch, &mut stats);
+        assert!(got.contains(&RankingId(200)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate item")]
+    fn insert_rejects_duplicate_items() {
+        let ds = nyt_like(50, 10, 3);
+        let mut engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv])
+            .build();
+        let items: Vec<ItemId> = (0..9).map(ItemId).chain([ItemId(0)]).collect();
+        engine.insert_ranking(&items);
+    }
+
+    #[test]
+    #[should_panic(expected = "not free")]
+    fn insert_at_live_id_panics() {
+        let ds = nyt_like(50, 10, 4);
+        let mut engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv])
+            .build();
+        let items: Vec<ItemId> = (100..110).map(ItemId).collect();
+        engine.insert_ranking_at(RankingId(0), &items);
     }
 
     #[test]

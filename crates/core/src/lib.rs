@@ -39,4 +39,6 @@ pub use cost::cdf::DistanceCdf;
 pub use cost::model::CostModel;
 pub use engine::{Algorithm, Engine, EngineBuilder, ParseAlgorithmError, QueryTrace};
 pub use planner::{PlanDecision, PlanStats, Planner, THETA_BUCKETS};
-pub use shard::{ShardStrategy, ShardedEngine, ShardedEngineBuilder, ShardedScratch};
+pub use shard::{
+    RebalanceConfig, ShardStrategy, ShardedEngine, ShardedEngineBuilder, ShardedScratch,
+};

@@ -200,6 +200,30 @@ impl PlanStats {
     }
 }
 
+/// Fills the θ-indexed modeled `Coarse` cost table for one `θ_C` — the
+/// single home of the Section 5 coarse cost term, shared by
+/// [`Planner::build`] and [`Planner::refresh_corpus_stats`] so build-time
+/// and refresh-time predictions can never drift apart. The breakdown's
+/// filter term depends only on `θ_C`; only the validation term varies
+/// with θ, through the relaxed-CDF lookup — one breakdown call plus the
+/// prefix table covers the whole θ axis. `table.len()` must be
+/// `d_max + 1` (= `cdf_prefix.len()`).
+fn fill_coarse_table(
+    table: &mut [f64],
+    model: &CostModel,
+    cdf_prefix: &[f64],
+    n: usize,
+    costs: CalibratedCosts,
+    theta_c_raw: u32,
+) {
+    debug_assert_eq!(table.len(), cdf_prefix.len());
+    let filter = model.breakdown(0, theta_c_raw).filter;
+    for (d, slot) in table.iter_mut().enumerate() {
+        let relaxed = (d + theta_c_raw as usize).min(cdf_prefix.len() - 1);
+        *slot = filter + n as f64 * cdf_prefix[relaxed] * costs.footrule_ns;
+    }
+}
+
 /// The per-engine query planner (one per shard in a sharded engine —
 /// shards differ in size and distribution, so the same query may
 /// legitimately take different paths on different shards).
@@ -241,6 +265,13 @@ pub struct Planner {
     /// `true` when the corpus is too small for the cost model (< 2
     /// rankings): the planner then always picks the first candidate.
     degenerate: bool,
+    /// The engine's `θ_C` settings, kept so corpus-statistic refreshes
+    /// can rebuild the θ-indexed coarse tables.
+    coarse_theta_c_raw: u32,
+    coarse_drop_theta_c_raw: u32,
+    /// Mutations applied since the last full statistics refresh (the
+    /// distance-CDF refresh budget counts these).
+    pending_mutations: usize,
 }
 
 impl Planner {
@@ -264,11 +295,11 @@ impl Planner {
             candidates.iter().all(|c| c.dense_index().is_some()),
             "candidates must be concrete algorithms"
         );
-        let n = store.len();
+        let n = store.live_len();
         let k = store.k();
         let d_max = max_distance(k);
         let mut freqs = vec![0u32; remap.len()];
-        for id in store.ids() {
+        for id in store.live_ids() {
             for &item in store.items(id) {
                 let d = remap.dense(item).expect("corpus item missing from remap");
                 freqs[d as usize] += 1;
@@ -305,6 +336,9 @@ impl Planner {
                 incumbent,
                 zipf_s: 0.0,
                 degenerate: true,
+                coarse_theta_c_raw,
+                coarse_drop_theta_c_raw,
+                pending_mutations: 0,
             };
         }
         // CDF sample size scales with the corpus but stays bounded; the
@@ -312,25 +346,28 @@ impl Planner {
         let pairs = n.saturating_mul(4).clamp(2_000, 20_000);
         let model = CostModel::from_store(store, pairs, 0xC0DEC ^ n as u64, costs);
         let cdf_prefix: Vec<f64> = (0..=d_max).map(|d| model.cdf().p_leq(d)).collect();
-        // The coarse breakdown's filter term depends only on θ_C; only
-        // the validation term varies with θ, through the relaxed-CDF
-        // lookup — so one breakdown call plus the prefix table covers the
-        // whole θ axis.
-        let coarse_table = |tc: u32| -> Vec<f64> {
-            let filter = model.breakdown(0, tc).filter;
-            (0..=d_max)
-                .map(|d| {
-                    let relaxed = (d + tc).min(d_max) as usize;
-                    filter + n as f64 * cdf_prefix[relaxed] * costs.footrule_ns
-                })
-                .collect()
-        };
-        let coarse_cost = coarse_table(coarse_theta_c_raw);
-        let coarse_drop_cost = if coarse_drop_theta_c_raw == coarse_theta_c_raw {
-            coarse_cost.clone()
+        let mut coarse_cost = vec![0.0; d_max as usize + 1];
+        let mut coarse_drop_cost = vec![0.0; d_max as usize + 1];
+        fill_coarse_table(
+            &mut coarse_cost,
+            &model,
+            &cdf_prefix,
+            n,
+            costs,
+            coarse_theta_c_raw,
+        );
+        if coarse_drop_theta_c_raw == coarse_theta_c_raw {
+            coarse_drop_cost.copy_from_slice(&coarse_cost);
         } else {
-            coarse_table(coarse_drop_theta_c_raw)
-        };
+            fill_coarse_table(
+                &mut coarse_drop_cost,
+                &model,
+                &cdf_prefix,
+                n,
+                costs,
+                coarse_drop_theta_c_raw,
+            );
+        }
         Planner {
             n,
             k,
@@ -349,7 +386,101 @@ impl Planner {
             incumbent,
             zipf_s: model.zipf_s(),
             degenerate: false,
+            coarse_theta_c_raw,
+            coarse_drop_theta_c_raw,
+            pending_mutations: 0,
         }
+    }
+
+    /// Folds one insertion into the corpus statistics: `n` and the
+    /// posting-length table track the live corpus exactly for items the
+    /// remap knows; items first seen after the engine build join the
+    /// table at the next compaction (their postings live in the delta
+    /// overlay until then, which no base-index cost depends on). Pure
+    /// counter work — no allocation, no distance calls.
+    pub fn note_insert(&mut self, items: &[ItemId]) {
+        self.n += 1;
+        for &item in items {
+            if let Some(d) = self.remap.dense(item) {
+                self.freqs[d as usize] += 1;
+            }
+        }
+        self.pending_mutations += 1;
+    }
+
+    /// Folds one removal into the corpus statistics (see
+    /// [`Planner::note_insert`]).
+    pub fn note_remove(&mut self, items: &[ItemId]) {
+        self.n = self.n.saturating_sub(1);
+        for &item in items {
+            if let Some(d) = self.remap.dense(item) {
+                let f = &mut self.freqs[d as usize];
+                *f = f.saturating_sub(1);
+            }
+        }
+        self.pending_mutations += 1;
+    }
+
+    /// Mutations folded in since the last [`Planner::refresh_corpus_stats`].
+    pub fn pending_mutations(&self) -> usize {
+        self.pending_mutations
+    }
+
+    /// Full corpus-statistics refresh: resamples the distance CDF over
+    /// the live corpus, re-reads posting lengths, re-estimates the Zipf
+    /// skew and rebuilds the θ-indexed coarse cost tables. The engine
+    /// triggers this once the mutation budget is exhausted (and
+    /// implicitly at every compaction, which rebuilds the planner). Runs
+    /// at mutation time — never on the query path — so steady-state
+    /// queries stay allocation-free. The learned per-(algorithm, bucket)
+    /// level cells are **kept**: they track measured wall time, which a
+    /// corpus drift shifts gradually, and the EWMA keeps absorbing it.
+    pub fn refresh_corpus_stats(&mut self, store: &RankingStore) {
+        self.pending_mutations = 0;
+        self.n = store.live_len();
+        self.freqs.iter_mut().for_each(|f| *f = 0);
+        for id in store.live_ids() {
+            for &item in store.items(id) {
+                if let Some(d) = self.remap.dense(item) {
+                    self.freqs[d as usize] += 1;
+                }
+            }
+        }
+        if self.n < 2 {
+            self.degenerate = true;
+            return;
+        }
+        let pairs = self.n.saturating_mul(4).clamp(2_000, 20_000);
+        let model = CostModel::from_store(store, pairs, 0xC0DEC ^ self.n as u64, self.costs);
+        for d in 0..=self.d_max {
+            self.cdf_prefix[d as usize] = model.cdf().p_leq(d);
+        }
+        // Split the borrows: the prefix table is read, the cost tables
+        // written.
+        let cdf_prefix = std::mem::take(&mut self.cdf_prefix);
+        fill_coarse_table(
+            &mut self.coarse_cost,
+            &model,
+            &cdf_prefix,
+            self.n,
+            self.costs,
+            self.coarse_theta_c_raw,
+        );
+        if self.coarse_drop_theta_c_raw == self.coarse_theta_c_raw {
+            self.coarse_drop_cost.copy_from_slice(&self.coarse_cost);
+        } else {
+            fill_coarse_table(
+                &mut self.coarse_drop_cost,
+                &model,
+                &cdf_prefix,
+                self.n,
+                self.costs,
+                self.coarse_drop_theta_c_raw,
+            );
+        }
+        self.cdf_prefix = cdf_prefix;
+        self.zipf_s = model.zipf_s();
+        self.degenerate = false;
     }
 
     /// The candidate set, in the paper's presentation order.

@@ -54,16 +54,139 @@ pub enum ShardStrategy {
     Medoid,
 }
 
-/// Builder for [`ShardedEngine`]: routes pushed rankings to per-shard
-/// stores, then builds one [`Engine`] per non-empty shard.
-pub struct ShardedEngineBuilder {
-    k: usize,
-    strategy: ShardStrategy,
+/// When routed mutations may migrate rankings between shards.
+///
+/// Shard sizes drift under a live workload (hash routing only balances
+/// in expectation; medoid routing follows the data distribution), and a
+/// swollen shard dominates every query's latency. A rebalance moves the
+/// highest-global-id live rankings of overfull shards onto underfull
+/// ones and rebuilds **only the affected shards** — placement never
+/// affects results (threshold merges are id-canonical, top-k merges are
+/// lexicographic), so the answers stay bit-identical to a from-scratch
+/// monolith throughout.
+#[derive(Debug, Clone, Copy)]
+pub struct RebalanceConfig {
+    /// Trigger once the largest shard's live count exceeds
+    /// `skew_factor ×` the mean live count…
+    pub skew_factor: f64,
+    /// …and leads the smallest shard by at least this many rankings
+    /// (absolute slack so small corpora don't thrash).
+    pub min_gap: usize,
+    /// Check (and rebalance) automatically after every routed insert or
+    /// remove; `false` leaves it to explicit [`ShardedEngine::rebalance`]
+    /// calls.
+    pub auto: bool,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            skew_factor: 2.0,
+            min_gap: 64,
+            auto: true,
+        }
+    }
+}
+
+/// Per-shard engine build knobs, retained by [`ShardedEngine`] so routed
+/// inserts into empty shards and rebalancing rebuilds construct engines
+/// identical to the original build.
+#[derive(Clone)]
+struct ShardConfig {
     coarse_theta_c: f64,
     coarse_theta_c_drop: Option<f64>,
     selected: Option<Vec<Algorithm>>,
     topk_trees: bool,
     calibrated: Option<crate::CalibratedCosts>,
+    compact_tombstone_fraction: Option<f64>,
+    planner_refresh_budget: Option<usize>,
+    rebalance: RebalanceConfig,
+}
+
+impl ShardConfig {
+    fn build_engine(&self, store: RankingStore) -> Engine {
+        let mut b = EngineBuilder::new(store)
+            .coarse_threshold(self.coarse_theta_c)
+            .topk_tree(self.topk_trees);
+        if let Some(t) = self.coarse_theta_c_drop {
+            b = b.coarse_drop_threshold(t);
+        }
+        if let Some(sel) = &self.selected {
+            b = b.algorithms(sel);
+        }
+        if let Some(costs) = self.calibrated {
+            b = b.calibrated_costs(costs);
+        }
+        if let Some(f) = self.compact_tombstone_fraction {
+            b = b.compaction_threshold(f);
+        }
+        if let Some(m) = self.planner_refresh_budget {
+            b = b.planner_refresh_budget(m);
+        }
+        b.build()
+    }
+}
+
+/// Where a global ranking id lives: `(shard, local id)`; the shard field
+/// is `u32::MAX` once the ranking was removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardLoc {
+    shard: u32,
+    local: u32,
+}
+
+const GONE: ShardLoc = ShardLoc {
+    shard: u32::MAX,
+    local: u32::MAX,
+};
+
+/// Routes one ranking to a shard. `medoids` doubles as the shard count
+/// (one slot per shard) and as the mutable medoid state of the
+/// [`ShardStrategy::Medoid`] scheme.
+fn route_to_shard(
+    strategy: ShardStrategy,
+    medoids: &mut [Option<Vec<ItemId>>],
+    items: &[ItemId],
+) -> usize {
+    let num_shards = medoids.len();
+    if num_shards == 1 {
+        return 0;
+    }
+    match strategy {
+        ShardStrategy::Hash => {
+            use std::hash::Hasher;
+            let mut h = ranksim_rankings::hash::FxHasher::default();
+            for i in items {
+                h.write_u32(i.0);
+            }
+            (h.finish() % num_shards as u64) as usize
+        }
+        ShardStrategy::Medoid => {
+            if let Some(free) = medoids.iter().position(|m| m.is_none()) {
+                medoids[free] = Some(items.to_vec());
+                return free;
+            }
+            let mut best = 0usize;
+            let mut best_d = u32::MAX;
+            for (s, medoid) in medoids.iter().enumerate() {
+                let m = medoid.as_ref().expect("all medoids claimed");
+                let d = ranksim_rankings::footrule_items(m, items);
+                if d < best_d {
+                    best = s;
+                    best_d = d;
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Builder for [`ShardedEngine`]: routes pushed rankings to per-shard
+/// stores, then builds one [`Engine`] per non-empty shard.
+pub struct ShardedEngineBuilder {
+    k: usize,
+    strategy: ShardStrategy,
+    config: ShardConfig,
     stores: Vec<RankingStore>,
     globals: Vec<Vec<RankingId>>,
     medoids: Vec<Option<Vec<ItemId>>>,
@@ -77,11 +200,16 @@ impl ShardedEngineBuilder {
         ShardedEngineBuilder {
             k,
             strategy,
-            coarse_theta_c: 0.5,
-            coarse_theta_c_drop: None,
-            selected: None,
-            topk_trees: false,
-            calibrated: None,
+            config: ShardConfig {
+                coarse_theta_c: 0.5,
+                coarse_theta_c_drop: None,
+                selected: None,
+                topk_trees: false,
+                calibrated: None,
+                compact_tombstone_fraction: None,
+                planner_refresh_budget: None,
+                rebalance: RebalanceConfig::default(),
+            },
             stores: (0..num_shards).map(|_| RankingStore::new(k)).collect(),
             globals: vec![Vec::new(); num_shards],
             medoids: vec![None; num_shards],
@@ -92,21 +220,21 @@ impl ShardedEngineBuilder {
     /// Normalized `θ_C` for every per-shard `Coarse` index (see
     /// [`EngineBuilder::coarse_threshold`]).
     pub fn coarse_threshold(mut self, theta_c: f64) -> Self {
-        self.coarse_theta_c = theta_c;
+        self.config.coarse_theta_c = theta_c;
         self
     }
 
     /// Separate `θ_C` for `Coarse+Drop` (see
     /// [`EngineBuilder::coarse_drop_threshold`]).
     pub fn coarse_drop_threshold(mut self, theta_c: f64) -> Self {
-        self.coarse_theta_c_drop = Some(theta_c);
+        self.config.coarse_theta_c_drop = Some(theta_c);
         self
     }
 
     /// Restricts every shard to the index structures the given algorithms
     /// need (see [`EngineBuilder::algorithms`]).
     pub fn algorithms(mut self, algorithms: &[Algorithm]) -> Self {
-        self.selected = Some(algorithms.to_vec());
+        self.config.selected = Some(algorithms.to_vec());
         self
     }
 
@@ -114,7 +242,7 @@ impl ShardedEngineBuilder {
     /// [`ShardedEngine::query_topk`] (falls back to exact per-shard
     /// linear scans when off; results are identical either way).
     pub fn topk_trees(mut self, build_trees: bool) -> Self {
-        self.topk_trees = build_trees;
+        self.config.topk_trees = build_trees;
         self
     }
 
@@ -123,7 +251,29 @@ impl ShardedEngineBuilder {
     /// [`EngineBuilder::calibrated_costs`]; fixed nominal costs keep
     /// sharded `Auto` planning deterministic in tests).
     pub fn calibrated_costs(mut self, costs: crate::CalibratedCosts) -> Self {
-        self.calibrated = Some(costs);
+        self.config.calibrated = Some(costs);
+        self
+    }
+
+    /// Size-aware shard rebalancing policy for the built engine's routed
+    /// mutations (see [`RebalanceConfig`]).
+    pub fn rebalance(mut self, config: RebalanceConfig) -> Self {
+        self.config.rebalance = config;
+        self
+    }
+
+    /// Per-shard auto-compaction trigger (see
+    /// [`EngineBuilder::compaction_threshold`]; defaults to that
+    /// builder's default when unset).
+    pub fn compaction_threshold(mut self, tombstone_fraction: f64) -> Self {
+        self.config.compact_tombstone_fraction = Some(tombstone_fraction);
+        self
+    }
+
+    /// Per-shard planner statistics refresh budget (see
+    /// [`EngineBuilder::planner_refresh_budget`]).
+    pub fn planner_refresh_budget(mut self, mutations: usize) -> Self {
+        self.config.planner_refresh_budget = Some(mutations);
         self
     }
 
@@ -132,7 +282,7 @@ impl ShardedEngineBuilder {
     /// distinct ids (generator output upholds this by construction).
     pub fn push_ranking(&mut self, items: &[ItemId]) -> RankingId {
         assert_eq!(items.len(), self.k, "ranking size must match k");
-        let shard = self.route(items);
+        let shard = route_to_shard(self.strategy, &mut self.medoids, items);
         let global = RankingId(self.next_global);
         self.next_global += 1;
         self.stores[shard].push_items_unchecked(items);
@@ -140,47 +290,18 @@ impl ShardedEngineBuilder {
         global
     }
 
-    /// Pushes every ranking of a monolithic store (ids are preserved:
-    /// ranking `i` of the store becomes global id `i` here when the
-    /// builder started empty).
+    /// Pushes every **live** ranking of a monolithic store. For a
+    /// pristine store into an empty builder, ids are preserved (ranking
+    /// `i` becomes global id `i`); for a mutated store, dead slots are
+    /// skipped and the surviving rankings are re-numbered densely in id
+    /// order — `push_ranking` cannot reproduce holes, so exact id parity
+    /// with a holey monolith requires replaying the mutation sequence
+    /// through [`ShardedEngine::insert_ranking`] / `remove_ranking`
+    /// instead.
     pub fn extend_from_store(&mut self, store: &RankingStore) {
         assert_eq!(store.k(), self.k, "store ranking size must match k");
-        for id in store.ids() {
+        for id in store.live_ids() {
             self.push_ranking(store.items(id));
-        }
-    }
-
-    fn route(&mut self, items: &[ItemId]) -> usize {
-        let num_shards = self.stores.len();
-        if num_shards == 1 {
-            return 0;
-        }
-        match self.strategy {
-            ShardStrategy::Hash => {
-                use std::hash::Hasher;
-                let mut h = ranksim_rankings::hash::FxHasher::default();
-                for i in items {
-                    h.write_u32(i.0);
-                }
-                (h.finish() % num_shards as u64) as usize
-            }
-            ShardStrategy::Medoid => {
-                if let Some(free) = self.medoids.iter().position(|m| m.is_none()) {
-                    self.medoids[free] = Some(items.to_vec());
-                    return free;
-                }
-                let mut best = 0usize;
-                let mut best_d = u32::MAX;
-                for (s, medoid) in self.medoids.iter().enumerate() {
-                    let m = medoid.as_ref().expect("all medoids claimed");
-                    let d = ranksim_rankings::footrule_items(m, items);
-                    if d < best_d {
-                        best = s;
-                        best_d = d;
-                    }
-                }
-                best
-            }
         }
     }
 
@@ -191,34 +312,26 @@ impl ShardedEngineBuilder {
         let ShardedEngineBuilder {
             k,
             strategy,
-            coarse_theta_c,
-            coarse_theta_c_drop,
-            selected,
-            topk_trees,
-            calibrated,
+            config,
             stores,
             globals,
-            ..
+            medoids,
+            next_global,
         } = self;
+        let mut directory = vec![GONE; next_global as usize];
+        for (s, globals) in globals.iter().enumerate() {
+            for (local, g) in globals.iter().enumerate() {
+                directory[g.index()] = ShardLoc {
+                    shard: s as u32,
+                    local: local as u32,
+                };
+            }
+        }
         let shards = stores
             .into_iter()
             .zip(globals)
             .map(|(store, global)| {
-                let engine = (!store.is_empty()).then(|| {
-                    let mut b = EngineBuilder::new(store)
-                        .coarse_threshold(coarse_theta_c)
-                        .topk_tree(topk_trees);
-                    if let Some(t) = coarse_theta_c_drop {
-                        b = b.coarse_drop_threshold(t);
-                    }
-                    if let Some(sel) = &selected {
-                        b = b.algorithms(sel);
-                    }
-                    if let Some(costs) = calibrated {
-                        b = b.calibrated_costs(costs);
-                    }
-                    b.build()
-                });
+                let engine = (!store.is_empty()).then(|| config.build_engine(store));
                 Shard { engine, global }
             })
             .collect();
@@ -226,6 +339,10 @@ impl ShardedEngineBuilder {
             k,
             strategy,
             shards,
+            config,
+            medoids,
+            directory,
+            next_global,
         }
     }
 }
@@ -251,10 +368,25 @@ pub struct ShardedScratch {
 
 /// The S-shard engine. Query semantics match the monolithic [`Engine`]
 /// exactly; see the module docs for the merge rules.
+///
+/// The engine is **live**: [`ShardedEngine::insert_ranking`] routes new
+/// rankings with the build-time strategy, [`ShardedEngine::remove_ranking`]
+/// tombstones through a global→(shard, local) directory, and size-aware
+/// [`ShardedEngine::rebalance`] migrates rankings off swollen shards,
+/// rebuilding only the affected shards. Per-shard local ids stay
+/// monotone in global ids throughout (fresh globals append; rebuilds
+/// sort ascending), which is the invariant that keeps the lexicographic
+/// top-k merge bit-identical to a from-scratch monolith.
 pub struct ShardedEngine {
     k: usize,
     strategy: ShardStrategy,
     shards: Vec<Shard>,
+    config: ShardConfig,
+    /// Routing state (medoid strategy); one slot per shard.
+    medoids: Vec<Option<Vec<ItemId>>>,
+    /// `directory[global] = (shard, local)`; [`GONE`] once removed.
+    directory: Vec<ShardLoc>,
+    next_global: u32,
 }
 
 impl ShardedEngine {
@@ -301,9 +433,23 @@ impl ShardedEngine {
             .collect()
     }
 
-    /// Total heap footprint across shards.
+    /// Total heap footprint across shards, plus the engine-level
+    /// mutation state (the global→(shard, local) directory — which grows
+    /// monotonically with every insert ever routed — and the medoid
+    /// routing state), matching the monolith's exact delta/overlay
+    /// accounting.
     pub fn heap_bytes(&self) -> usize {
-        self.shard_heap_bytes().iter().sum()
+        self.shard_heap_bytes().iter().sum::<usize>()
+            + self.directory.capacity() * std::mem::size_of::<ShardLoc>()
+            + self.medoids.capacity() * std::mem::size_of::<Option<Vec<ItemId>>>()
+            + self
+                .medoids
+                .iter()
+                .map(|m| {
+                    m.as_ref()
+                        .map_or(0, |v| v.capacity() * std::mem::size_of::<ItemId>())
+                })
+                .sum::<usize>()
     }
 
     /// A fresh scratch; reuse it across queries to keep the hot path
@@ -313,6 +459,236 @@ impl ShardedEngine {
             scratch: QueryScratch::new(),
             local: Vec::new(),
         }
+    }
+
+    // --- live-corpus mutation API -----------------------------------
+
+    /// Live rankings across all shards.
+    pub fn live_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.engine.as_ref().map_or(0, |e| e.live_len()))
+            .sum()
+    }
+
+    /// Live rankings per shard (what the rebalancer watches).
+    pub fn shard_live_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.engine.as_ref().map_or(0, |e| e.live_len()))
+            .collect()
+    }
+
+    /// Whether global ranking `id` is live.
+    pub fn is_live(&self, id: RankingId) -> bool {
+        matches!(self.directory.get(id.index()), Some(loc) if *loc != GONE)
+    }
+
+    /// Routes a new ranking to its shard (build-time strategy) and
+    /// inserts it there, returning the fresh global id — the same id a
+    /// monolithic [`Engine::insert_ranking`] would assign for the same
+    /// mutation sequence. May trigger an automatic rebalance (see
+    /// [`RebalanceConfig::auto`]).
+    pub fn insert_ranking(&mut self, items: &[ItemId]) -> RankingId {
+        assert_eq!(items.len(), self.k, "ranking size must match k");
+        let shard = route_to_shard(self.strategy, &mut self.medoids, items);
+        let global = RankingId(self.next_global);
+        self.next_global += 1;
+        let s = &mut self.shards[shard];
+        let local = match &mut s.engine {
+            Some(engine) => engine.insert_ranking(items),
+            None => {
+                let mut store = RankingStore::new(self.k);
+                let local = store.push_items_unchecked(items);
+                s.engine = Some(self.config.build_engine(store));
+                local
+            }
+        };
+        debug_assert_eq!(
+            local.index(),
+            s.global.len(),
+            "local ids append in lockstep with the global map"
+        );
+        s.global.push(global);
+        self.directory.push(ShardLoc {
+            shard: shard as u32,
+            local: local.0,
+        });
+        if self.config.rebalance.auto {
+            self.rebalance();
+        }
+        global
+    }
+
+    /// Tombstones the ranking with global id `id` on its shard. Returns
+    /// `false` when the id was never assigned or already removed.
+    pub fn remove_ranking(&mut self, id: RankingId) -> bool {
+        let Some(&loc) = self.directory.get(id.index()) else {
+            return false;
+        };
+        if loc == GONE {
+            return false;
+        }
+        let shard = &mut self.shards[loc.shard as usize];
+        let engine = shard
+            .engine
+            .as_mut()
+            .expect("directory points into a built shard");
+        let removed = engine.remove_ranking(RankingId(loc.local));
+        debug_assert!(removed, "directory and shard liveness agree");
+        debug_assert_eq!(
+            engine.store().len(),
+            shard.global.len(),
+            "local id space and global map stay in lockstep"
+        );
+        self.directory[id.index()] = GONE;
+        if self.config.rebalance.auto {
+            self.rebalance();
+        }
+        removed
+    }
+
+    /// Compacts every shard engine (releases tombstoned slots, rebuilds
+    /// the per-shard arenas over the live set) and then checks the
+    /// rebalance policy once.
+    pub fn compact(&mut self) {
+        for s in &mut self.shards {
+            if let Some(engine) = &mut s.engine {
+                engine.compact();
+                debug_assert_eq!(
+                    engine.store().len(),
+                    s.global.len(),
+                    "compaction keeps the local id space intact"
+                );
+            }
+        }
+        self.rebalance();
+    }
+
+    /// Checks the size-skew policy and migrates rankings if it fires:
+    /// the largest shards donate their highest-global-id live rankings
+    /// to the smallest shards until every shard sits at (or below) the
+    /// mean, then **only the affected shards** are rebuilt from scratch
+    /// — local ids re-assigned in ascending global order, which restores
+    /// the monotone local↔global invariant the top-k merge needs.
+    /// Returns `true` when a migration happened.
+    pub fn rebalance(&mut self) -> bool {
+        let policy = self.config.rebalance;
+        let s = self.shards.len();
+        // Balanced-path check in one allocation-free pass: the auto
+        // policy runs this after *every* routed mutation.
+        let (mut total, mut max, mut min) = (0usize, 0usize, usize::MAX);
+        for shard in &self.shards {
+            let live = shard.engine.as_ref().map_or(0, |e| e.live_len());
+            total += live;
+            max = max.max(live);
+            min = min.min(live);
+        }
+        if s < 2 || total == 0 {
+            return false;
+        }
+        let mean = total as f64 / s as f64;
+        if (max as f64) <= policy.skew_factor * mean.max(1.0) || max - min < policy.min_gap {
+            return false;
+        }
+        let target = mean.ceil() as usize;
+        // Collect the migration plan: donors shed their highest-global
+        // live rankings down to the target, receivers fill up to it.
+        let mut moved: Vec<(RankingId, Vec<ItemId>)> = Vec::new();
+        let mut affected = vec![false; s];
+        for (si, shard) in self.shards.iter_mut().enumerate() {
+            let live = shard.engine.as_ref().map_or(0, |e| e.live_len());
+            let surplus = live.saturating_sub(target);
+            if surplus == 0 {
+                continue;
+            }
+            // Shedding marks the directory only — no engine removal: the
+            // donor is rebuilt from scratch below anyway, and a removal
+            // here could trip the shard engine's auto-compaction into a
+            // full index rebuild that the rebuild immediately discards.
+            let engine = shard.engine.as_ref().expect("live shard has an engine");
+            let mut shed = 0usize;
+            for local in (0..shard.global.len()).rev() {
+                if shed == surplus {
+                    break;
+                }
+                let lid = RankingId(local as u32);
+                if !engine.is_live(lid) {
+                    continue;
+                }
+                let global = shard.global[local];
+                moved.push((global, engine.store().items(lid).to_vec()));
+                self.directory[global.index()] = GONE;
+                shed += 1;
+            }
+            affected[si] = true;
+        }
+        if moved.is_empty() {
+            return false;
+        }
+        // Deterministic receiver assignment: ascending shard index,
+        // filling each to the target; ascending global order within.
+        moved.sort_unstable_by_key(|&(g, _)| g);
+        let mut additions: Vec<Vec<(RankingId, Vec<ItemId>)>> = vec![Vec::new(); s];
+        let mut fill: Vec<usize> = self.shard_live_sizes();
+        let mut cursor = 0usize;
+        for (global, items) in moved {
+            while cursor < s && fill[cursor] >= target {
+                cursor += 1;
+            }
+            let to = if cursor < s { cursor } else { s - 1 };
+            fill[to] += 1;
+            affected[to] = true;
+            additions[to].push((global, items));
+        }
+        // Rebuild only the affected shards, locals ascending in globals.
+        for (si, extra) in additions.into_iter().enumerate() {
+            if !affected[si] {
+                continue;
+            }
+            self.rebuild_shard(si, extra);
+        }
+        true
+    }
+
+    /// Rebuilds shard `si` from its live rankings plus `extra`
+    /// (global id, items) arrivals: a fresh store pushed in ascending
+    /// global order, a fresh engine from the retained config, and
+    /// directory updates for every member. A live local whose directory
+    /// entry no longer points here was shed to another shard by the
+    /// rebalancer (marked `GONE`, or already re-homed by an
+    /// earlier-rebuilt receiver) and is excluded.
+    fn rebuild_shard(&mut self, si: usize, extra: Vec<(RankingId, Vec<ItemId>)>) {
+        let shard = &mut self.shards[si];
+        let mut entries: Vec<(RankingId, Vec<ItemId>)> = Vec::new();
+        if let Some(engine) = &shard.engine {
+            for (local, &global) in shard.global.iter().enumerate() {
+                let lid = RankingId(local as u32);
+                let here = ShardLoc {
+                    shard: si as u32,
+                    local: local as u32,
+                };
+                if engine.is_live(lid) && self.directory[global.index()] == here {
+                    entries.push((global, engine.store().items(lid).to_vec()));
+                }
+            }
+        }
+        entries.extend(extra);
+        entries.sort_unstable_by_key(|&(g, _)| g);
+        let mut store = RankingStore::with_capacity(self.k, entries.len());
+        let mut globals = Vec::with_capacity(entries.len());
+        for (global, items) in &entries {
+            store.push_items_unchecked(items);
+            globals.push(*global);
+        }
+        for (local, global) in globals.iter().enumerate() {
+            self.directory[global.index()] = ShardLoc {
+                shard: si as u32,
+                local: local as u32,
+            };
+        }
+        shard.engine = (!store.is_empty()).then(|| self.config.build_engine(store));
+        shard.global = globals;
     }
 
     /// Runs `algorithm` over every shard into a caller-owned buffer
@@ -598,6 +974,149 @@ mod tests {
                 assert_eq!(got[qi], expect, "query {qi} at {threads} threads");
             }
             assert_eq!(batch_stats, seq_stats, "merged stats equal sequential");
+        }
+    }
+
+    #[test]
+    fn routed_mutations_match_a_mutated_monolith() {
+        use crate::CalibratedCosts;
+        let ds = nyt_like(500, 10, 53);
+        let mut engine = EngineBuilder::new(ds.store.clone())
+            .coarse_threshold(0.5)
+            .calibrated_costs(CalibratedCosts::nominal(10))
+            .topk_tree(true)
+            .build();
+        for strategy in [ShardStrategy::Hash, ShardStrategy::Medoid] {
+            let ds = nyt_like(500, 10, 53);
+            let mut b = ShardedEngineBuilder::new(10, 3, strategy)
+                .coarse_threshold(0.5)
+                .calibrated_costs(CalibratedCosts::nominal(10))
+                .topk_trees(true)
+                .rebalance(RebalanceConfig {
+                    auto: false,
+                    ..Default::default()
+                });
+            b.extend_from_store(&ds.store);
+            let mut sharded = b.build();
+            // Same mutation sequence on both: ids must line up.
+            let mut mono = if strategy == ShardStrategy::Hash {
+                Some(&mut engine)
+            } else {
+                None
+            };
+            for id in (0..500u32).step_by(9) {
+                assert!(sharded.remove_ranking(RankingId(id)));
+                if let Some(m) = mono.as_deref_mut() {
+                    assert!(m.remove_ranking(RankingId(id)));
+                }
+            }
+            for i in 0..40u32 {
+                let donor = RankingId(i * 5 + 1);
+                let mut items: Vec<ItemId> = ds.store.items(donor).to_vec();
+                items.swap(1, 8);
+                let g = sharded.insert_ranking(&items);
+                assert_eq!(g, RankingId(500 + i), "monotone global ids");
+                if let Some(m) = mono.as_deref_mut() {
+                    assert_eq!(m.insert_ranking(&items), g, "id policies agree");
+                }
+            }
+            assert_eq!(sharded.live_len(), 500 - 56 + 40);
+            if mono.is_none() {
+                continue;
+            }
+            // Differential check against the mutated monolith.
+            let mut ms = engine.scratch();
+            let mut ss = sharded.scratch();
+            for qid in [1u32, 333, 510, 539] {
+                let q: Vec<ItemId> = engine.store().items(RankingId(qid)).to_vec();
+                for theta in [0.0, 0.2] {
+                    let raw = raw_threshold(theta, 10);
+                    for alg in [Algorithm::Fv, Algorithm::Coarse, Algorithm::ListMerge] {
+                        let mut st = QueryStats::new();
+                        let mut expect = engine.query_items(alg, &q, raw, &mut ms, &mut st);
+                        expect.sort_unstable();
+                        let got = sharded.query_items(alg, &q, raw, &mut ss, &mut st);
+                        assert_eq!(got, expect, "{strategy:?} {alg} θ={theta} qid={qid}");
+                    }
+                }
+                for kn in [1usize, 8, 33] {
+                    let mut st = QueryStats::new();
+                    let expect = engine.query_topk(&q, kn, &mut ms, &mut st);
+                    let got = sharded.query_topk(&q, kn, &mut ss, &mut st);
+                    assert_eq!(got, expect, "topk {strategy:?} kn={kn} qid={qid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_migrates_skew_and_keeps_results_bit_identical() {
+        use crate::CalibratedCosts;
+        // Medoid routing with near-duplicate floods produces heavy skew.
+        let mut b = ShardedEngineBuilder::new(4, 3, ShardStrategy::Medoid)
+            .algorithms(&[Algorithm::Fv, Algorithm::ListMerge])
+            .calibrated_costs(CalibratedCosts::nominal(4))
+            .rebalance(RebalanceConfig {
+                skew_factor: 1.5,
+                min_gap: 8,
+                auto: false,
+            });
+        // Three seed medoids, then flood near shard 0's medoid.
+        b.push_ranking(&[0u32, 1, 2, 3].map(ItemId));
+        b.push_ranking(&[100u32, 101, 102, 103].map(ItemId));
+        b.push_ranking(&[200u32, 201, 202, 203].map(ItemId));
+        for i in 0..60u32 {
+            let mut items = [0u32, 1, 2, 3].map(ItemId);
+            items.swap(0, (i % 3 + 1) as usize);
+            b.push_ranking(&items);
+        }
+        let mut sharded = b.build();
+        let skewed = sharded.shard_live_sizes();
+        assert!(
+            *skewed.iter().max().unwrap() >= 40,
+            "flood must skew: {skewed:?}"
+        );
+        // Oracle: a monolith with the same live corpus at the same ids.
+        let mut store = RankingStore::new(4);
+        for g in 0..sharded.len() as u32 {
+            let loc = sharded.directory[g as usize];
+            let e = sharded.shards[loc.shard as usize].engine.as_ref().unwrap();
+            store.push_items_unchecked(e.store().items(RankingId(loc.local)));
+        }
+        let engine = EngineBuilder::new(store)
+            .algorithms(&[Algorithm::Fv, Algorithm::ListMerge])
+            .topk_tree(true)
+            .build();
+        let before = sharded.shard_live_sizes();
+        assert!(sharded.rebalance(), "skew above 1.5× mean must trigger");
+        let after = sharded.shard_live_sizes();
+        assert!(
+            after.iter().max().unwrap() < before.iter().max().unwrap(),
+            "rebalance must shrink the largest shard: {before:?} -> {after:?}"
+        );
+        assert_eq!(after.iter().sum::<usize>(), before.iter().sum::<usize>());
+        assert!(!sharded.rebalance(), "a balanced engine must not thrash");
+        // Bit-identical results after migration.
+        let mut ms = engine.scratch();
+        let mut ss = sharded.scratch();
+        for qid in [0u32, 5, 33, 62] {
+            let q: Vec<ItemId> = engine.store().items(RankingId(qid)).to_vec();
+            for theta in [0.0, 0.3, 0.6] {
+                let raw = raw_threshold(theta, 4);
+                let mut st = QueryStats::new();
+                let mut expect = engine.query_items(Algorithm::Fv, &q, raw, &mut ms, &mut st);
+                expect.sort_unstable();
+                let got = sharded.query_items(Algorithm::Fv, &q, raw, &mut ss, &mut st);
+                assert_eq!(got, expect, "θ={theta} qid={qid}");
+            }
+            for kn in [1usize, 7, 40] {
+                let mut st = QueryStats::new();
+                assert_eq!(
+                    sharded.query_topk(&q, kn, &mut ss, &mut st),
+                    engine.query_topk(&q, kn, &mut ms, &mut st),
+                    "topk kn={kn} qid={qid}"
+                );
+            }
         }
     }
 

@@ -207,4 +207,64 @@ fn steady_state_query_into_performs_zero_allocations() {
          ({} allocations during the measured pass)",
         after - before
     );
+
+    // --- Live corpora -------------------------------------------------
+    //
+    // A mutated-then-compacted engine must return to the exact same
+    // steady state: mutations and the compaction itself may allocate
+    // (arena growth, index rebuilds), but once compacted and re-warmed,
+    // the query grid touches the allocator zero times again — including
+    // `Auto` (the rebuilt planner) and tombstone/delta bookkeeping,
+    // which must all be pre-sized.
+    let mut live = EngineBuilder::new(nyt_like(1200, 10, 7).store)
+        .coarse_threshold(0.5)
+        .coarse_drop_threshold(0.06)
+        .compaction_threshold(f64::INFINITY)
+        .topk_tree(true)
+        .build();
+    for id in (0..1200u32).step_by(5) {
+        live.remove_ranking(ranksim_rankings::RankingId(id));
+    }
+    for i in 0..150u32 {
+        let items: Vec<ranksim_rankings::ItemId> = (0..10)
+            .map(|j| ranksim_rankings::ItemId(500_000 + i * 16 + j))
+            .collect();
+        live.insert_ranking(&items);
+    }
+    live.compact();
+    assert_eq!(live.delta_len(), 0);
+    assert_eq!(live.base_tombstones(), 0);
+    // (`query_topk` returns an owned Vec by design — the threshold grid
+    // is the strict-zero surface; the KNN path shares the same scratch
+    // and store machinery.)
+    let run_live_grid = |scratch: &mut _, out: &mut Vec<_>, stats: &mut _| {
+        let mut total = 0usize;
+        for alg in Algorithm::ALL.iter().copied().chain([Algorithm::Auto]) {
+            for &raw in &thetas {
+                for q in &wl.queries {
+                    live.query_into(alg, q, raw, scratch, stats, out);
+                    total += out.len();
+                }
+            }
+        }
+        total
+    };
+    let mut lscratch = live.scratch();
+    let mut lout = Vec::new();
+    let mut lstats = QueryStats::new();
+    let lwarm1 = run_live_grid(&mut lscratch, &mut lout, &mut lstats);
+    let lwarm2 = run_live_grid(&mut lscratch, &mut lout, &mut lstats);
+    assert_eq!(lwarm1, lwarm2, "deterministic workload expected");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let lmeasured = run_live_grid(&mut lscratch, &mut lout, &mut lstats);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(lmeasured, lwarm1);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state queries on a mutated-then-compacted engine must not \
+         touch the allocator ({} allocations during the measured pass)",
+        after - before
+    );
 }

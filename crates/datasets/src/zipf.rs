@@ -85,7 +85,7 @@ impl ZipfSampler {
 /// paper's empirical estimation procedure.
 pub fn estimate_zipf_s(store: &RankingStore) -> f64 {
     let mut freq: FxHashMap<ItemId, u64> = FxHashMap::default();
-    for id in store.ids() {
+    for id in store.live_ids() {
         for &item in store.items(id) {
             *freq.entry(item).or_insert(0) += 1;
         }

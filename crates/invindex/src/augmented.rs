@@ -37,7 +37,7 @@ pub struct AugmentedInvertedIndex {
 impl AugmentedInvertedIndex {
     /// Indexes every ranking of the store.
     pub fn build(store: &RankingStore) -> Self {
-        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), store.ids())
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), store.live_ids())
     }
 
     /// Indexes a subset of rankings (ids in ascending order).

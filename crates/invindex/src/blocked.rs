@@ -36,7 +36,7 @@ pub struct BlockedInvertedIndex {
 impl BlockedInvertedIndex {
     /// Indexes every ranking of the store.
     pub fn build(store: &RankingStore) -> Self {
-        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), store.ids())
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), store.live_ids())
     }
 
     /// Indexes a subset of rankings (any order; blocks are rank-major).

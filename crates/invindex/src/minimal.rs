@@ -24,7 +24,7 @@ impl MinimalFv {
             .map(|(query, theta_raw)| {
                 let qmap = PositionMap::new(query);
                 store
-                    .ids()
+                    .live_ids()
                     .filter(|&id| qmap.distance_to(store.items(id)) <= *theta_raw)
                     .collect()
             })

@@ -29,7 +29,7 @@ pub struct PlainInvertedIndex {
 impl PlainInvertedIndex {
     /// Indexes every ranking of the store.
     pub fn build(store: &RankingStore) -> Self {
-        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), store.ids())
+        Self::build_with_remap(store, Arc::new(ItemRemap::build(store)), store.live_ids())
     }
 
     /// Indexes a subset of rankings. Ids must be supplied in ascending

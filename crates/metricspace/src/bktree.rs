@@ -43,13 +43,14 @@ impl BkTree {
         Self::default()
     }
 
-    /// Builds a tree over all rankings of `store` in id order.
+    /// Builds a tree over all **live** rankings of `store` in id order
+    /// (identical to all rankings on a pristine store).
     pub fn build(store: &RankingStore) -> Self {
         let mut t = BkTree {
-            nodes: Vec::with_capacity(store.len()),
+            nodes: Vec::with_capacity(store.live_len()),
             build_distance_calls: 0,
         };
-        for id in store.ids() {
+        for id in store.live_ids() {
             t.insert(store, id);
         }
         t
@@ -90,18 +91,33 @@ impl BkTree {
 
     /// Inserts ranking `id`, returning its arena index.
     pub fn insert(&mut self, store: &RankingStore, id: RankingId) -> u32 {
-        let new_idx = self.nodes.len() as u32;
         if self.nodes.is_empty() {
             self.nodes.push(BkNode {
                 ranking: id,
                 children: Vec::new(),
                 subtree_size: 1,
             });
-            return new_idx;
+            return 0;
         }
+        self.insert_under(store, 0, id)
+    }
+
+    /// Inserts ranking `id` into the subtree rooted at arena index `from`
+    /// (standard BK routing starting there), returning the new node's
+    /// arena index. Any BK subtree is a BK tree, so this preserves every
+    /// exact-distance edge invariant *within* that subtree — the append
+    /// path of the coarse index inserts new partition members under their
+    /// partition's medoid node this way. `subtree_size` counters are
+    /// maintained from `from` downwards only; ancestors of `from` keep
+    /// their build-time sizes (they are only read at partitioning time).
+    /// The content of `id` is resolved through the store at insertion
+    /// time and must stay frozen while the node is referenced (the
+    /// store's quarantine rule guarantees it).
+    pub fn insert_under(&mut self, store: &RankingStore, from: u32, id: RankingId) -> u32 {
+        let new_idx = self.nodes.len() as u32;
         let pairs = store.sorted_pairs(id);
         let k = store.k();
-        let mut cur = 0u32;
+        let mut cur = from;
         loop {
             let node = &self.nodes[cur as usize];
             let d = footrule_pairs(pairs, store.sorted_pairs(node.ranking), k);
@@ -180,7 +196,10 @@ impl BkTree {
             stats.tree_nodes_visited += 1;
             stats.count_distance();
             let d = footrule_pairs(query_pairs, store.sorted_pairs(node.ranking), k);
-            if d <= theta_raw {
+            // Tombstone filter: dead rankings still *route* (their frozen
+            // content keeps every triangle-inequality bound exact) but are
+            // never reported.
+            if d <= theta_raw && store.is_live(node.ranking) {
                 out.push(node.ranking);
             }
             let lo = d.saturating_sub(theta_raw);
@@ -295,6 +314,61 @@ mod tests {
         let mut stats = QueryStats::new();
         let res = tree.range_query(&store, &q, 0, &mut stats);
         assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn tombstoned_rankings_route_but_are_not_reported() {
+        let mut store = random_store(200, 6, 40, 21);
+        let tree = BkTree::build(&store);
+        let victims = [RankingId(3), RankingId(77), RankingId(150)];
+        for v in victims {
+            assert!(store.remove(v));
+        }
+        let q = query_pairs(store.items(RankingId(3)));
+        let mut s1 = QueryStats::new();
+        let mut s2 = QueryStats::new();
+        let theta = 30;
+        let mut expect = linear_scan(&store, &q, theta, &mut s1);
+        let mut got = tree.range_query(&store, &q, theta, &mut s2);
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        for v in victims {
+            assert!(!got.contains(&v), "tombstoned {v} reported");
+        }
+    }
+
+    #[test]
+    fn insert_under_keeps_subtree_bk_invariant() {
+        // Append path: route the new ranking from an interior node; every
+        // exact-distance edge *within that subtree* must stay valid, which
+        // is what partition validation relies on.
+        let mut store = random_store(120, 6, 30, 7);
+        let mut tree = BkTree::build(&store);
+        let root_child = tree.node(0).children[0].1;
+        let fresh = store.push_items_unchecked(&[55, 4, 8, 1, 0, 29].map(ItemId));
+        let new_idx = tree.insert_under(&store, root_child, fresh);
+        assert_eq!(tree.node(new_idx).ranking, fresh);
+        // Verify the BK invariant for the whole subtree under root_child.
+        let mut stack = vec![root_child];
+        while let Some(idx) = stack.pop() {
+            let node = tree.node(idx);
+            for &(e, child) in &node.children {
+                let mut members = Vec::new();
+                tree.collect_subtree(child, &mut members);
+                for m in members {
+                    let d = ranksim_rankings::footrule_store(&store, node.ranking, m);
+                    assert_eq!(d, e, "subtree member at wrong distance after insert");
+                }
+                stack.push(child);
+            }
+        }
+        // A range query from that subtree root can see the new ranking.
+        let q = query_pairs(store.items(fresh));
+        let mut stats = QueryStats::new();
+        let mut out = Vec::new();
+        tree.range_query_from(&store, root_child, &q, 0, &mut stats, &mut out);
+        assert_eq!(out, vec![fresh]);
     }
 
     #[test]

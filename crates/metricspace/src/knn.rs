@@ -72,7 +72,9 @@ impl KnnHeap {
     }
 }
 
-/// Brute-force KNN oracle.
+/// Brute-force KNN oracle over the live corpus (= all rankings on a
+/// pristine store; tombstoned slots are skipped, freshly inserted ones
+/// are naturally included).
 pub fn knn_linear(
     store: &RankingStore,
     query_pairs: &[(ItemId, u32)],
@@ -80,7 +82,7 @@ pub fn knn_linear(
     stats: &mut QueryStats,
 ) -> Vec<(u32, RankingId)> {
     let mut heap = KnnHeap::new(k_neighbours);
-    for id in store.ids() {
+    for id in store.live_ids() {
         stats.count_distance();
         let d = footrule_pairs(query_pairs, store.sorted_pairs(id), store.k());
         heap.offer(d, id);
@@ -116,7 +118,11 @@ pub fn knn_bktree(
         stats.tree_nodes_visited += 1;
         stats.count_distance();
         let d = footrule_pairs(query_pairs, store.sorted_pairs(node.ranking), store.k());
-        heap.offer(d, node.ranking);
+        // Tombstoned nodes still steer the traversal (frozen content keeps
+        // the bounds exact) but never occupy a heap slot.
+        if store.is_live(node.ranking) {
+            heap.offer(d, node.ranking);
+        }
         let tau = heap.tau();
         for &(e, child) in &node.children {
             let child_bound = d.abs_diff(e);
@@ -256,6 +262,74 @@ mod tests {
                 assert_eq!(mt.knn(&store, &q, k, &mut s), expect, "mt qid={qid} k={k}");
             }
         }
+    }
+
+    #[test]
+    fn knn_ties_survive_tombstones_and_same_id_reinsertion() {
+        // The latent tie-handling risk of a live corpus: when ids at the
+        // k-th distance are deleted and later re-inserted *at the same
+        // ranking id*, the lexicographic (distance, id) order must come
+        // out exactly as on a freshly built corpus — smaller ids win ties
+        // again, and tombstoned ids never occupy heap slots in between.
+        let mut store = RankingStore::new(4);
+        // Ten exact duplicates (ids 0..10) and ten distant rankings.
+        for _ in 0..10 {
+            store.push_items_unchecked(&[1, 2, 3, 4].map(ItemId));
+        }
+        for i in 0..10u32 {
+            store.push_items_unchecked(
+                &[100 + i * 4, 101 + i * 4, 102 + i * 4, 103 + i * 4].map(ItemId),
+            );
+        }
+        let q = query_pairs(&[1, 2, 3, 4].map(ItemId));
+        let ids = |v: &[(u32, RankingId)]| v.iter().map(|&(_, id)| id.0).collect::<Vec<_>>();
+        let mut s = QueryStats::new();
+        // A tree over the pristine corpus — kept across the removals to
+        // prove dead nodes still route but never occupy slots.
+        let full_tree = BkTree::build(&store);
+
+        // All ten duplicates tie at distance 0; k = 4 keeps ids 0..4.
+        assert_eq!(ids(&knn_linear(&store, &q, 4, &mut s)), vec![0, 1, 2, 3]);
+
+        // Tombstone the current tie winners: the next-smallest tied ids
+        // must take their heap slots, on the tree exactly like the scan.
+        for v in [0u32, 1, 2] {
+            assert!(store.remove(RankingId(v)));
+        }
+        let rebuilt = BkTree::build(&store); // post-removal live set
+        assert_eq!(ids(&knn_linear(&store, &q, 4, &mut s)), vec![3, 4, 5, 6]);
+        assert_eq!(
+            ids(&knn_bktree(&rebuilt, &store, &q, 4, &mut s)),
+            vec![3, 4, 5, 6]
+        );
+        assert_eq!(
+            ids(&knn_bktree(&full_tree, &store, &q, 4, &mut s)),
+            vec![3, 4, 5, 6],
+            "a pre-removal tree must skip tombstoned ids via the store"
+        );
+
+        // Release and re-insert the same ranking ids with the same
+        // content: the freshly rebuilt order must be bit-identical to the
+        // never-mutated corpus — ids 0..4 win the tie again.
+        store.release_removed_slots();
+        for v in [0u32, 1, 2] {
+            store.insert_items_at_unchecked(RankingId(v), &[1, 2, 3, 4].map(ItemId));
+        }
+        let tree2 = BkTree::build(&store);
+        assert_eq!(ids(&knn_linear(&store, &q, 4, &mut s)), vec![0, 1, 2, 3]);
+        assert_eq!(
+            ids(&knn_bktree(&tree2, &store, &q, 4, &mut s)),
+            vec![0, 1, 2, 3]
+        );
+        // Offer order still cannot matter: reversed re-offering agrees.
+        let mut h = KnnHeap::new(4);
+        for id in store.live_ids().collect::<Vec<_>>().into_iter().rev() {
+            h.offer(
+                ranksim_rankings::footrule_pairs(&q, store.sorted_pairs(id), store.k()),
+                id,
+            );
+        }
+        assert_eq!(ids(&h.into_sorted()), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -36,9 +36,10 @@ pub use vptree::VpTree;
 
 use ranksim_rankings::{footrule_pairs, ItemId, QueryStats, RankingId, RankingStore};
 
-/// Brute-force range scan: evaluates the Footrule distance of every stored
-/// ranking against the query. The correctness oracle for every index in
-/// this workspace.
+/// Brute-force range scan: evaluates the Footrule distance of every
+/// **live** stored ranking against the query (= every ranking on a
+/// pristine store). The correctness oracle for every index in this
+/// workspace, mutated corpora included.
 pub fn linear_scan(
     store: &RankingStore,
     query_pairs: &[(ItemId, u32)],
@@ -46,7 +47,7 @@ pub fn linear_scan(
     stats: &mut QueryStats,
 ) -> Vec<RankingId> {
     let mut out = Vec::new();
-    for id in store.ids() {
+    for id in store.live_ids() {
         stats.count_distance();
         if footrule_pairs(query_pairs, store.sorted_pairs(id), store.k()) <= theta_raw {
             out.push(id);

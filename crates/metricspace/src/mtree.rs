@@ -71,10 +71,15 @@ impl MTree {
         }
     }
 
-    /// Builds a tree over all rankings of `store` in id order.
+    /// Builds a tree over all **live** rankings of `store` in id order
+    /// (identical to all rankings on a pristine store). [`MTree::insert`]
+    /// is the native incremental append path; tombstoned rankings are
+    /// filtered at leaf emission through [`RankingStore::is_live`] —
+    /// routing pivots of dead rankings keep steering the descent, their
+    /// frozen content keeps every covering-radius bound exact.
     pub fn build(store: &RankingStore) -> Self {
         let mut t = MTree::new();
-        for id in store.ids() {
+        for id in store.live_ids() {
             t.insert(store, id);
         }
         t
@@ -348,6 +353,9 @@ impl MTree {
         match &self.nodes[node as usize] {
             Node::Leaf(entries) => {
                 for e in entries {
+                    if !store.is_live(e.id) {
+                        continue; // tombstoned: frozen content, never reported
+                    }
                     if let Some(dqp) = d_q_parent {
                         if dqp.abs_diff(e.parent_dist) > theta {
                             continue;
@@ -406,6 +414,9 @@ impl MTree {
         match &self.nodes[node as usize] {
             Node::Leaf(entries) => {
                 for e in entries {
+                    if !store.is_live(e.id) {
+                        continue; // tombstoned: never occupies a heap slot
+                    }
                     if let Some(dqp) = d_q_parent {
                         if dqp.abs_diff(e.parent_dist) > heap.tau() {
                             continue;
@@ -560,6 +571,39 @@ mod tests {
         let q = query_pairs(&[1, 2, 3].map(ItemId));
         let mut stats = QueryStats::new();
         assert_eq!(tree.range_query(&store, &q, 0, &mut stats).len(), 40);
+    }
+
+    #[test]
+    fn incremental_insert_and_tombstones_track_the_live_corpus() {
+        // The native M-tree insert path doubles as the live-corpus append
+        // path: inserts after the bulk build plus tombstone filtering at
+        // the leaves must keep range and KNN exactly on the oracle.
+        let mut store = random_store(250, 6, 45, 23);
+        let mut tree = MTree::build(&store);
+        for id in (1..250u32).step_by(4) {
+            assert!(store.remove(RankingId(id)));
+        }
+        for i in 0..30u32 {
+            let base = 2000 + i * 6;
+            let id = store.push_items_unchecked(
+                &[base, base + 1, base + 2, base + 3, base + 4, base + 5].map(ItemId),
+            );
+            tree.insert(&store, id);
+        }
+        assert_eq!(tree.len(), 280, "len counts inserted incl. tombstoned");
+        for qid in [0u32, 123, 249, 260, 279] {
+            let q = query_pairs(store.items(RankingId(qid)));
+            let mut s1 = QueryStats::new();
+            let mut s2 = QueryStats::new();
+            let mut expect = linear_scan(&store, &q, 20, &mut s1);
+            let mut got = tree.range_query(&store, &q, 20, &mut s2);
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect, "range qid={qid}");
+            let kexp = crate::knn::knn_linear(&store, &q, 6, &mut s1);
+            let kgot = tree.knn(&store, &q, 6, &mut s2);
+            assert_eq!(kgot, kexp, "knn qid={qid}");
+        }
     }
 
     #[test]

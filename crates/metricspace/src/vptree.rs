@@ -37,11 +37,21 @@ struct VpNode {
 }
 
 /// A bulk-built vantage-point tree.
+///
+/// The bulk structure is immutable, but the tree supports a **live
+/// corpus** overlay: [`VpTree::insert`] appends to an overflow buffer
+/// scanned exactly at query time (a VP split cannot absorb points without
+/// re-computing medians), and tombstoned rankings are filtered at
+/// emission through [`RankingStore::is_live`] while their frozen content
+/// keeps every pruning bound exact. Rebuilding folds the overlay in.
 #[derive(Debug, Clone, Default)]
 pub struct VpTree {
     nodes: Vec<VpNode>,
     root: Option<u32>,
     len: usize,
+    /// Rankings appended after the bulk build; scanned linearly (and
+    /// exactly) by every query.
+    overflow: Vec<RankingId>,
     /// Distance evaluations spent on construction.
     pub build_distance_calls: u64,
 }
@@ -58,14 +68,15 @@ impl VpTree {
     /// selection for reproducibility).
     pub fn build(store: &RankingStore, seed: u64) -> Self {
         let mut t = VpTree {
-            nodes: Vec::with_capacity(store.len() / LEAF_CAP * 2 + 1),
+            nodes: Vec::with_capacity(store.live_len() / LEAF_CAP * 2 + 1),
             root: None,
-            len: store.len(),
+            len: store.live_len(),
+            overflow: Vec::new(),
             build_distance_calls: 0,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let k = store.k();
-        let all: Vec<RankingId> = store.ids().collect();
+        let all: Vec<RankingId> = store.live_ids().collect();
         let mut work = vec![WorkItem {
             ids: all,
             parent: None,
@@ -141,7 +152,8 @@ impl VpTree {
         t
     }
 
-    /// Number of rankings in the tree.
+    /// Number of rankings inserted into the tree (bulk + overflow,
+    /// including any that were tombstoned afterwards).
     pub fn len(&self) -> usize {
         self.len
     }
@@ -149,6 +161,20 @@ impl VpTree {
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Appends ranking `id` to the overflow buffer — the incremental
+    /// insert path. Overflow entries are scanned linearly (and exactly)
+    /// by every query until the tree is rebuilt; removal needs no tree
+    /// operation at all (tombstone filtering via the store).
+    pub fn insert(&mut self, id: RankingId) {
+        self.overflow.push(id);
+        self.len += 1;
+    }
+
+    /// Number of overflow entries awaiting the next rebuild.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
     }
 
     /// Range query: every ranking within `theta_raw` of the query.
@@ -161,6 +187,16 @@ impl VpTree {
     ) -> Vec<RankingId> {
         let mut out = Vec::new();
         let k = store.k();
+        // Overflow entries (post-build inserts): exact linear pass.
+        for &id in &self.overflow {
+            if !store.is_live(id) {
+                continue;
+            }
+            stats.count_distance();
+            if footrule_pairs(query_pairs, store.sorted_pairs(id), k) <= theta_raw {
+                out.push(id);
+            }
+        }
         let mut stack: Vec<u32> = Vec::new();
         if let Some(r) = self.root {
             stack.push(r);
@@ -170,13 +206,13 @@ impl VpTree {
             stats.tree_nodes_visited += 1;
             stats.count_distance();
             let d = footrule_pairs(query_pairs, store.sorted_pairs(node.vantage), k);
-            if d <= theta_raw {
+            if d <= theta_raw && store.is_live(node.vantage) {
                 out.push(node.vantage);
             }
             // Bucket members: prune by the stored vantage distance
             // (triangle inequality), evaluate the survivors.
             for &(dv, id) in &node.bucket {
-                if d.abs_diff(dv) > theta_raw {
+                if d.abs_diff(dv) > theta_raw || !store.is_live(id) {
                     continue;
                 }
                 stats.count_distance();
@@ -210,6 +246,13 @@ impl VpTree {
         stats: &mut QueryStats,
     ) {
         let k = store.k();
+        for &id in &self.overflow {
+            if !store.is_live(id) {
+                continue;
+            }
+            stats.count_distance();
+            heap.offer(footrule_pairs(query_pairs, store.sorted_pairs(id), k), id);
+        }
         let mut stack: Vec<u32> = Vec::new();
         if let Some(r) = self.root {
             stack.push(r);
@@ -219,9 +262,11 @@ impl VpTree {
             stats.tree_nodes_visited += 1;
             stats.count_distance();
             let d = footrule_pairs(query_pairs, store.sorted_pairs(node.vantage), k);
-            heap.offer(d, node.vantage);
+            if store.is_live(node.vantage) {
+                heap.offer(d, node.vantage);
+            }
             for &(dv, id) in &node.bucket {
-                if d.abs_diff(dv) > heap.tau() {
+                if d.abs_diff(dv) > heap.tau() || !store.is_live(id) {
                     continue;
                 }
                 stats.count_distance();
@@ -245,6 +290,7 @@ impl VpTree {
     /// Approximate heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.nodes.capacity() * std::mem::size_of::<VpNode>()
+            + self.overflow.capacity() * std::mem::size_of::<RankingId>()
             + self
                 .nodes
                 .iter()
@@ -296,6 +342,51 @@ mod tests {
         let q = query_pairs(&[4, 5, 6].map(ItemId));
         let mut stats = QueryStats::new();
         assert_eq!(tree.range_query(&store, &q, 0, &mut stats).len(), 10);
+    }
+
+    #[test]
+    fn insert_and_tombstone_track_the_live_corpus_exactly() {
+        let mut store = random_store(300, 6, 50, 19);
+        let mut tree = VpTree::build(&store, 5);
+        // Mutate: tombstone a third of the corpus, append fresh rankings
+        // into the overflow buffer.
+        for id in (0..300u32).step_by(3) {
+            assert!(store.remove(RankingId(id)));
+        }
+        for i in 0..40u32 {
+            let base = 1000 + i * 6;
+            let id = store.push_items_unchecked(
+                &[base, base + 1, base + 2, base + 3, base + 4, base + 5].map(ItemId),
+            );
+            tree.insert(id);
+        }
+        assert_eq!(tree.overflow_len(), 40);
+        assert_eq!(tree.len(), 340);
+        // Range queries and KNN agree with the live-corpus oracle.
+        for qid in [1u32, 299, 310, 339] {
+            let q = query_pairs(store.items(RankingId(qid)));
+            let mut s1 = QueryStats::new();
+            let mut s2 = QueryStats::new();
+            let mut expect = linear_scan(&store, &q, 18, &mut s1);
+            let mut got = tree.range_query(&store, &q, 18, &mut s2);
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect, "range qid={qid}");
+            let kexp = crate::knn::knn_linear(&store, &q, 7, &mut s1);
+            let kgot = crate::knn::knn_vptree(&tree, &store, &q, 7, &mut s2);
+            assert_eq!(kgot, kexp, "knn qid={qid}");
+        }
+        // A rebuild folds the overlay in and keeps answering identically.
+        let rebuilt = VpTree::build(&store, 5);
+        assert_eq!(rebuilt.overflow_len(), 0);
+        assert_eq!(rebuilt.len(), store.live_len());
+        let q = query_pairs(store.items(RankingId(302)));
+        let mut s = QueryStats::new();
+        let mut a = tree.range_query(&store, &q, 24, &mut s);
+        let mut b = rebuilt.range_query(&store, &q, 24, &mut s);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -117,6 +117,28 @@ impl AsRef<[ItemId]> for Ranking {
     }
 }
 
+/// Lifecycle of one ranking-id slot of a [`RankingStore`].
+///
+/// Live corpora tombstone instead of erasing: index structures resolve
+/// ranking content through the store at query time, so the content of any
+/// slot an index may still reference must stay frozen until the indexes
+/// are rebuilt. [`RankingStore::remove`] therefore only *quarantines* a
+/// slot; [`RankingStore::release_removed_slots`] (called by the engine's
+/// compaction pass, after every index was rebuilt from the live set)
+/// turns quarantined slots into `Free` ones whose content may be
+/// overwritten by [`RankingStore::insert_items_at_unchecked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// The ranking is part of the live corpus.
+    Live,
+    /// Tombstoned: excluded from results, but its content is frozen —
+    /// index structures built before the removal may still read it.
+    Quarantined,
+    /// Released: no structure references the slot; its id and row may be
+    /// reused by an explicit re-insertion.
+    Free,
+}
+
 /// Flat storage for a corpus of equal-size rankings.
 ///
 /// Two parallel layouts are kept:
@@ -126,12 +148,28 @@ impl AsRef<[ItemId]> for Ranking {
 /// * `sorted`: per ranking, the `(item, rank)` pairs sorted by item id —
 ///   used for allocation-free store-to-store Footrule via a sorted merge,
 ///   which dominates metric-tree construction.
+///
+/// ## Live corpora
+///
+/// The store is mutable: [`RankingStore::remove`] tombstones a ranking
+/// (its id keeps resolving to the frozen content, it just stops being
+/// *live*), and freed slots can be re-populated in place after the
+/// engine's compaction pass (see [`SlotState`]). [`RankingStore::len`]
+/// spans the whole id space including dead slots — query-side epoch maps
+/// are sized by it — while [`RankingStore::live_len`] counts the live
+/// corpus and [`RankingStore::live_ids`] drives every index build.
 #[derive(Debug, Clone)]
 pub struct RankingStore {
     k: usize,
     items: Vec<ItemId>,
     sorted: Vec<(ItemId, u32)>,
+    slots: Vec<SlotState>,
+    live_len: usize,
+    free_len: usize,
 }
+
+/// Sentinel item filling hole slots pushed by [`RankingStore::push_hole`].
+const HOLE_ITEM: ItemId = ItemId(u32::MAX);
 
 impl RankingStore {
     /// Creates an empty store for rankings of size `k`.
@@ -141,15 +179,26 @@ impl RankingStore {
             k,
             items: Vec::new(),
             sorted: Vec::new(),
+            slots: Vec::new(),
+            live_len: 0,
+            free_len: 0,
         }
     }
 
     /// Creates an empty store with capacity for `n` rankings.
     pub fn with_capacity(k: usize, n: usize) -> Self {
         let mut s = Self::new(k);
-        s.items.reserve(n * k);
-        s.sorted.reserve(n * k);
+        s.reserve_rankings(n);
         s
+    }
+
+    /// Reserves arena capacity for `n` additional rankings, so the next
+    /// `n` pushes / in-place re-insertions touch the allocator only if
+    /// they outgrow the reservation.
+    pub fn reserve_rankings(&mut self, n: usize) {
+        self.items.reserve(n * self.k);
+        self.sorted.reserve(n * self.k);
+        self.slots.reserve(n);
     }
 
     /// The fixed ranking size.
@@ -158,16 +207,35 @@ impl RankingStore {
         self.k
     }
 
-    /// Number of rankings stored.
+    /// Size of the ranking-id space `0..len` — live rankings *and* dead
+    /// slots. Candidate-side epoch maps are sized by this.
     #[inline]
     pub fn len(&self) -> usize {
-        self.items.len() / self.k
+        self.slots.len()
     }
 
-    /// Whether the store is empty.
+    /// Number of live rankings (what queries can return).
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.live_len
+    }
+
+    /// Number of released (reusable) slots.
+    #[inline]
+    pub fn free_len(&self) -> usize {
+        self.free_len
+    }
+
+    /// Number of quarantined slots (tombstoned since the last release).
+    #[inline]
+    pub fn quarantined_len(&self) -> usize {
+        self.slots.len() - self.live_len - self.free_len
+    }
+
+    /// Whether the id space is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.slots.is_empty()
     }
 
     /// Appends a ranking, returning its id.
@@ -191,7 +259,99 @@ impl RankingStore {
         self.sorted
             .extend(items.iter().enumerate().map(|(r, &i)| (i, r as u32)));
         self.sorted[base..].sort_unstable();
+        self.slots.push(SlotState::Live);
+        self.live_len += 1;
         id
+    }
+
+    /// Appends a dead-from-birth slot (sentinel content, state `Free`):
+    /// the building block for reconstructing a mutated corpus *at its
+    /// original ids* — the oracle side of the differential mutation
+    /// harness pushes a hole wherever the live corpus has none.
+    pub fn push_hole(&mut self) -> RankingId {
+        let id = RankingId(self.len() as u32);
+        self.items.extend((0..self.k).map(|_| HOLE_ITEM));
+        self.sorted.extend((0..self.k).map(|_| (HOLE_ITEM, 0u32)));
+        self.slots.push(SlotState::Free);
+        self.free_len += 1;
+        id
+    }
+
+    /// Whether ranking `id` is live (in bounds and neither tombstoned nor
+    /// a hole).
+    #[inline]
+    pub fn is_live(&self, id: RankingId) -> bool {
+        matches!(self.slots.get(id.index()), Some(SlotState::Live))
+    }
+
+    /// Whether slot `id` was released for reuse.
+    #[inline]
+    pub fn is_free(&self, id: RankingId) -> bool {
+        matches!(self.slots.get(id.index()), Some(SlotState::Free))
+    }
+
+    /// Tombstones ranking `id`: it stops being live but its content stays
+    /// frozen (index structures built earlier may still resolve it) until
+    /// [`RankingStore::release_removed_slots`]. Returns `false` when the
+    /// slot was not live.
+    pub fn remove(&mut self, id: RankingId) -> bool {
+        match self.slots.get_mut(id.index()) {
+            Some(s @ SlotState::Live) => {
+                *s = SlotState::Quarantined;
+                self.live_len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Releases every quarantined slot for reuse. Call **only** once no
+    /// index structure references the tombstoned content any more — the
+    /// engine's compaction pass does, right after rebuilding every index
+    /// from the live set. Returns the number of slots released.
+    pub fn release_removed_slots(&mut self) -> usize {
+        let mut released = 0usize;
+        for s in &mut self.slots {
+            if *s == SlotState::Quarantined {
+                *s = SlotState::Free;
+                released += 1;
+            }
+        }
+        self.free_len += released;
+        released
+    }
+
+    /// Re-populates the released slot `id` in place with raw items that
+    /// are already known to be distinct and of length `k`. The id becomes
+    /// live again with the new content — the re-insertion path of the
+    /// mutable engine. Panics when the slot is not `Free` (live or still
+    /// quarantined content must never be overwritten: index structures
+    /// resolve it at query time).
+    pub fn insert_items_at_unchecked(&mut self, id: RankingId, items: &[ItemId]) {
+        debug_assert_eq!(items.len(), self.k);
+        assert!(
+            self.is_free(id),
+            "slot {id} is not free; only released slots may be re-populated"
+        );
+        let b = id.index() * self.k;
+        self.items[b..b + self.k].copy_from_slice(items);
+        let sorted = &mut self.sorted[b..b + self.k];
+        for (r, &i) in items.iter().enumerate() {
+            sorted[r] = (i, r as u32);
+        }
+        sorted.sort_unstable();
+        self.slots[id.index()] = SlotState::Live;
+        self.live_len += 1;
+        self.free_len -= 1;
+    }
+
+    /// The smallest released slot, if any — the deterministic candidate
+    /// for an in-place re-insertion.
+    pub fn first_free_slot(&self) -> Option<RankingId> {
+        self.slots
+            .iter()
+            .position(|&s| s == SlotState::Free)
+            .map(|i| RankingId(i as u32))
     }
 
     /// Appends every ranking produced by the iterator.
@@ -226,9 +386,22 @@ impl RankingStore {
         }
     }
 
-    /// Iterates over all ranking ids.
+    /// Iterates over the whole ranking-id space, dead slots included.
+    /// Pristine (never-mutated) stores have no dead slots, so this is the
+    /// corpus; mutated stores are enumerated via
+    /// [`RankingStore::live_ids`] instead.
     pub fn ids(&self) -> impl Iterator<Item = RankingId> + '_ {
         (0..self.len() as u32).map(RankingId)
+    }
+
+    /// Iterates over the live ranking ids, ascending — what every index
+    /// build and linear oracle runs over.
+    pub fn live_ids(&self) -> impl Iterator<Item = RankingId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == SlotState::Live)
+            .map(|(i, _)| RankingId(i as u32))
     }
 
     /// The largest possible Footrule distance between two stored rankings.
@@ -241,6 +414,26 @@ impl RankingStore {
     pub fn heap_bytes(&self) -> usize {
         self.items.capacity() * std::mem::size_of::<ItemId>()
             + self.sorted.capacity() * std::mem::size_of::<(ItemId, u32)>()
+            + self.slots.capacity() * std::mem::size_of::<SlotState>()
+    }
+
+    /// Drops trailing dead slots entirely (ids included) and returns the
+    /// arenas' spare capacity to the allocator. Interior dead slots keep
+    /// their ids (ids are positional); only the tail can shrink the id
+    /// space. **Truncated tail ids will be re-assigned by future
+    /// pushes** — callers that promise monotone fresh ids (the engine's
+    /// `insert_ranking` does) must not call this; it serves owners of a
+    /// private id space, e.g. throwaway stores.
+    pub fn compact_storage(&mut self) {
+        while matches!(self.slots.last(), Some(SlotState::Free)) {
+            self.slots.pop();
+            self.free_len -= 1;
+            self.items.truncate(self.slots.len() * self.k);
+            self.sorted.truncate(self.slots.len() * self.k);
+        }
+        self.items.shrink_to_fit();
+        self.sorted.shrink_to_fit();
+        self.slots.shrink_to_fit();
     }
 }
 
@@ -313,6 +506,102 @@ mod tests {
                 got: 2
             })
         );
+    }
+
+    #[test]
+    fn remove_quarantines_and_release_frees() {
+        let mut store = RankingStore::new(3);
+        let a = store.push_items_unchecked(&[1, 2, 3].map(ItemId));
+        let b = store.push_items_unchecked(&[4, 5, 6].map(ItemId));
+        assert_eq!(store.live_len(), 2);
+        assert!(store.remove(a));
+        assert!(!store.remove(a), "double remove is a no-op");
+        assert!(!store.is_live(a));
+        assert!(store.is_live(b));
+        assert_eq!(store.live_len(), 1);
+        assert_eq!(store.quarantined_len(), 1);
+        // Quarantined content stays resolvable (indexes may reference it).
+        assert_eq!(store.items(a), &[1, 2, 3].map(ItemId));
+        assert!(!store.is_free(a));
+        assert_eq!(store.release_removed_slots(), 1);
+        assert!(store.is_free(a));
+        assert_eq!(store.first_free_slot(), Some(a));
+        assert_eq!(store.live_ids().collect::<Vec<_>>(), vec![b]);
+        assert_eq!(store.len(), 2, "ids are positional and persist");
+    }
+
+    #[test]
+    fn reinsertion_reuses_the_released_slot_in_place() {
+        let mut store = RankingStore::new(3);
+        let a = store.push_items_unchecked(&[1, 2, 3].map(ItemId));
+        store.push_items_unchecked(&[4, 5, 6].map(ItemId));
+        store.remove(a);
+        store.release_removed_slots();
+        let before = store.heap_bytes();
+        store.insert_items_at_unchecked(a, &[9, 7, 8].map(ItemId));
+        assert_eq!(store.heap_bytes(), before, "in-place reuse grows nothing");
+        assert!(store.is_live(a));
+        assert_eq!(store.items(a), &[9, 7, 8].map(ItemId));
+        assert_eq!(
+            store.sorted_pairs(a),
+            &[(ItemId(7), 1), (ItemId(8), 2), (ItemId(9), 0)]
+        );
+        assert_eq!(store.live_len(), 2);
+        assert_eq!(store.free_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not free")]
+    fn reinsertion_into_live_slot_panics() {
+        let mut store = RankingStore::new(2);
+        let a = store.push_items_unchecked(&[1, 2].map(ItemId));
+        store.insert_items_at_unchecked(a, &[3, 4].map(ItemId));
+    }
+
+    #[test]
+    #[should_panic(expected = "not free")]
+    fn reinsertion_into_quarantined_slot_panics() {
+        // Quarantined content may still be referenced by an index: it must
+        // never be overwritten before the release.
+        let mut store = RankingStore::new(2);
+        let a = store.push_items_unchecked(&[1, 2].map(ItemId));
+        store.remove(a);
+        store.insert_items_at_unchecked(a, &[3, 4].map(ItemId));
+    }
+
+    #[test]
+    fn holes_reconstruct_a_mutated_id_space() {
+        let mut store = RankingStore::new(2);
+        store.push_items_unchecked(&[1, 2].map(ItemId));
+        let hole = store.push_hole();
+        store.push_items_unchecked(&[5, 6].map(ItemId));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.live_len(), 2);
+        assert!(!store.is_live(hole));
+        assert!(store.is_free(hole));
+        let live: Vec<u32> = store.live_ids().map(|id| id.0).collect();
+        assert_eq!(live, vec![0, 2]);
+        // A hole can be populated later — same path as slot reuse.
+        store.insert_items_at_unchecked(hole, &[8, 9].map(ItemId));
+        assert!(store.is_live(hole));
+    }
+
+    #[test]
+    fn compact_storage_truncates_trailing_dead_slots_only() {
+        let mut store = RankingStore::new(2);
+        let a = store.push_items_unchecked(&[1, 2].map(ItemId));
+        let b = store.push_items_unchecked(&[3, 4].map(ItemId));
+        let c = store.push_items_unchecked(&[5, 6].map(ItemId));
+        store.remove(a);
+        store.remove(c);
+        store.release_removed_slots();
+        store.compact_storage();
+        // The trailing slot is gone, the interior hole must survive —
+        // ranking b's id is positional.
+        assert_eq!(store.len(), 2);
+        assert!(store.is_live(b));
+        assert_eq!(store.items(b), &[3, 4].map(ItemId));
+        assert_eq!(store.free_len(), 1);
     }
 
     #[test]

@@ -40,13 +40,69 @@ pub struct ItemRemap {
 }
 
 impl ItemRemap {
-    /// Builds the remap over every distinct item in the store.
+    /// Builds the remap over every distinct item of the store's **live**
+    /// rankings (identical to all-rankings on a pristine store).
     pub fn build(store: &RankingStore) -> Self {
-        let mut raw: Vec<u32> = Vec::with_capacity(store.len() * store.k());
-        for id in store.ids() {
+        let mut raw: Vec<u32> = Vec::with_capacity(store.live_len() * store.k());
+        for id in store.live_ids() {
             raw.extend(store.items(id).iter().map(|i| i.0));
         }
         Self::from_raw_ids(raw)
+    }
+
+    /// A remap extending `self` with `extra` raw items: every item already
+    /// mapped keeps its dense id, new items get fresh dense ids appended
+    /// in first-appearance order. This is how the engine's compaction pass
+    /// grows the corpus remap across rebuilds — surviving items keep their
+    /// dense coordinates, so per-dense-id state (posting-length tables,
+    /// scratch stamp arrays) stays valid and only grows.
+    ///
+    /// Note: unlike a fresh [`ItemRemap::build`], a grown remap's dense
+    /// ids are *not* globally ascending in raw id (only within the
+    /// original base). No consumer depends on that order — CSR layouts
+    /// and the flat query maps need the bijection, not the order.
+    pub fn grown<I: IntoIterator<Item = ItemId>>(&self, extra: I) -> ItemRemap {
+        let mut len = self.len;
+        let mut table = self.table.clone();
+        for item in extra {
+            let raw = item.0;
+            let present = match &table {
+                Table::Direct(t) => matches!(t.get(raw as usize), Some(&d) if d != ABSENT),
+                Table::Hashed(m) => m.contains_key(&raw),
+            };
+            if present {
+                continue;
+            }
+            match &mut table {
+                Table::Direct(t) => {
+                    let fits = (raw as usize) < t.len();
+                    // Keep the direct table while the extension stays
+                    // within the 8×-overhead budget of `from_raw_ids`;
+                    // convert to hashing when a sparse insert would blow
+                    // the table up.
+                    if fits || (raw as usize) < (len as usize + 1) * 8 + 1024 {
+                        if !fits {
+                            t.resize(raw as usize + 1, ABSENT);
+                        }
+                        t[raw as usize] = len;
+                    } else {
+                        let mut m = fx_map_with_capacity(len as usize + 1);
+                        for (r, &d) in t.iter().enumerate() {
+                            if d != ABSENT {
+                                m.insert(r as u32, d);
+                            }
+                        }
+                        m.insert(raw, len);
+                        table = Table::Hashed(m);
+                    }
+                }
+                Table::Hashed(m) => {
+                    m.insert(raw, len);
+                }
+            }
+            len += 1;
+        }
+        ItemRemap { table, len }
     }
 
     /// Builds the remap from an arbitrary collection of raw item ids
@@ -141,6 +197,60 @@ mod tests {
         let remap = ItemRemap::from_raw_ids(Vec::new());
         assert!(remap.is_empty());
         assert_eq!(remap.dense(ItemId(0)), None);
+    }
+
+    #[test]
+    fn grown_preserves_existing_dense_ids_and_appends_new() {
+        let base = ItemRemap::from_raw_ids(vec![0, 3, 9, 40]);
+        let grown = base.grown([9u32, 41, 2, 41, 0].map(ItemId));
+        // Old items keep their dense coordinates.
+        for raw in [0u32, 3, 9, 40] {
+            assert_eq!(grown.dense(ItemId(raw)), base.dense(ItemId(raw)));
+        }
+        // New items append in first-appearance order.
+        assert_eq!(grown.dense(ItemId(41)), Some(4));
+        assert_eq!(grown.dense(ItemId(2)), Some(5));
+        assert_eq!(grown.len(), 6);
+        assert_eq!(grown.dense(ItemId(7)), None);
+        // The base is untouched.
+        assert_eq!(base.len(), 4);
+        assert_eq!(base.dense(ItemId(41)), None);
+    }
+
+    #[test]
+    fn grown_converts_to_hashing_on_pathological_sparseness() {
+        let base = ItemRemap::from_raw_ids((0..32).collect());
+        assert!(matches!(base.table, Table::Direct(_)));
+        let grown = base.grown([ItemId(900_000_000)]);
+        assert!(matches!(grown.table, Table::Hashed(_)));
+        assert_eq!(grown.dense(ItemId(900_000_000)), Some(32));
+        for raw in 0..32u32 {
+            assert_eq!(grown.dense(ItemId(raw)), Some(raw));
+        }
+    }
+
+    #[test]
+    fn grown_from_hashed_base_stays_hashed() {
+        let raw: Vec<u32> = (0..100).map(|i| i * 10_000_000).collect();
+        let base = ItemRemap::from_raw_ids(raw);
+        assert!(matches!(base.table, Table::Hashed(_)));
+        let grown = base.grown([ItemId(5), ItemId(10_000_000)]);
+        assert_eq!(grown.dense(ItemId(5)), Some(100));
+        assert_eq!(grown.dense(ItemId(10_000_000)), Some(1));
+        assert_eq!(grown.len(), 101);
+    }
+
+    #[test]
+    fn build_skips_tombstoned_rankings() {
+        let mut store = RankingStore::new(3);
+        let a = store.push_items_unchecked(&[5, 1, 9].map(ItemId));
+        store.push_items_unchecked(&[1, 7, 2].map(ItemId));
+        store.remove(a);
+        let remap = ItemRemap::build(&store);
+        assert_eq!(remap.len(), 3);
+        assert_eq!(remap.dense(ItemId(5)), None, "dead-only item unmapped");
+        assert_eq!(remap.dense(ItemId(9)), None);
+        assert!(remap.dense(ItemId(1)).is_some());
     }
 
     #[test]

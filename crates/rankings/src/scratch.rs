@@ -300,12 +300,40 @@ pub struct QueryScratch {
     /// Query-item corpus frequencies, sorted ascending (cost-model
     /// planner input; grows to `k` once and is then reused).
     pub plan_freqs: Vec<u32>,
+    /// The corpus-generation stamp of the engine this scratch last served
+    /// (see [`QueryScratch::ensure_generation`]); 0 = never stamped.
+    generation: u64,
 }
 
 impl QueryScratch {
     /// A fresh scratch; buffers grow on first use and are then reused.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Generation-counter invalidation: engines stamp every query with
+    /// their corpus generation (bumped on insert/remove/compact). On a
+    /// stamp change the scratch drops all residual buffer *contents* —
+    /// capacity is kept, so the cost is a handful of `clear()`s right
+    /// after a mutation and zero in steady state. The epoch structures are
+    /// self-invalidating per query already; this guards the plain `Vec`
+    /// buffers against any stale cross-query reuse on a corpus that
+    /// changed shape underneath them. Returns whether an invalidation
+    /// happened.
+    pub fn ensure_generation(&mut self, generation: u64) -> bool {
+        if self.generation == generation {
+            return false;
+        }
+        self.generation = generation;
+        self.positions.clear();
+        self.positions_tmp.clear();
+        self.hits.clear();
+        self.filtered.clear();
+        self.qsorted.clear();
+        self.qp.clear();
+        self.tree_stack.clear();
+        self.plan_freqs.clear();
+        true
     }
 }
 

@@ -38,6 +38,35 @@
 //! let hits = engine.query(Algorithm::Coarse, &query, 0.35, &mut stats);
 //! assert!(hits.contains(&RankingId(0)));
 //! ```
+//!
+//! ## Live corpora
+//!
+//! The engine is mutable: insert and remove rankings at any time, with
+//! every algorithm (and the sharded engine) answering exactly as a
+//! freshly built index would — removals tombstone lazily, inserts live
+//! in a linearly-validated delta overlay, and
+//! [`prelude::Engine::compact`] folds both into fresh arenas.
+//!
+//! ```
+//! use ranksim::prelude::*;
+//!
+//! let mut store = RankingStore::new(4);
+//! for items in [[2u32, 5, 4, 3], [1, 4, 5, 9], [0, 8, 5, 7]] {
+//!     store.push(&Ranking::new(items).unwrap()).unwrap();
+//! }
+//! let mut engine = EngineBuilder::new(store).coarse_threshold(0.3).build();
+//!
+//! let fresh = engine.insert_ranking(&[2u32, 5, 4, 9].map(ItemId));
+//! engine.remove_ranking(RankingId(1));
+//! let mut stats = QueryStats::new();
+//! let query = Ranking::new([2u32, 5, 4, 7]).unwrap();
+//! let hits = engine.query(Algorithm::Fv, &query, 0.35, &mut stats);
+//! assert!(hits.contains(&fresh) && !hits.contains(&RankingId(1)));
+//!
+//! engine.compact(); // rebuild arenas over the live corpus, in place
+//! let hits = engine.query(Algorithm::Coarse, &query, 0.35, &mut stats);
+//! assert!(hits.contains(&fresh));
+//! ```
 
 pub use ranksim_adaptsearch as adaptsearch;
 pub use ranksim_core as core;
@@ -50,8 +79,8 @@ pub use ranksim_rankings as rankings;
 pub mod prelude {
     pub use ranksim_core::engine::{Algorithm, Engine, EngineBuilder, QueryTrace};
     pub use ranksim_core::{
-        CalibratedCosts, CoarseIndex, CostModel, PlanStats, Planner, ShardStrategy, ShardedEngine,
-        ShardedEngineBuilder, WorkerReport,
+        CalibratedCosts, CoarseIndex, CostModel, PlanStats, Planner, RebalanceConfig,
+        ShardStrategy, ShardedEngine, ShardedEngineBuilder, WorkerReport,
     };
     pub use ranksim_rankings::{
         footrule_pairs, raw_threshold, ExecStats, ItemId, ItemRemap, PositionMap, QueryExecutor,
