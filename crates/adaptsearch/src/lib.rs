@@ -101,27 +101,35 @@ impl AdaptSearchIndex {
         let mut freq = vec![0u32; m];
         for id in store.live_ids() {
             for &item in store.items(id) {
-                let d = remap.dense(item).expect("item missing from remap");
+                // Unmapped items have no dense frequency slot; they are
+                // dropped from the reordered records below, so skipping
+                // them here keeps both passes consistent.
+                let Some(d) = remap.dense(item) else { continue };
                 freq[d as usize] += 1;
             }
         }
         // Pass 2: count (dense item, prefix position) occurrences; records
-        // are reordered by (freq, item id).
+        // are reordered by (freq, item id) — the dense id rides along so
+        // the fill passes need no second remap lookup.
         let mut pos_offsets = vec![0u32; m * stride + 1];
-        let mut record: Vec<(u32, ItemId)> = Vec::with_capacity(k);
-        let reorder = |record: &mut Vec<(u32, ItemId)>, items: &[ItemId]| {
+        let mut record: Vec<(u32, ItemId, u32)> = Vec::with_capacity(k);
+        let reorder = |record: &mut Vec<(u32, ItemId, u32)>, items: &[ItemId]| {
             record.clear();
-            record.extend(items.iter().map(|&i| {
-                let d = remap.dense(i).expect("item missing from remap");
-                (freq[d as usize], i)
-            }));
+            // Items without a dense coordinate can carry no posting, so
+            // they are dropped rather than aborting the build; dropping
+            // only moves the ranking's mapped items into *earlier* delta
+            // lists, which can never lose a candidate at query time.
+            record.extend(
+                items
+                    .iter()
+                    .filter_map(|&i| remap.dense(i).map(|d| (freq[d as usize], i, d))),
+            );
             record.sort_unstable();
         };
         for id in store.live_ids() {
             reorder(&mut record, store.items(id));
-            for (pos, &(_, item)) in record.iter().enumerate() {
-                let d = remap.dense(item).unwrap() as usize;
-                pos_offsets[d * stride + pos + 1] += 1;
+            for (pos, &(_, _, d)) in record.iter().enumerate() {
+                pos_offsets[d as usize * stride + pos + 1] += 1;
             }
         }
         for i in 1..pos_offsets.len() {
@@ -134,9 +142,8 @@ impl AdaptSearchIndex {
         // (item, position) run id-sorted.
         for id in store.live_ids() {
             reorder(&mut record, store.items(id));
-            for (pos, &(_, item)) in record.iter().enumerate() {
-                let d = remap.dense(item).unwrap() as usize;
-                let c = &mut cursors[d * stride + pos];
+            for (pos, &(_, _, d)) in record.iter().enumerate() {
+                let c = &mut cursors[d as usize * stride + pos];
                 ids[*c as usize] = id;
                 *c += 1;
             }
@@ -380,6 +387,37 @@ mod tests {
             .ids()
             .filter(|&id| q.distance_to(store.items(id)) <= theta_raw)
             .collect()
+    }
+
+    #[test]
+    fn partial_remap_degrades_to_empty_delta_lists() {
+        let mut store = RankingStore::new(3);
+        store.push_items_unchecked(&[1, 2, 3].map(ItemId));
+        store.push_items_unchecked(&[2, 3, 4].map(ItemId));
+        store.push_items_unchecked(&[5, 1, 2].map(ItemId));
+        // Items 3 and 4 are missing from the remap: they carry no
+        // frequency and no delta-list postings, but the build completes
+        // instead of panicking. Semantically the index now believes
+        // those items exist in no ranking — a query *containing* an
+        // unmapped item may therefore prune candidates that only match
+        // through it (in engine use, unmapped query items genuinely are
+        // absent from the corpus, so nothing is lost).
+        let remap = Arc::new(ItemRemap::from_raw_ids(vec![1, 2, 5]));
+        let index = AdaptSearchIndex::build_with_remap(&store, remap, AdaptCostParams::default());
+        assert_eq!(index.item_freq(ItemId(1)), 2);
+        assert_eq!(index.item_freq(ItemId(2)), 3);
+        assert_eq!(index.item_freq(ItemId(3)), 0);
+        assert_eq!(index.item_freq(ItemId(4)), 0);
+        // Queries of entirely mapped items stay exact: any qualifying
+        // overlap necessarily goes through mapped items, and the
+        // verification step computes true store distances.
+        let mut stats = QueryStats::new();
+        for raw in [0u32, 2, 4, 8] {
+            let q = [5, 1, 2].map(ItemId);
+            let mut got = index.search(&store, &q, raw, &mut stats);
+            got.sort_unstable();
+            assert_eq!(got, scan(&store, &q, raw), "raw={raw}");
+        }
     }
 
     #[test]

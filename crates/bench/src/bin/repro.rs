@@ -77,6 +77,7 @@ fn main() {
         "shard" => run_shard(&cfg, t0),
         "planner" => run_planner(&cfg, algorithms),
         "churn" => run_churn_cmd(&cfg, t0),
+        "serve" => run_serve_cmd(&cfg, t0),
         "all" => {
             run_verify(&cfg);
             run_fig3(&cfg);
@@ -91,7 +92,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner churn all"
+                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner churn serve all"
             );
             std::process::exit(2);
         }
@@ -238,6 +239,79 @@ fn run_churn_cmd(cfg: &ExpConfig, t0: std::time::Instant) {
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
     {
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed > budget_s {
+            eprintln!("TIME BUDGET EXCEEDED: {elapsed:.1}s > {budget_s:.1}s");
+            std::process::exit(1);
+        }
+        println!("time budget ok: {elapsed:.1}s <= {budget_s:.1}s");
+    }
+}
+
+/// The concurrent serving experiment: closed-loop clients drive a
+/// 90/10 read/write mix against the RCU [`ranksim_core::SnapshotEngine`]
+/// through the admission-controlled batching dispatcher, with a full
+/// compaction forced mid-run — written to `BENCH_serve.json` (path
+/// override: `RANKSIM_SERVE_JSON`). Self-enforced CI budgets:
+/// `RANKSIM_SERVE_P99_BUDGET_MS` fails the run when the p99 read
+/// latency (overall or during the forced compaction) exceeds the
+/// budget, and `RANKSIM_SERVE_TIME_BUDGET_S` bounds the wall clock.
+fn run_serve_cmd(cfg: &ExpConfig, t0: std::time::Instant) {
+    let rc = serve::ServeRunConfig::from_env();
+    println!(
+        "== snapshot serving: NYT-family n={}, {} clients / {} batch threads, {:.0}% writes, {} at θ={} for {:.0}s ==",
+        cfg.nyt_n,
+        rc.clients,
+        rc.batch_threads,
+        rc.write_fraction * 100.0,
+        rc.algorithm,
+        rc.theta,
+        rc.duration_s
+    );
+    let report = serve::run_serve(cfg, rc);
+    println!(
+        "throughput: {:.0} reads/s + {:.0} writes/s ({} reads, {} writes, {} shed, {} remove misses)",
+        report.read_qps, report.write_qps, report.reads, report.writes, report.shed, report.remove_misses
+    );
+    println!(
+        "{:>24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "latency (µs)", "count", "p50", "p99", "p999", "max"
+    );
+    let row = |name: &str, l: &serve::LatencyUs| {
+        println!(
+            "{:>24} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            name, l.count, l.p50, l.p99, l.p999, l.max
+        );
+    };
+    row("read", &report.read_latency);
+    row("read (compacting)", &report.read_latency_during_compaction);
+    row("write", &report.write_latency);
+    println!(
+        "forced compaction: {:.2}s to full publication; {} generations abandoned to stragglers; {} batch failures; live: {}",
+        report.compact_s, report.abandoned_generations, report.batch_failures, report.final_live_len
+    );
+
+    let json_path =
+        std::env::var("RANKSIM_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&json_path, report.to_json()).expect("write serve report JSON");
+    println!("report written to {json_path}");
+
+    let budget_env = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<f64>().ok());
+    if let Some(budget_ms) = budget_env("RANKSIM_SERVE_P99_BUDGET_MS") {
+        let worst_p99_ms = report
+            .read_latency
+            .p99
+            .max(report.read_latency_during_compaction.p99)
+            / 1000.0;
+        if worst_p99_ms > budget_ms {
+            eprintln!("P99 BUDGET EXCEEDED: {worst_p99_ms:.2} ms > {budget_ms:.2} ms");
+            std::process::exit(1);
+        }
+        println!(
+            "p99 budget ok: {worst_p99_ms:.2} ms <= {budget_ms:.2} ms (incl. during compaction)"
+        );
+    }
+    if let Some(budget_s) = budget_env("RANKSIM_SERVE_TIME_BUDGET_S") {
         let elapsed = t0.elapsed().as_secs_f64();
         if elapsed > budget_s {
             eprintln!("TIME BUDGET EXCEEDED: {elapsed:.1}s > {budget_s:.1}s");

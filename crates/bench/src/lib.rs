@@ -14,6 +14,8 @@
 //! Wall-clock numbers are always reported **scaled to 1000 queries** like
 //! the paper's plots, independent of `RANKSIM_QUERIES`.
 
+pub mod serve;
+
 use std::time::{Duration, Instant};
 
 use ranksim_adaptsearch::AdaptSearchIndex;
@@ -1090,11 +1092,11 @@ pub fn run_churn(cfg: &ExpConfig, rc: ChurnRunConfig) -> ChurnReport {
 
     // Phase 1: pristine read latency.
     let mut read_cursor = 0usize;
-    let mut timed_reads = |engine: &Engine,
-                           scratch: &mut QueryScratch,
-                           out: &mut Vec<_>,
-                           stats: &mut QueryStats,
-                           cursor: &mut usize|
+    let timed_reads = |engine: &Engine,
+                       scratch: &mut QueryScratch,
+                       out: &mut Vec<_>,
+                       stats: &mut QueryStats,
+                       cursor: &mut usize|
      -> f64 {
         let t = Instant::now();
         for _ in 0..bench.queries.len() {

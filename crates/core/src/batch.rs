@@ -38,7 +38,7 @@ use ranksim_rankings::{
 /// What one worker of a work-stealing batch run did.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkerReport {
-    /// Queries this worker claimed and processed.
+    /// Queries this worker claimed and processed (including failed ones).
     pub queries: u64,
     /// The stats accumulated over exactly those queries.
     pub stats: QueryStats,
@@ -46,6 +46,12 @@ pub struct WorkerReport {
     /// zero unless the batch ran [`Algorithm::Auto`]): per-algorithm pick
     /// counts plus predicted-vs-actual cost totals.
     pub plan: PlanStats,
+    /// Queries whose execution panicked. Each failed query's result set
+    /// is empty; the worker caught the unwind and kept draining the
+    /// cursor, so one poisoned query never takes down the batch.
+    pub failed: u64,
+    /// The first panic message this worker observed, if any.
+    pub error: Option<String>,
 }
 
 /// Folds per-worker reports into one batch-wide [`QueryStats`].
@@ -102,12 +108,32 @@ fn resolve_threads(threads: usize, num_queries: usize) -> usize {
     t.min(num_queries.max(1))
 }
 
+/// Extracts a human-readable message from a caught panic payload
+/// (`panic!` with a literal yields `&'static str`, with a format string
+/// yields `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
 /// The work-stealing batch driver shared by [`Engine::query_batch`] and
 /// [`crate::shard::ShardedEngine::query_batch`]. `make_worker` builds one
 /// per-thread closure (owning that worker's scratch); the closure maps a
 /// query index to its result set. Workers rendezvous on a barrier before
 /// claiming, then drain the shared cursor; results are reassembled in
 /// input order.
+///
+/// A panicking query is contained to that query: the worker catches the
+/// unwind, records it in its [`WorkerReport`] (`failed` / `error`),
+/// leaves that query's result set empty, and keeps claiming. Scratch
+/// reuse after a mid-query unwind is safe because every query re-arms
+/// its epoch structures from scratch-generation stamps before reading
+/// them.
 pub(crate) fn run_stealing<W, F>(
     num_queries: usize,
     threads: usize,
@@ -138,9 +164,20 @@ where
                         // cannot be drained before late workers exist.
                         barrier.wait();
                         while let Some(qi) = cursor.claim() {
-                            let out = work(qi, &mut report);
+                            let attempt =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    work(qi, &mut report)
+                                }));
                             report.queries += 1;
-                            claimed.push((qi, out));
+                            match attempt {
+                                Ok(out) => claimed.push((qi, out)),
+                                Err(payload) => {
+                                    report.failed += 1;
+                                    if report.error.is_none() {
+                                        report.error = Some(panic_message(payload.as_ref()));
+                                    }
+                                }
+                            }
                         }
                         (claimed, report)
                     })
@@ -148,7 +185,19 @@ where
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
+                .map(|h| {
+                    // With per-query containment above, a join error means
+                    // the worker died outside query execution (e.g. in
+                    // `make_worker`); degrade to an error report rather
+                    // than poisoning the whole batch.
+                    h.join().unwrap_or_else(|payload| {
+                        let report = WorkerReport {
+                            error: Some(panic_message(payload.as_ref())),
+                            ..WorkerReport::default()
+                        };
+                        (Vec::new(), report)
+                    })
+                })
                 .collect()
         });
     let mut results: Vec<Vec<RankingId>> = Vec::with_capacity(num_queries);
@@ -418,6 +467,78 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn panicking_worker_task_fails_alone() {
+        // Inject panics directly into the driver: queries 3, 10 and 17
+        // die, everything else must complete with correct results and
+        // the panics must be visible in the per-worker reports.
+        let (results, reports) = run_stealing(20, 4, || {
+            |qi: usize, _report: &mut WorkerReport| {
+                if qi % 7 == 3 {
+                    panic!("injected panic on query {qi}");
+                }
+                vec![RankingId(qi as u32)]
+            }
+        });
+        assert_eq!(results.len(), 20);
+        for (qi, out) in results.iter().enumerate() {
+            if qi % 7 == 3 {
+                assert!(out.is_empty(), "failed query {qi} must yield an empty set");
+            } else {
+                assert_eq!(out, &vec![RankingId(qi as u32)], "query {qi}");
+            }
+        }
+        assert_eq!(reports.iter().map(|r| r.queries).sum::<u64>(), 20);
+        assert_eq!(reports.iter().map(|r| r.failed).sum::<u64>(), 3);
+        let msgs: Vec<&String> = reports.iter().filter_map(|r| r.error.as_ref()).collect();
+        assert!(!msgs.is_empty(), "at least one worker recorded the panic");
+        assert!(msgs
+            .iter()
+            .all(|m| m.starts_with("injected panic on query")));
+    }
+
+    #[test]
+    fn query_batch_survives_a_poisoned_query() {
+        // A wrong-length query trips the engine's own size assert inside
+        // the worker; the batch must degrade (empty result set, error in
+        // the report), not abort.
+        let ds = nyt_like(300, 10, 5);
+        let domain = ds.params.domain;
+        let engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv])
+            .build();
+        let wl = workload(
+            engine.store(),
+            domain,
+            WorkloadParams {
+                num_queries: 8,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let theta = raw_threshold(0.2, 10);
+        let mut queries = wl.queries.clone();
+        queries[3].truncate(4);
+        let (got, reports) = engine.query_batch_reported(Algorithm::Fv, &queries, theta, 2);
+        assert!(got[3].is_empty());
+        let mut scratch = engine.scratch();
+        let mut s = QueryStats::new();
+        for (qi, q) in queries.iter().enumerate() {
+            if qi == 3 {
+                continue;
+            }
+            let expect = engine.query_items(Algorithm::Fv, q, theta, &mut scratch, &mut s);
+            assert_eq!(got[qi], expect, "query {qi}");
+        }
+        assert_eq!(reports.iter().map(|r| r.queries).sum::<u64>(), 8);
+        assert_eq!(reports.iter().map(|r| r.failed).sum::<u64>(), 1);
+        let err = reports
+            .iter()
+            .find_map(|r| r.error.clone())
+            .expect("a worker recorded the panic");
+        assert!(err.contains("query size"), "unexpected message: {err}");
     }
 
     #[test]

@@ -41,8 +41,8 @@ use ranksim_invindex::{
 };
 use ranksim_metricspace::{knn_bktree, knn_linear, query_pairs_into, BkTree};
 use ranksim_rankings::{
-    footrule_pairs, raw_threshold, ExecStats, ItemId, ItemRemap, QueryExecutor, QueryScratch,
-    QueryStats, Ranking, RankingId, RankingStore,
+    footrule_pairs, raw_threshold, validate_items, ExecStats, ItemId, ItemRemap, QueryExecutor,
+    QueryScratch, QueryStats, Ranking, RankingError, RankingId, RankingStore,
 };
 
 /// Process-wide generation source: every engine build, compaction and
@@ -445,37 +445,8 @@ fn build_parts(store: &RankingStore, config: &EngineConfig, remap: Arc<ItemRemap
         ))
     });
     let tree = config.topk_tree.then(|| BkTree::build(store));
-
-    // One executor per built structure: selecting `FvDrop` also makes
-    // the plain index (hence `Fv`) available, matching the pre-
-    // executor dispatch semantics exactly.
-    let mut executors: Vec<Option<Box<dyn QueryExecutor>>> =
-        (0..Algorithm::COUNT).map(|_| None).collect();
-    let slot = |a: Algorithm| a.dense_index().expect("concrete algorithm");
-    if let Some(p) = &plain {
-        executors[slot(Algorithm::Fv)] = Some(Box::new(FvExecutor::new(p.clone())));
-        executors[slot(Algorithm::FvDrop)] = Some(Box::new(FvDropExecutor::new(p.clone())));
-    }
-    if let Some(a) = &augmented {
-        executors[slot(Algorithm::ListMerge)] = Some(Box::new(ListMergeExecutor::new(a.clone())));
-    }
-    if let Some(b) = &blocked {
-        executors[slot(Algorithm::BlockedPrune)] =
-            Some(Box::new(BlockedPruneExecutor::new(b.clone(), false)));
-        executors[slot(Algorithm::BlockedPruneDrop)] =
-            Some(Box::new(BlockedPruneExecutor::new(b.clone(), true)));
-    }
-    if let Some(a) = &adapt {
-        executors[slot(Algorithm::AdaptSearch)] =
-            Some(Box::new(AdaptSearchExecutor::new(a.clone())));
-    }
-    if let Some(c) = &coarse {
-        executors[slot(Algorithm::Coarse)] = Some(Box::new(CoarseExecutor::new(c.clone(), false)));
-    }
-    if let Some(c) = coarse_drop.as_ref().or(coarse.as_ref()) {
-        executors[slot(Algorithm::CoarseDrop)] =
-            Some(Box::new(CoarseExecutor::new(c.clone(), true)));
-    }
+    let executors =
+        build_executor_table(&plain, &augmented, &blocked, &adapt, &coarse, &coarse_drop);
 
     let planner = want_auto.then(|| {
         let costs = config
@@ -502,6 +473,50 @@ fn build_parts(store: &RankingStore, config: &EngineConfig, remap: Arc<ItemRemap
         executors,
         planner,
     }
+}
+
+/// Assembles the executor table over a set of built index structures:
+/// one executor per structure, indexed by [`Algorithm::dense_index`].
+/// Selecting `FvDrop` also makes the plain index (hence `Fv`) available,
+/// matching the pre-executor dispatch semantics exactly. Shared between
+/// [`build_parts`] and [`Engine::fork`] (executors are not `Clone`, but
+/// they are cheap wrappers over the `Arc`-shared indexes).
+fn build_executor_table(
+    plain: &Option<Arc<PlainInvertedIndex>>,
+    augmented: &Option<Arc<AugmentedInvertedIndex>>,
+    blocked: &Option<Arc<BlockedInvertedIndex>>,
+    adapt: &Option<Arc<AdaptSearchIndex>>,
+    coarse: &Option<Arc<CoarseIndex>>,
+    coarse_drop: &Option<Arc<CoarseIndex>>,
+) -> Vec<Option<Box<dyn QueryExecutor>>> {
+    let mut executors: Vec<Option<Box<dyn QueryExecutor>>> =
+        (0..Algorithm::COUNT).map(|_| None).collect();
+    let slot = |a: Algorithm| a.dense_index().expect("concrete algorithm");
+    if let Some(p) = plain {
+        executors[slot(Algorithm::Fv)] = Some(Box::new(FvExecutor::new(p.clone())));
+        executors[slot(Algorithm::FvDrop)] = Some(Box::new(FvDropExecutor::new(p.clone())));
+    }
+    if let Some(a) = augmented {
+        executors[slot(Algorithm::ListMerge)] = Some(Box::new(ListMergeExecutor::new(a.clone())));
+    }
+    if let Some(b) = blocked {
+        executors[slot(Algorithm::BlockedPrune)] =
+            Some(Box::new(BlockedPruneExecutor::new(b.clone(), false)));
+        executors[slot(Algorithm::BlockedPruneDrop)] =
+            Some(Box::new(BlockedPruneExecutor::new(b.clone(), true)));
+    }
+    if let Some(a) = adapt {
+        executors[slot(Algorithm::AdaptSearch)] =
+            Some(Box::new(AdaptSearchExecutor::new(a.clone())));
+    }
+    if let Some(c) = coarse {
+        executors[slot(Algorithm::Coarse)] = Some(Box::new(CoarseExecutor::new(c.clone(), false)));
+    }
+    if let Some(c) = coarse_drop.as_ref().or(coarse.as_ref()) {
+        executors[slot(Algorithm::CoarseDrop)] =
+            Some(Box::new(CoarseExecutor::new(c.clone(), true)));
+    }
+    executors
 }
 
 /// The all-algorithms query engine.
@@ -594,6 +609,41 @@ impl Engine {
     /// to keep the hot path allocation-free.
     pub fn scratch(&self) -> QueryScratch {
         QueryScratch::new()
+    }
+
+    /// An independent copy of this engine for snapshot publication: the
+    /// store, overlay and planner state are cloned by value, the
+    /// immutable index structures are shared by `Arc`, and the executor
+    /// table is rebuilt over those shared structures. The fork draws a
+    /// fresh generation stamp, so a [`QueryScratch`] moving between the
+    /// original and the fork always re-arms its epoch structures.
+    pub(crate) fn fork(&self) -> Engine {
+        Engine {
+            store: self.store.clone(),
+            remap: self.remap.clone(),
+            plain: self.plain.clone(),
+            augmented: self.augmented.clone(),
+            blocked: self.blocked.clone(),
+            adapt: self.adapt.clone(),
+            coarse: self.coarse.clone(),
+            coarse_drop: self.coarse_drop.clone(),
+            tree: self.tree.clone(),
+            executors: build_executor_table(
+                &self.plain,
+                &self.augmented,
+                &self.blocked,
+                &self.adapt,
+                &self.coarse,
+                &self.coarse_drop,
+            ),
+            planner: self.planner.as_ref().map(Planner::fork),
+            config: self.config.clone(),
+            generation: next_generation(),
+            delta: self.delta.clone(),
+            delta_pos: self.delta_pos.clone(),
+            base_dead: self.base_dead,
+            base_live_at_build: self.base_live_at_build,
+        }
     }
 
     // --- live-corpus mutation API -----------------------------------
@@ -740,12 +790,18 @@ impl Engine {
     }
 
     fn validate_items(items: &[ItemId], k: usize) {
-        assert_eq!(items.len(), k, "ranking size must match the corpus k");
-        for (i, a) in items.iter().enumerate() {
-            assert!(
-                !items[i + 1..].contains(a),
-                "duplicate item {a} in inserted ranking"
-            );
+        // Shared with the serving front-end's non-panicking validation;
+        // the engine keeps its historical assert semantics (and messages)
+        // for direct API misuse.
+        match validate_items(items, k) {
+            Ok(()) => {}
+            Err(RankingError::WrongLength { .. }) => {
+                panic!("ranking size must match the corpus k")
+            }
+            Err(RankingError::DuplicateItem(a)) => {
+                panic!("duplicate item {a} in inserted ranking")
+            }
+            Err(e) => panic!("{e}"),
         }
     }
 

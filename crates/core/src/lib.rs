@@ -31,6 +31,7 @@ pub mod cost;
 pub mod engine;
 pub mod planner;
 pub mod shard;
+pub mod snapshot;
 
 pub use batch::{merge_plan_reports, merge_reports, WorkerReport};
 pub use coarse::{CoarseBuildStats, CoarseExecutor, CoarseIndex};
@@ -42,3 +43,4 @@ pub use planner::{PlanDecision, PlanStats, Planner, THETA_BUCKETS};
 pub use shard::{
     RebalanceConfig, ShardStrategy, ShardedEngine, ShardedEngineBuilder, ShardedScratch,
 };
+pub use snapshot::{EngineSnapshot, SnapshotEngine};

@@ -301,7 +301,10 @@ impl Planner {
         let mut freqs = vec![0u32; remap.len()];
         for id in store.live_ids() {
             for &item in store.items(id) {
-                let d = remap.dense(item).expect("corpus item missing from remap");
+                // Unmapped items contribute no frequency mass: a partial
+                // remap degrades cost estimates slightly (the planner is
+                // a heuristic either way) instead of aborting the build.
+                let Some(d) = remap.dense(item) else { continue };
                 freqs[d as usize] += 1;
             }
         }
@@ -389,6 +392,42 @@ impl Planner {
             coarse_theta_c_raw,
             coarse_drop_theta_c_raw,
             pending_mutations: 0,
+        }
+    }
+
+    /// An independent copy with the learned state snapshotted by value:
+    /// every atomic EWMA/exploration cell is copied at its current
+    /// value, so the fork starts from the original's learned pricing and
+    /// the two then learn independently (the planner only shapes `Auto`
+    /// *picks* — all candidates are exact, so diverging learned state
+    /// can never diverge results). Immutable inputs stay `Arc`-shared.
+    pub(crate) fn fork(&self) -> Planner {
+        let copy_cells = |v: &[AtomicU64]| -> Vec<AtomicU64> {
+            v.iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect()
+        };
+        Planner {
+            n: self.n,
+            k: self.k,
+            d_max: self.d_max,
+            costs: self.costs,
+            remap: self.remap.clone(),
+            freqs: self.freqs.clone(),
+            cdf_prefix: self.cdf_prefix.clone(),
+            coarse_cost: self.coarse_cost.clone(),
+            coarse_drop_cost: self.coarse_drop_cost.clone(),
+            candidates: self.candidates.clone(),
+            wall_means: copy_cells(&self.wall_means),
+            raw_means: copy_cells(&self.raw_means),
+            observations: copy_cells(&self.observations),
+            explored: copy_cells(&self.explored),
+            incumbent: copy_cells(&self.incumbent),
+            zipf_s: self.zipf_s,
+            degenerate: self.degenerate,
+            coarse_theta_c_raw: self.coarse_theta_c_raw,
+            coarse_drop_theta_c_raw: self.coarse_drop_theta_c_raw,
+            pending_mutations: self.pending_mutations,
         }
     }
 

@@ -1,0 +1,533 @@
+//! RCU-style snapshot engine: reads never block on writes.
+//!
+//! Every [`Engine`] mutation takes `&mut self`, so a serving deployment
+//! built directly on one engine stalls every concurrent reader for the
+//! whole duration of an insert — or, much worse, a compaction rebuild.
+//! [`SnapshotEngine`] removes that coupling with a classic epoch /
+//! read-copy-update arrangement over a chain of immutable engine
+//! *generations*:
+//!
+//! * **Readers** call [`SnapshotEngine::snapshot`] and get an
+//!   [`EngineSnapshot`]: an `Arc` onto the currently published
+//!   generation. Acquisition is one `RwLock` read plus one atomic
+//!   refcount increment — no allocation, and never blocked by a writer
+//!   (the head lock is only ever write-held for a pointer swap). The
+//!   snapshot is a fully frozen [`Engine`]; queries against it are
+//!   bit-identical to a monolith that stopped mutating at the
+//!   snapshot's log position, for as long as the snapshot is held.
+//! * **Writers** apply mutations synchronously to a private *master*
+//!   engine under a mutex and append the operation to a log. Writers
+//!   therefore serialize with each other (and pay for any master-side
+//!   auto-compaction), but never touch the published generation.
+//! * A background **publisher** thread replays the accumulated log
+//!   suffix into a standby replica off-lock, then publishes it as the
+//!   next generation with a pointer swap. Two replicas ping-pong
+//!   through this role; replaying the *same deterministic op sequence*
+//!   from the same seed state keeps master and replicas bit-identical
+//!   at equal log positions (ranking-id assignment is a pure function
+//!   of store state, and auto-compaction triggers at the same op index
+//!   because every engine runs the same [`crate::EngineConfig`]).
+//!
+//! **Reclamation rule:** after a swap the publisher reclaims the
+//! retiring generation by waiting for its `Arc` refcount to drop to
+//! one ([`Arc::try_unwrap`] in a bounded spin). A straggler reader
+//! that pins the retiring snapshot past the bound does not stall
+//! publication: the publisher *abandons* the pinned generation (the
+//! readers holding it free it when they drop it) and forks the freshly
+//! published head as the new standby instead. Readers never wait on
+//! writers; the publisher never waits unboundedly on readers.
+//!
+//! Freshness is bounded-staleness: a read admitted while the publisher
+//! is mid-replay sees the previous generation. [`SnapshotEngine::flush`]
+//! blocks until everything written so far is visible to new snapshots.
+//!
+//! Scratch reuse stays sound across swaps because every engine build,
+//! fork and mutation draws a process-unique generation stamp (PR 5's
+//! scheme): a [`QueryScratch`] that last served a different snapshot
+//! observes a different stamp and re-arms its epoch structures.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::engine::Engine;
+use ranksim_rankings::{ItemId, RankingId};
+
+/// How long the publisher waits for straggler readers to release a
+/// retiring generation before abandoning it and forking the head.
+const RECLAIM_WAIT: Duration = Duration::from_millis(10);
+
+/// One logged mutation, replayed verbatim into the standby replica.
+#[derive(Debug, Clone)]
+enum LogOp {
+    /// `insert_ranking`; the id the master assigned rides along so
+    /// replay can assert replica/master id agreement.
+    Insert { id: RankingId, items: Vec<ItemId> },
+    /// `insert_ranking_at` (re-insertion at a released id).
+    InsertAt { id: RankingId, items: Vec<ItemId> },
+    /// `remove_ranking` (the master observed it as live).
+    Remove(RankingId),
+    /// An explicit `compact` (master-side *auto*-compactions are not
+    /// logged: replicas re-trigger them deterministically on replay).
+    Compact,
+}
+
+/// One published generation: a frozen engine plus the absolute log
+/// position it reflects.
+struct Generation {
+    engine: Engine,
+    /// Number of log operations folded into `engine` (absolute, never
+    /// reset by log truncation).
+    log_pos: u64,
+}
+
+/// Writer-side state: the master engine and the mutation log.
+struct WriterState {
+    master: Engine,
+    /// Operations not yet truncated; `log[0]` is absolute position
+    /// `log_base`.
+    log: Vec<LogOp>,
+    /// Absolute log position of `log[0]`.
+    log_base: u64,
+}
+
+impl WriterState {
+    fn end_pos(&self) -> u64 {
+        self.log_base + self.log.len() as u64
+    }
+}
+
+struct Shared {
+    writer: Mutex<WriterState>,
+    /// The published generation; write-held only for the publish swap.
+    head: RwLock<Arc<Generation>>,
+    /// Log position covered by `head`, for `wait_until_published`.
+    published: Mutex<u64>,
+    published_cv: Condvar,
+    /// Wakes the publisher when the log grows (or on shutdown).
+    pending_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Generations abandoned to straggler readers (observability).
+    abandoned: AtomicU64,
+}
+
+/// Ignores mutex poisoning: every critical section either mutates
+/// nothing before its only panic point (validation panics precede the
+/// first store write) or performs non-panicking pointer/counter work,
+/// so the protected state is consistent even after an unwind.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An epoch/RCU snapshot layer over [`Engine`] (see the module docs):
+/// `&self` mutations, wait-free reads against immutable published
+/// generations, off-thread index publication.
+pub struct SnapshotEngine {
+    shared: Arc<Shared>,
+    publisher: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A frozen, consistent view of the corpus at one log position.
+/// Dereferences to [`Engine`], so the whole read-side query API
+/// (`query_into`, `query_items`, `query_topk`, `query_batch`, ...) is
+/// available directly. Holding a snapshot keeps its generation alive;
+/// drop it promptly so the publisher can recycle retiring generations
+/// instead of abandoning them.
+#[derive(Clone)]
+pub struct EngineSnapshot {
+    generation: Arc<Generation>,
+}
+
+impl EngineSnapshot {
+    /// The frozen engine.
+    #[inline]
+    pub fn engine(&self) -> &Engine {
+        &self.generation.engine
+    }
+
+    /// The absolute log position this snapshot reflects: queries are
+    /// bit-identical to a monolith that applied exactly the first
+    /// `log_pos()` logged mutations.
+    #[inline]
+    pub fn log_pos(&self) -> u64 {
+        self.generation.log_pos
+    }
+}
+
+impl std::ops::Deref for EngineSnapshot {
+    type Target = Engine;
+
+    #[inline]
+    fn deref(&self) -> &Engine {
+        &self.generation.engine
+    }
+}
+
+impl SnapshotEngine {
+    /// Wraps a built engine, forking the two replicas (published head
+    /// and standby) and starting the publisher thread. The wrapped
+    /// engine becomes the writer-side master.
+    pub fn new(master: Engine) -> Self {
+        let head = Arc::new(Generation {
+            engine: master.fork(),
+            log_pos: 0,
+        });
+        let standby = master.fork();
+        let shared = Arc::new(Shared {
+            writer: Mutex::new(WriterState {
+                master,
+                log: Vec::new(),
+                log_base: 0,
+            }),
+            head: RwLock::new(head),
+            published: Mutex::new(0),
+            published_cv: Condvar::new(),
+            pending_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            abandoned: AtomicU64::new(0),
+        });
+        let publisher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ranksim-publisher".into())
+                .spawn(move || publisher_loop(&shared, standby))
+                .expect("spawn snapshot publisher thread")
+        };
+        SnapshotEngine {
+            shared,
+            publisher: Some(publisher),
+        }
+    }
+
+    /// The current published generation — wait-free with respect to
+    /// writers and allocation-free (one `RwLock` read, one refcount
+    /// increment).
+    #[inline]
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let head = self.shared.head.read().unwrap_or_else(|e| e.into_inner());
+        EngineSnapshot {
+            generation: head.clone(),
+        }
+    }
+
+    /// Inserts a ranking into the live corpus (see
+    /// [`Engine::insert_ranking`] for semantics and panics). The new
+    /// ranking is visible to snapshots taken after the next
+    /// publication; [`SnapshotEngine::flush`] forces that.
+    pub fn insert_ranking(&self, items: &[ItemId]) -> RankingId {
+        let mut w = lock_ignore_poison(&self.shared.writer);
+        let id = w.master.insert_ranking(items);
+        w.log.push(LogOp::Insert {
+            id,
+            items: items.to_vec(),
+        });
+        drop(w);
+        self.shared.pending_cv.notify_one();
+        id
+    }
+
+    /// Re-inserts a ranking at a released id (see
+    /// [`Engine::insert_ranking_at`]).
+    pub fn insert_ranking_at(&self, id: RankingId, items: &[ItemId]) {
+        let mut w = lock_ignore_poison(&self.shared.writer);
+        w.master.insert_ranking_at(id, items);
+        w.log.push(LogOp::InsertAt {
+            id,
+            items: items.to_vec(),
+        });
+        drop(w);
+        self.shared.pending_cv.notify_one();
+    }
+
+    /// Tombstones ranking `id`; returns `false` when it was not live.
+    /// May trigger a master-side auto-compaction (replicas re-trigger
+    /// it deterministically during replay).
+    pub fn remove_ranking(&self, id: RankingId) -> bool {
+        let mut w = lock_ignore_poison(&self.shared.writer);
+        if !w.master.remove_ranking(id) {
+            return false;
+        }
+        w.log.push(LogOp::Remove(id));
+        drop(w);
+        self.shared.pending_cv.notify_one();
+        true
+    }
+
+    /// Compacts the master and logs the compaction for the replicas.
+    /// Readers are *not* blocked while replicas rebuild — that is the
+    /// point of this type.
+    pub fn compact(&self) {
+        let mut w = lock_ignore_poison(&self.shared.writer);
+        w.master.compact();
+        w.log.push(LogOp::Compact);
+        drop(w);
+        self.shared.pending_cv.notify_one();
+    }
+
+    /// The absolute log position of the last accepted mutation.
+    pub fn writer_pos(&self) -> u64 {
+        lock_ignore_poison(&self.shared.writer).end_pos()
+    }
+
+    /// The absolute log position covered by the published head.
+    pub fn published_pos(&self) -> u64 {
+        *lock_ignore_poison(&self.shared.published)
+    }
+
+    /// Generations the publisher abandoned to straggler readers
+    /// instead of recycling (each one costs a head fork).
+    pub fn abandoned_generations(&self) -> u64 {
+        self.shared.abandoned.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until snapshots reflect at least log position `pos`.
+    pub fn wait_until_published(&self, pos: u64) {
+        let mut published = lock_ignore_poison(&self.shared.published);
+        while *published < pos {
+            published = self
+                .shared
+                .published_cv
+                .wait(published)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks until every mutation accepted so far is visible to new
+    /// snapshots.
+    pub fn flush(&self) {
+        let pos = self.writer_pos();
+        self.wait_until_published(pos);
+    }
+}
+
+impl Drop for SnapshotEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The publisher waits on `pending_cv` under the writer lock;
+        // taking the lock before notifying closes the race where it
+        // re-checks the predicate just before we set the flag.
+        drop(lock_ignore_poison(&self.shared.writer));
+        self.shared.pending_cv.notify_all();
+        if let Some(h) = self.publisher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Replays one logged op into a replica. Ids are asserted, not
+/// assigned: determinism of the transition function makes the replica
+/// agree with the master by construction.
+fn replay(engine: &mut Engine, op: &LogOp) {
+    match op {
+        LogOp::Insert { id, items } => {
+            let got = engine.insert_ranking(items);
+            debug_assert_eq!(got, *id, "replica id assignment diverged from master");
+        }
+        LogOp::InsertAt { id, items } => engine.insert_ranking_at(*id, items),
+        LogOp::Remove(id) => {
+            let removed = engine.remove_ranking(*id);
+            debug_assert!(removed, "replica liveness diverged from master");
+        }
+        LogOp::Compact => engine.compact(),
+    }
+}
+
+fn publisher_loop(shared: &Shared, mut standby: Engine) {
+    // Log position `standby` currently reflects.
+    let mut standby_pos: u64 = 0;
+    loop {
+        // Wait for new log entries (or shutdown), then copy the suffix
+        // out so replay runs without holding the writer lock.
+        let ops: Vec<LogOp>;
+        let target_pos: u64;
+        {
+            let mut w = lock_ignore_poison(&shared.writer);
+            while w.end_pos() <= standby_pos && !shared.shutdown.load(Ordering::SeqCst) {
+                w = shared.pending_cv.wait(w).unwrap_or_else(|e| e.into_inner());
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let skip = (standby_pos - w.log_base) as usize;
+            ops = w.log[skip..].to_vec();
+            target_pos = w.end_pos();
+        }
+
+        // Replay off-lock: writers keep writing, readers keep reading
+        // the old head. This is where compaction rebuilds burn CPU
+        // without blocking anyone.
+        for op in &ops {
+            replay(&mut standby, op);
+        }
+
+        // Publish: a pointer swap under a momentary write lock.
+        let fresh = Arc::new(Generation {
+            engine: standby,
+            log_pos: target_pos,
+        });
+        let retiring = {
+            let mut head = shared.head.write().unwrap_or_else(|e| e.into_inner());
+            std::mem::replace(&mut *head, fresh.clone())
+        };
+        {
+            let mut published = lock_ignore_poison(&shared.published);
+            *published = target_pos;
+        }
+        shared.published_cv.notify_all();
+
+        // Reclaim the retiring generation as the next standby. Readers
+        // holding snapshots of it keep it alive; wait boundedly, then
+        // abandon it to them and fork the head instead.
+        let deadline = Instant::now() + RECLAIM_WAIT;
+        let mut retiring = retiring;
+        (standby, standby_pos) = loop {
+            match Arc::try_unwrap(retiring) {
+                Ok(generation) => break (generation.engine, generation.log_pos),
+                Err(still_shared) => {
+                    if Instant::now() >= deadline {
+                        shared.abandoned.fetch_add(1, Ordering::Relaxed);
+                        drop(still_shared);
+                        break (fresh.engine.fork(), fresh.log_pos);
+                    }
+                    retiring = still_shared;
+                    std::thread::yield_now();
+                }
+            }
+        };
+
+        // Truncate the log below what the standby still needs; the
+        // published head is always at least as fresh as the standby.
+        {
+            let mut w = lock_ignore_poison(&shared.writer);
+            let cut = (standby_pos - w.log_base) as usize;
+            w.log.drain(..cut);
+            w.log_base = standby_pos;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Algorithm, EngineBuilder};
+    use ranksim_datasets::{nyt_like, workload, WorkloadParams};
+    use ranksim_rankings::{raw_threshold, QueryStats};
+
+    fn small_snapshot_engine(n: usize, seed: u64) -> (SnapshotEngine, u32) {
+        let ds = nyt_like(n, 8, seed);
+        let domain = ds.params.domain;
+        let engine = EngineBuilder::new(ds.store)
+            .coarse_threshold(0.4)
+            .coarse_drop_threshold(0.06)
+            .compaction_threshold(0.3)
+            .build();
+        (SnapshotEngine::new(engine), domain)
+    }
+
+    #[test]
+    fn snapshots_are_stable_while_writes_land() {
+        let (se, _domain) = small_snapshot_engine(300, 9);
+        let theta = raw_threshold(0.25, 8);
+        let before = se.snapshot();
+        let q: Vec<ItemId> = before.store().items(RankingId(3)).to_vec();
+        let mut scratch = before.scratch();
+        let mut stats = QueryStats::new();
+        let baseline = before.query_items(Algorithm::Fv, &q, theta, &mut scratch, &mut stats);
+        assert!(baseline.contains(&RankingId(3)));
+
+        // Remove the query's own ranking; the held snapshot must keep
+        // answering from its frozen world.
+        assert!(se.remove_ranking(RankingId(3)));
+        se.flush();
+        let again = before.query_items(Algorithm::Fv, &q, theta, &mut scratch, &mut stats);
+        assert_eq!(again, baseline, "held snapshot changed under a write");
+
+        // A fresh snapshot sees the removal.
+        let after = se.snapshot();
+        assert!(after.log_pos() >= 1);
+        let fresh = after.query_items(Algorithm::Fv, &q, theta, &mut scratch, &mut stats);
+        assert!(!fresh.contains(&RankingId(3)));
+        assert!(fresh.len() < baseline.len() || baseline == vec![RankingId(3)]);
+    }
+
+    #[test]
+    fn flush_makes_inserts_visible_and_ids_monotone() {
+        let (se, domain) = small_snapshot_engine(200, 21);
+        let wl = workload(
+            se.snapshot().store(),
+            domain,
+            WorkloadParams {
+                num_queries: 6,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let mut ids = Vec::new();
+        for q in &wl.queries {
+            ids.push(se.insert_ranking(q));
+        }
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be monotone");
+        se.flush();
+        let snap = se.snapshot();
+        assert_eq!(snap.log_pos(), se.writer_pos());
+        let theta = raw_threshold(0.0, 8);
+        let mut scratch = snap.scratch();
+        let mut stats = QueryStats::new();
+        for (q, id) in wl.queries.iter().zip(&ids) {
+            let res = snap.query_items(Algorithm::ListMerge, q, theta, &mut scratch, &mut stats);
+            assert!(res.contains(id), "inserted ranking invisible after flush");
+        }
+    }
+
+    #[test]
+    fn explicit_compaction_publishes_a_consistent_generation() {
+        let (se, _domain) = small_snapshot_engine(150, 33);
+        for i in 0..20u32 {
+            se.remove_ranking(RankingId(i * 3));
+        }
+        se.compact();
+        se.flush();
+        let snap = se.snapshot();
+        assert_eq!(
+            snap.base_tombstones(),
+            0,
+            "compaction must clear tombstones"
+        );
+        // Every algorithm still answers identically on the fresh head.
+        let q: Vec<ItemId> = snap.store().items(RankingId(1)).to_vec();
+        let theta = raw_threshold(0.2, 8);
+        let mut scratch = snap.scratch();
+        let mut stats = QueryStats::new();
+        let expect = snap.query_items(Algorithm::Fv, &q, theta, &mut scratch, &mut stats);
+        for alg in Algorithm::ALL {
+            let mut got = snap.query_items(alg, &q, theta, &mut scratch, &mut stats);
+            got.sort_unstable();
+            let mut want = expect.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "{alg} diverged on the published snapshot");
+        }
+    }
+
+    #[test]
+    fn abandoned_generations_do_not_stall_publication() {
+        let (se, _domain) = small_snapshot_engine(120, 7);
+        // Pin the initial generation for the whole test.
+        let pinned = se.snapshot();
+        for i in 0..30u32 {
+            se.insert_ranking(&pinned.store().items(RankingId(i % 5)).to_vec());
+            let fresh: Vec<ItemId> = (1000 + i * 10..1000 + i * 10 + 8).map(ItemId).collect();
+            se.insert_ranking(&fresh);
+        }
+        se.flush();
+        assert_eq!(se.published_pos(), se.writer_pos());
+        assert_eq!(
+            pinned.log_pos(),
+            0,
+            "pinned snapshot must stay at its prefix"
+        );
+        // The pinned world still has its original corpus size.
+        assert_eq!(pinned.store().live_len(), 120);
+        let now = se.snapshot();
+        assert_eq!(now.store().live_len(), 180);
+    }
+}

@@ -267,4 +267,60 @@ fn steady_state_query_into_performs_zero_allocations() {
          touch the allocator ({} allocations during the measured pass)",
         after - before
     );
+
+    // --- Snapshot engine ----------------------------------------------
+    //
+    // Serving reads must stay zero-allocation end to end: acquiring a
+    // frozen [`SnapshotEngine`] snapshot is an `RwLock` read plus one
+    // `Arc` refcount bump — no clone, no copy — and querying through it
+    // is the ordinary `query_into` path on the published generation.
+    // The grid below re-acquires a **fresh snapshot for every query**,
+    // exactly like a serving dispatcher does. The publisher thread is
+    // idled first (`flush` with nothing pending parks it on its
+    // condvar), so the measured pass observes the steady serving state
+    // of a corpus that has already absorbed writes.
+    let service = ranksim_core::SnapshotEngine::new(
+        EngineBuilder::new(nyt_like(1000, 10, 13).store)
+            .coarse_threshold(0.5)
+            .coarse_drop_threshold(0.06)
+            .build(),
+    );
+    for i in 0..40u32 {
+        let items: Vec<ranksim_rankings::ItemId> = (0..10)
+            .map(|j| ranksim_rankings::ItemId(700_000 + i * 16 + j))
+            .collect();
+        service.insert_ranking(&items);
+    }
+    service.flush();
+    let mut nscratch = service.snapshot().scratch();
+    let mut nout = Vec::new();
+    let mut nstats = QueryStats::new();
+    let run_snapshot_grid = |scratch: &mut _, out: &mut Vec<_>, stats: &mut _| {
+        let mut total = 0usize;
+        for alg in Algorithm::ALL.iter().copied().chain([Algorithm::Auto]) {
+            for &raw in &thetas {
+                for q in &wl.queries {
+                    let snap = service.snapshot();
+                    snap.query_into(alg, q, raw, scratch, stats, out);
+                    total += out.len();
+                }
+            }
+        }
+        total
+    };
+    let nwarm1 = run_snapshot_grid(&mut nscratch, &mut nout, &mut nstats);
+    let nwarm2 = run_snapshot_grid(&mut nscratch, &mut nout, &mut nstats);
+    assert_eq!(nwarm1, nwarm2, "deterministic workload expected");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let nmeasured = run_snapshot_grid(&mut nscratch, &mut nout, &mut nstats);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(nmeasured, nwarm1);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state snapshot reads (acquire + query_into) must not \
+         touch the allocator ({} allocations during the measured pass)",
+        after - before
+    );
 }

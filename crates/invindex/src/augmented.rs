@@ -58,7 +58,9 @@ impl AugmentedInvertedIndex {
         let mut offsets = vec![0u32; m + 1];
         for &id in &ids {
             for &item in store.items(id) {
-                let d = remap.dense(item).expect("item missing from remap");
+                // Unmapped items get no posting (partial remaps degrade
+                // to empty lists instead of aborting the rebuild).
+                let Some(d) = remap.dense(item) else { continue };
                 offsets[d as usize + 1] += 1;
             }
         }
@@ -76,7 +78,10 @@ impl AugmentedInvertedIndex {
         ];
         for &id in &ids {
             for (rank, &item) in store.items(id).iter().enumerate() {
-                let d = remap.dense(item).expect("item missing from remap") as usize;
+                // Must skip exactly the items the counting pass skipped;
+                // `rank` still reflects the item's true store position.
+                let Some(d) = remap.dense(item) else { continue };
+                let d = d as usize;
                 postings[cursors[d] as usize] = Posting {
                     id,
                     rank: rank as u32,
@@ -174,6 +179,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn partial_remap_degrades_to_empty_postings() {
+        let mut store = RankingStore::new(3);
+        store.push_items_unchecked(&[1, 2, 3].map(ItemId));
+        store.push_items_unchecked(&[2, 3, 4].map(ItemId));
+        let remap = Arc::new(ItemRemap::from_raw_ids(vec![1, 2]));
+        let idx = AugmentedInvertedIndex::build_with_remap(&store, remap, store.live_ids());
+        // Mapped items keep postings with their true store ranks…
+        let l2 = idx.list(ItemId(2)).unwrap();
+        assert_eq!(l2.len(), 2);
+        assert_eq!((l2[0].id, l2[0].rank), (RankingId(0), 1));
+        assert_eq!((l2[1].id, l2[1].rank), (RankingId(1), 0));
+        // …while unmapped items have none, rather than a panicking build.
+        assert_eq!(idx.list(ItemId(3)), None);
+        assert_eq!(idx.list_range(ItemId(4)), (0, 0));
     }
 
     #[test]

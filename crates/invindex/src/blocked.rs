@@ -59,8 +59,10 @@ impl BlockedInvertedIndex {
         let mut block_offsets = vec![0u32; m * stride + 1];
         for &id in &ids_in {
             for (rank, &item) in store.items(id).iter().enumerate() {
-                let d = remap.dense(item).expect("item missing from remap") as usize;
-                block_offsets[d * stride + rank + 1] += 1;
+                // Unmapped items get no posting (partial remaps degrade
+                // to empty blocks instead of aborting the rebuild).
+                let Some(d) = remap.dense(item) else { continue };
+                block_offsets[d as usize * stride + rank + 1] += 1;
             }
         }
         // The per-item `offsets[k]` slot (one short of the next item's
@@ -80,8 +82,9 @@ impl BlockedInvertedIndex {
         let mut build_sort_ops = 0u64;
         for &id in &ids_in {
             for (rank, &item) in store.items(id).iter().enumerate() {
-                let d = remap.dense(item).expect("item missing from remap") as usize;
-                let c = &mut cursors[d * stride + rank];
+                // Must skip exactly the items the counting pass skipped.
+                let Some(d) = remap.dense(item) else { continue };
+                let c = &mut cursors[d as usize * stride + rank];
                 arena[*c as usize] = id;
                 *c += 1;
                 build_sort_ops += 1;
@@ -185,6 +188,24 @@ mod tests {
             }
             assert_eq!(total, idx.list_len(item));
         }
+    }
+
+    #[test]
+    fn partial_remap_degrades_to_empty_blocks() {
+        let mut store = RankingStore::new(3);
+        store.push_items_unchecked(&[1, 2, 3].map(ItemId));
+        store.push_items_unchecked(&[2, 3, 4].map(ItemId));
+        let remap = Arc::new(ItemRemap::from_raw_ids(vec![1, 2]));
+        let idx = BlockedInvertedIndex::build_with_remap(&store, remap, store.live_ids());
+        // Mapped items keep their rank-partitioned blocks at true store
+        // ranks…
+        assert_eq!(idx.block(ItemId(1), 0), &[RankingId(0)]);
+        assert_eq!(idx.block(ItemId(2), 0), &[RankingId(1)]);
+        assert_eq!(idx.block(ItemId(2), 1), &[RankingId(0)]);
+        // …while unmapped items have none, rather than a panicking build.
+        assert!(!idx.contains_item(ItemId(3)));
+        assert_eq!(idx.list_len(ItemId(4)), 0);
+        assert_eq!(idx.block(ItemId(4), 0), &[] as &[RankingId]);
     }
 
     #[test]

@@ -39,9 +39,10 @@ impl PlainInvertedIndex {
     }
 
     /// Indexes a subset of rankings against a shared corpus remap (ids in
-    /// ascending order). The remap must cover every item of the indexed
-    /// rankings; the engine builds one remap per corpus and shares it
-    /// across all index structures.
+    /// ascending order). The engine builds one remap per corpus and shares
+    /// it across all index structures; items the remap does not cover get
+    /// no posting (the ranking stays findable through its mapped items),
+    /// so a partial remap degrades results instead of panicking.
     pub fn build_with_remap<I: IntoIterator<Item = RankingId>>(
         store: &RankingStore,
         remap: Arc<ItemRemap>,
@@ -55,7 +56,11 @@ impl PlainInvertedIndex {
         let mut offsets = vec![0u32; m + 1];
         for &id in &ids {
             for &item in store.items(id) {
-                let d = remap.dense(item).expect("item missing from remap");
+                // An item absent from the remap simply gets no posting:
+                // the ranking stays findable through its mapped items and
+                // the query side already treats unmapped items as empty
+                // lists, so a partial remap degrades instead of aborting.
+                let Some(d) = remap.dense(item) else { continue };
                 offsets[d as usize + 1] += 1;
             }
         }
@@ -67,7 +72,9 @@ impl PlainInvertedIndex {
         let mut postings = vec![RankingId(0); total];
         for &id in &ids {
             for &item in store.items(id) {
-                let d = remap.dense(item).expect("item missing from remap") as usize;
+                // Must skip exactly the items the counting pass skipped.
+                let Some(d) = remap.dense(item) else { continue };
+                let d = d as usize;
                 postings[cursors[d] as usize] = id;
                 cursors[d] += 1;
             }
@@ -173,6 +180,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn partial_remap_degrades_to_empty_postings() {
+        let mut store = RankingStore::new(3);
+        store.push_items_unchecked(&[1, 2, 3].map(ItemId));
+        store.push_items_unchecked(&[2, 3, 4].map(ItemId));
+        // The remap deliberately misses items 3 and 4: those items get
+        // no posting, everything else indexes normally — no panic.
+        let remap = Arc::new(ItemRemap::from_raw_ids(vec![1, 2]));
+        let idx = PlainInvertedIndex::build_with_remap(&store, remap, store.live_ids());
+        assert_eq!(idx.indexed(), 2);
+        assert_eq!(idx.list(ItemId(1)).unwrap(), &[RankingId(0)]);
+        assert_eq!(idx.list(ItemId(2)).unwrap(), &[RankingId(0), RankingId(1)]);
+        assert_eq!(idx.list(ItemId(3)), None);
+        assert_eq!(idx.list_len(ItemId(4)), 0);
     }
 
     #[test]

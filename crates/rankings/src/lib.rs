@@ -39,7 +39,7 @@ pub use footrule::{
     footrule_items, footrule_pairs, footrule_store, max_distance, min_distance_for_overlap,
     one_side_total, raw_threshold, PositionMap,
 };
-pub use ranking::{ItemId, Ranking, RankingError, RankingId, RankingStore};
+pub use ranking::{validate_items, ItemId, Ranking, RankingError, RankingId, RankingStore};
 pub use remap::ItemRemap;
 pub use scratch::{EpochMap, EpochSet, FlatPositionMap, QueryScratch};
 pub use stats::QueryStats;

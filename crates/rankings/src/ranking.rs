@@ -117,6 +117,29 @@ impl AsRef<[ItemId]> for Ranking {
     }
 }
 
+/// Validates a raw item slice as a candidate size-`k` ranking without
+/// allocating: exactly `k` pairwise-distinct items.
+///
+/// This is the non-panicking twin of the engine's insertion asserts, for
+/// call sites that must *reject* malformed input instead of aborting —
+/// e.g. a serving front-end parsing untrusted wire queries. The quadratic
+/// distinctness scan is deliberate: `k` is small (top-*k* lists), so this
+/// beats sorting for every realistic ranking size.
+pub fn validate_items(items: &[ItemId], k: usize) -> Result<(), RankingError> {
+    if items.len() != k {
+        return Err(RankingError::WrongLength {
+            expected: k,
+            got: items.len(),
+        });
+    }
+    for (i, a) in items.iter().enumerate() {
+        if items[i + 1..].contains(a) {
+            return Err(RankingError::DuplicateItem(*a));
+        }
+    }
+    Ok(())
+}
+
 /// Lifecycle of one ranking-id slot of a [`RankingStore`].
 ///
 /// Live corpora tombstone instead of erasing: index structures resolve
@@ -447,6 +470,26 @@ mod tests {
             Ranking::new([1, 2, 1]),
             Err(RankingError::DuplicateItem(ItemId(1)))
         );
+    }
+
+    #[test]
+    fn validate_items_checks_length_and_distinctness() {
+        let ok = [4, 9, 2].map(ItemId);
+        assert_eq!(validate_items(&ok, 3), Ok(()));
+        assert_eq!(
+            validate_items(&ok, 4),
+            Err(RankingError::WrongLength {
+                expected: 4,
+                got: 3
+            })
+        );
+        let dup = [4, 9, 4].map(ItemId);
+        assert_eq!(
+            validate_items(&dup, 3),
+            Err(RankingError::DuplicateItem(ItemId(4)))
+        );
+        // k = 0 with an empty slice is valid (vacuously distinct).
+        assert_eq!(validate_items(&[], 0), Ok(()));
     }
 
     #[test]

@@ -67,6 +67,37 @@
 //! let hits = engine.query(Algorithm::Coarse, &query, 0.35, &mut stats);
 //! assert!(hits.contains(&fresh));
 //! ```
+//!
+//! ## Concurrent serving
+//!
+//! [`prelude::SnapshotEngine`] wraps an engine in an RCU-style snapshot
+//! layer for mixed read/write workloads: mutations go through `&self`
+//! and are published off-thread, while readers grab a frozen
+//! [`prelude::EngineSnapshot`] and never block on a writer — not even
+//! during a compaction rebuild.
+//!
+//! ```
+//! use ranksim::prelude::*;
+//!
+//! let mut store = RankingStore::new(4);
+//! for items in [[2u32, 5, 4, 3], [1, 4, 5, 9], [0, 8, 5, 7]] {
+//!     store.push(&Ranking::new(items).unwrap()).unwrap();
+//! }
+//! let service = SnapshotEngine::new(EngineBuilder::new(store).coarse_threshold(0.3).build());
+//!
+//! let snap = service.snapshot(); // frozen world, zero-allocation acquire
+//! let fresh = service.insert_ranking(&[2u32, 5, 4, 9].map(ItemId));
+//! service.flush(); // wait for the publisher to catch up
+//!
+//! let mut stats = QueryStats::new();
+//! let mut scratch = snap.scratch();
+//! let q: Vec<ItemId> = [2u32, 5, 4, 7].map(ItemId).to_vec();
+//! let theta = raw_threshold(0.35, 4);
+//! // The held snapshot predates the insert; a fresh one sees it.
+//! assert!(!snap.query_items(Algorithm::Fv, &q, theta, &mut scratch, &mut stats).contains(&fresh));
+//! let now = service.snapshot();
+//! assert!(now.query_items(Algorithm::Fv, &q, theta, &mut scratch, &mut stats).contains(&fresh));
+//! ```
 
 pub use ranksim_adaptsearch as adaptsearch;
 pub use ranksim_core as core;
@@ -79,8 +110,9 @@ pub use ranksim_rankings as rankings;
 pub mod prelude {
     pub use ranksim_core::engine::{Algorithm, Engine, EngineBuilder, QueryTrace};
     pub use ranksim_core::{
-        CalibratedCosts, CoarseIndex, CostModel, PlanStats, Planner, RebalanceConfig,
-        ShardStrategy, ShardedEngine, ShardedEngineBuilder, WorkerReport,
+        CalibratedCosts, CoarseIndex, CostModel, EngineSnapshot, PlanStats, Planner,
+        RebalanceConfig, ShardStrategy, ShardedEngine, ShardedEngineBuilder, SnapshotEngine,
+        WorkerReport,
     };
     pub use ranksim_rankings::{
         footrule_pairs, raw_threshold, ExecStats, ItemId, ItemRemap, PositionMap, QueryExecutor,
