@@ -78,6 +78,7 @@ fn main() {
         "planner" => run_planner(&cfg, algorithms),
         "churn" => run_churn_cmd(&cfg, t0),
         "serve" => run_serve_cmd(&cfg, t0),
+        "recovery" => run_recovery_cmd(&cfg),
         "all" => {
             run_verify(&cfg);
             run_fig3(&cfg);
@@ -92,7 +93,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner churn serve all"
+                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner churn serve recovery all"
             );
             std::process::exit(2);
         }
@@ -318,6 +319,57 @@ fn run_serve_cmd(cfg: &ExpConfig, t0: std::time::Instant) {
             std::process::exit(1);
         }
         println!("time budget ok: {elapsed:.1}s <= {budget_s:.1}s");
+    }
+}
+
+/// The durability experiment: the identical write sequence through the
+/// WAL-backed [`ranksim_core::SnapshotEngine`] under every sync policy
+/// (µs per acknowledged write), then cold
+/// [`ranksim_core::SnapshotEngine::recover`] timed against logs of
+/// increasing length — written to `BENCH_recovery.json` (path override:
+/// `RANKSIM_RECOVERY_JSON`). `RANKSIM_RECOVERY_TIME_BUDGET_S` turns the
+/// run into a CI guard that fails when the *slowest single recovery*
+/// exceeds the budget.
+fn run_recovery_cmd(cfg: &ExpConfig) {
+    let rc = recovery::RecoveryRunConfig::from_env(cfg);
+    println!(
+        "== durability: NYT-family n={}, {} writes; group commit = {} ops / {} ms ==",
+        cfg.nyt_n, rc.ops, rc.group_max_ops, rc.group_max_delay_ms
+    );
+    let report = recovery::run_recovery(cfg, rc);
+    println!(
+        "{:>18} {:>14} {:>14}",
+        "sync policy", "µs/write", "WAL bytes"
+    );
+    for c in &report.policy_costs {
+        println!("{:>18} {:>14.2} {:>14}", c.arm, c.us_per_op, c.wal_bytes);
+    }
+    println!(
+        "{:>12} {:>14} {:>12} {:>14}",
+        "log records", "log bytes", "recover s", "records/s"
+    );
+    for p in &report.points {
+        println!(
+            "{:>12} {:>14} {:>12.4} {:>14.0}",
+            p.ops, p.wal_bytes, p.recover_s, p.ops_per_s
+        );
+    }
+
+    let json_path =
+        std::env::var("RANKSIM_RECOVERY_JSON").unwrap_or_else(|_| "BENCH_recovery.json".into());
+    std::fs::write(&json_path, report.to_json()).expect("write recovery report JSON");
+    println!("report written to {json_path}");
+
+    if let Some(budget_s) = std::env::var("RANKSIM_RECOVERY_TIME_BUDGET_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let worst = report.worst_recover_s();
+        if worst > budget_s {
+            eprintln!("RECOVERY TIME BUDGET EXCEEDED: {worst:.2}s > {budget_s:.2}s");
+            std::process::exit(1);
+        }
+        println!("recovery time budget ok: {worst:.2}s <= {budget_s:.2}s");
     }
 }
 

@@ -30,6 +30,23 @@
 //! tags every read completed while the rebuild is in flight: the
 //! `during_compaction` percentile block in `BENCH_serve.json` is the
 //! direct evidence for "readers never block on writers".
+//!
+//! The spine is hardened for unattended operation:
+//!
+//! * every read carries a **deadline** (`read_budget`): requests that
+//!   expire in the queue or are not started by the batch driver before
+//!   the budget elapses fail individually with
+//!   [`ReadReply::TimedOut`] (socket: a `TIMEOUT` line) instead of
+//!   holding their client hostage;
+//! * the engine runs on a **write-ahead log** (see
+//!   [`ranksim_core::wal`]); graceful shutdown drains the admission
+//!   queue and syncs the WAL, so an orderly exit loses nothing;
+//! * the dispatcher polls [`SnapshotEngine::health`] every drain —
+//!   publisher death or a WAL failure is reported (and surfaced in
+//!   `BENCH_serve.json`) instead of silently serving ever-staler
+//!   snapshots;
+//! * the socket front door bounds line length, rejects non-UTF-8 and
+//!   oversized frames with `ERR`, and hangs up on idle connections.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
@@ -41,7 +58,7 @@ use std::time::{Duration, Instant};
 
 use crate::{Bench, ExpConfig, Family};
 use ranksim_core::engine::{Algorithm, EngineBuilder};
-use ranksim_core::SnapshotEngine;
+use ranksim_core::{SnapshotEngine, SyncPolicy, WalError};
 use ranksim_datasets::{perturb_ranking, PerturbParams};
 use ranksim_rankings::{raw_threshold, validate_items, ItemId, RankingId};
 
@@ -69,6 +86,13 @@ pub struct ServeRunConfig {
     /// Most requests coalesced into one batch-driver call
     /// (`RANKSIM_SERVE_BATCH`, default 64).
     pub batch_max: usize,
+    /// Per-read deadline in milliseconds, enqueue to start-of-execution
+    /// (`RANKSIM_SERVE_BUDGET_MS`, default 2000). Expired reads get
+    /// [`ReadReply::TimedOut`].
+    pub read_budget_ms: u64,
+    /// Socket connections idle longer than this many seconds are hung
+    /// up on (`RANKSIM_SERVE_IDLE_S`, default 60).
+    pub idle_timeout_s: u64,
 }
 
 impl ServeRunConfig {
@@ -89,16 +113,31 @@ impl ServeRunConfig {
             algorithm: Algorithm::Auto,
             queue_capacity: get("RANKSIM_SERVE_QUEUE", 1024).max(1),
             batch_max: get("RANKSIM_SERVE_BATCH", 64).max(1),
+            read_budget_ms: get("RANKSIM_SERVE_BUDGET_MS", 2000).max(1) as u64,
+            idle_timeout_s: get("RANKSIM_SERVE_IDLE_S", 60).max(1) as u64,
         }
     }
 }
 
-/// A read request in flight: the query, its threshold, and the reply
-/// channel the submitting front-end blocks on.
+/// A read request in flight: the query, its threshold, when it was
+/// admitted (for the deadline), and the reply channel the submitting
+/// front-end blocks on.
 struct ReadRequest {
     query: Vec<ItemId>,
     theta_raw: u32,
-    reply: SyncSender<Vec<RankingId>>,
+    enqueued: Instant,
+    reply: SyncSender<ReadReply>,
+}
+
+/// The dispatcher's answer to one admitted read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadReply {
+    /// The result set.
+    Done(Vec<RankingId>),
+    /// The read's deadline elapsed before execution started (in the
+    /// queue, or claimed past the batch deadline). It failed
+    /// individually; the rest of its batch completed.
+    TimedOut,
 }
 
 /// Why a read submission was rejected.
@@ -121,11 +160,17 @@ pub struct ServeCore {
     batch_max: usize,
     batch_threads: usize,
     algorithm: Algorithm,
+    read_budget: Duration,
     stop: AtomicBool,
     /// Reads shed by admission control.
     pub shed: AtomicU64,
     /// Batched queries whose worker panicked (empty result returned).
     pub batch_failures: AtomicU64,
+    /// Reads that missed their deadline ([`ReadReply::TimedOut`]).
+    pub timeouts: AtomicU64,
+    /// Set by the dispatcher when [`SnapshotEngine::health`] first
+    /// reports an unhealthy engine (publisher death / WAL failure).
+    pub unhealthy: AtomicBool,
 }
 
 impl ServeCore {
@@ -139,9 +184,12 @@ impl ServeCore {
             batch_max: rc.batch_max,
             batch_threads: rc.batch_threads,
             algorithm: rc.algorithm,
+            read_budget: Duration::from_millis(rc.read_budget_ms),
             stop: AtomicBool::new(false),
             shed: AtomicU64::new(0),
             batch_failures: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            unhealthy: AtomicBool::new(false),
         }
     }
 
@@ -150,14 +198,14 @@ impl ServeCore {
         &self.engine
     }
 
-    /// Submits a read; the returned channel yields the result set once
-    /// the dispatcher has served it. Sheds instead of queueing past
-    /// the capacity bound.
+    /// Submits a read; the returned channel yields a [`ReadReply`] once
+    /// the dispatcher has served (or timed out) it. Sheds instead of
+    /// queueing past the capacity bound.
     pub fn submit_read(
         &self,
         query: Vec<ItemId>,
         theta_raw: u32,
-    ) -> Result<Receiver<Vec<RankingId>>, SubmitError> {
+    ) -> Result<Receiver<ReadReply>, SubmitError> {
         if self.stop.load(Ordering::Acquire) {
             return Err(SubmitError::Stopped);
         }
@@ -171,6 +219,7 @@ impl ServeCore {
             q.push_back(ReadRequest {
                 query,
                 theta_raw,
+                enqueued: Instant::now(),
                 reply: tx,
             });
         }
@@ -185,11 +234,26 @@ impl ServeCore {
         self.queue_cv.notify_all();
     }
 
+    /// Graceful-shutdown epilogue: forces the WAL to stable storage.
+    /// Call after [`ServeCore::shutdown`] **and** after joining the
+    /// dispatcher thread, so everything the dispatcher drained — and
+    /// every writer-API call — is on disk before the process exits.
+    pub fn sync_wal(&self) -> Result<(), WalError> {
+        self.engine.sync_wal()
+    }
+
     /// The dispatcher loop (run it on its own thread): drains up to
     /// `batch_max` waiting reads, pins one snapshot for the drain,
     /// groups by threshold, and answers each group through the
     /// work-stealing batch driver. Returns when [`ServeCore::shutdown`]
     /// was called and the queue is empty.
+    ///
+    /// Deadlines are enforced in two places: a request that already
+    /// expired while queued is answered [`ReadReply::TimedOut`] without
+    /// execution, and each batch-driver call runs under
+    /// [`ranksim_core::engine::Engine::query_batch_deadline`] so a
+    /// slow batch times out its unstarted tail individually instead of
+    /// stalling every queued request behind it.
     pub fn dispatch_loop(&self) {
         let mut drained: Vec<ReadRequest> = Vec::new();
         loop {
@@ -205,10 +269,34 @@ impl ServeCore {
                 drained.extend(q.drain(..take));
             }
 
+            // Liveness check once per drain: a dead publisher or failed
+            // WAL is latched for the operator; reads keep being served
+            // from the last published generation either way.
+            if !self.unhealthy.load(Ordering::Relaxed) && !self.engine.health().is_healthy() {
+                self.unhealthy.store(true, Ordering::Relaxed);
+            }
+
             // One frozen world for the whole coalesced batch: every
             // request in it sees the same consistent corpus, and the
             // batch driver's workers share it without synchronization.
             let snapshot = self.engine.snapshot();
+            let drain_start = Instant::now();
+
+            // Requests whose deadline already passed in the queue fail
+            // now, without burning batch capacity on them.
+            let mut expired = 0u64;
+            drained.retain(|req| {
+                if drain_start.duration_since(req.enqueued) >= self.read_budget {
+                    let _ = req.reply.send(ReadReply::TimedOut);
+                    expired += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            if expired > 0 {
+                self.timeouts.fetch_add(expired, Ordering::Relaxed);
+            }
 
             // Group by threshold so each batch-driver call runs one θ
             // (requests overwhelmingly share the workload θ; the sort
@@ -225,19 +313,33 @@ impl ServeCore {
                 let group = &order[start..end];
                 let queries: Vec<Vec<ItemId>> =
                     group.iter().map(|&i| drained[i].query.clone()).collect();
-                let (results, reports) = snapshot.query_batch_reported(
+                let (results, reports) = snapshot.query_batch_deadline(
                     self.algorithm,
                     &queries,
                     theta,
                     self.batch_threads,
+                    self.read_budget,
                 );
                 let failed: u64 = reports.iter().map(|r| r.failed).sum();
                 if failed > 0 {
                     self.batch_failures.fetch_add(failed, Ordering::Relaxed);
                 }
-                for (&i, result) in group.iter().zip(results) {
+                let timed_out: Vec<usize> = reports
+                    .iter()
+                    .flat_map(|r| r.timed_out.iter().copied())
+                    .collect();
+                if !timed_out.is_empty() {
+                    self.timeouts
+                        .fetch_add(timed_out.len() as u64, Ordering::Relaxed);
+                }
+                for (gi, (&i, result)) in group.iter().zip(results).enumerate() {
+                    let reply = if timed_out.contains(&gi) {
+                        ReadReply::TimedOut
+                    } else {
+                        ReadReply::Done(result)
+                    };
                     // A vanished client is its own problem.
-                    let _ = drained[i].reply.send(result);
+                    let _ = drained[i].reply.send(reply);
                 }
                 start = end;
             }
@@ -308,8 +410,15 @@ pub struct ServeReport {
     pub remove_misses: u64,
     /// Batched queries that failed by worker panic.
     pub batch_failures: u64,
+    /// Reads that missed their deadline.
+    pub timeouts: u64,
     /// Generations the publisher abandoned to straggler readers.
     pub abandoned_generations: u64,
+    /// Final WAL length in bytes (0 when the run was volatile).
+    pub wal_bytes: u64,
+    /// Whether the engine was healthy (publisher alive, WAL clean) at
+    /// the end of the run.
+    pub healthy_at_end: bool,
     /// Sustained read throughput (completed reads / wall time).
     pub read_qps: f64,
     /// Sustained write throughput.
@@ -351,13 +460,16 @@ impl ServeReport {
             self.config.batch_max
         ));
         s.push_str(&format!(
-            "  \"reads\": {}, \"writes\": {}, \"shed\": {}, \"remove_misses\": {}, \"batch_failures\": {}, \"abandoned_generations\": {},\n",
+            "  \"reads\": {}, \"writes\": {}, \"shed\": {}, \"remove_misses\": {}, \"batch_failures\": {}, \"timeouts\": {}, \"abandoned_generations\": {}, \"wal_bytes\": {}, \"healthy_at_end\": {},\n",
             self.reads,
             self.writes,
             self.shed,
             self.remove_misses,
             self.batch_failures,
-            self.abandoned_generations
+            self.timeouts,
+            self.abandoned_generations,
+            self.wal_bytes,
+            self.healthy_at_end
         ));
         s.push_str(&format!(
             "  \"read_qps\": {:.1}, \"write_qps\": {:.1},\n",
@@ -390,6 +502,7 @@ struct ClientTally {
     reads: u64,
     writes: u64,
     remove_misses: u64,
+    timeouts: u64,
     read_ns: Vec<u64>,
     read_ns_during_compaction: Vec<u64>,
     write_ns: Vec<u64>,
@@ -422,7 +535,16 @@ pub fn run_serve(cfg: &ExpConfig, rc: ServeRunConfig) -> ServeReport {
         ])
         .compaction_threshold(f64::INFINITY) // compaction is forced mid-run
         .build();
-    let core = ServeCore::new(SnapshotEngine::new(engine), &rc);
+    // Serve durably: every accepted write hits the WAL before it is
+    // acknowledged, group-committed so the latency tax stays small.
+    let wal_path = std::env::temp_dir().join(format!("ranksim-serve-{}.wal", std::process::id()));
+    let policy = SyncPolicy::GroupCommit {
+        max_ops: 64,
+        max_delay: Duration::from_millis(5),
+    };
+    let snapshot_engine = SnapshotEngine::with_wal(engine, &wal_path, policy)
+        .expect("create the serve run's write-ahead log");
+    let core = ServeCore::new(snapshot_engine, &rc);
 
     let deadline = Instant::now() + Duration::from_secs_f64(rc.duration_s);
     let compact_at = Instant::now() + Duration::from_secs_f64(rc.duration_s / 2.0);
@@ -471,13 +593,18 @@ pub fn run_serve(cfg: &ExpConfig, rc: ServeRunConfig) -> ServeReport {
                             let t = Instant::now();
                             match core.submit_read(q, theta_raw) {
                                 Ok(rx) => {
-                                    let _results = rx.recv().expect("dispatcher dropped a reply");
+                                    let reply = rx.recv().expect("dispatcher dropped a reply");
                                     let ns = t.elapsed().as_nanos() as u64;
-                                    tally.read_ns.push(ns);
-                                    if compacting.load(Ordering::Relaxed) {
-                                        tally.read_ns_during_compaction.push(ns);
+                                    match reply {
+                                        ReadReply::Done(_) => {
+                                            tally.read_ns.push(ns);
+                                            if compacting.load(Ordering::Relaxed) {
+                                                tally.read_ns_during_compaction.push(ns);
+                                            }
+                                            tally.reads += 1;
+                                        }
+                                        ReadReply::TimedOut => tally.timeouts += 1,
                                     }
-                                    tally.reads += 1;
                                 }
                                 Err(SubmitError::Shed) => {
                                     // Back off a touch so a saturated
@@ -508,25 +635,32 @@ pub fn run_serve(cfg: &ExpConfig, rc: ServeRunConfig) -> ServeReport {
             .into_iter()
             .map(|h| h.join().expect("serve client panicked"))
             .collect();
+        // Graceful shutdown: stop admission, let the dispatcher drain
+        // the queue, then force the WAL's group-commit window to disk.
         core.shutdown();
         dispatcher.join().expect("serve dispatcher panicked");
+        core.sync_wal().expect("sync the serve WAL on shutdown");
         tallies
     });
 
     let mut read_ns = Vec::new();
     let mut read_ns_dc = Vec::new();
     let mut write_ns = Vec::new();
-    let (mut reads, mut writes, mut remove_misses) = (0u64, 0u64, 0u64);
+    let (mut reads, mut writes, mut remove_misses, mut client_timeouts) = (0u64, 0u64, 0u64, 0u64);
     for mut t in tallies {
         reads += t.reads;
         writes += t.writes;
         remove_misses += t.remove_misses;
+        client_timeouts += t.timeouts;
         read_ns.append(&mut t.read_ns);
         read_ns_dc.append(&mut t.read_ns_during_compaction);
         write_ns.append(&mut t.write_ns);
     }
+    let _ = client_timeouts; // the core's counter is authoritative
 
-    ServeReport {
+    let health = core.engine().health();
+    let wal_bytes = core.engine().wal_bytes().unwrap_or(0);
+    let report = ServeReport {
         dataset,
         n,
         k,
@@ -535,7 +669,10 @@ pub fn run_serve(cfg: &ExpConfig, rc: ServeRunConfig) -> ServeReport {
         shed: core.shed.load(Ordering::Relaxed),
         remove_misses,
         batch_failures: core.batch_failures.load(Ordering::Relaxed),
+        timeouts: core.timeouts.load(Ordering::Relaxed),
         abandoned_generations: core.engine().abandoned_generations(),
+        wal_bytes,
+        healthy_at_end: health.is_healthy() && !core.unhealthy.load(Ordering::Relaxed),
         read_qps: reads as f64 / rc.duration_s,
         write_qps: writes as f64 / rc.duration_s,
         read_latency: LatencyUs::from_ns(&mut read_ns),
@@ -544,23 +681,87 @@ pub fn run_serve(cfg: &ExpConfig, rc: ServeRunConfig) -> ServeReport {
         compact_s,
         final_live_len: core.engine().snapshot().live_len(),
         config: rc,
-    }
+    };
+    // The bench WAL is scratch; a real deployment would keep it.
+    drop(core);
+    let _ = std::fs::remove_file(&wal_path);
+    report
 }
 
 // ---------------------------------------------------------------------
 // Socket front-end
 // ---------------------------------------------------------------------
 
+/// Longest request line the socket front door accepts. A legitimate
+/// request is a few hundred bytes (one size-`k` ranking); anything
+/// approaching this bound is malformed or hostile, and the read loop
+/// must never buffer an attacker-controlled unbounded line.
+const MAX_LINE: usize = 64 * 1024;
+
+/// One framing outcome of [`read_frame`].
+enum Frame {
+    /// A complete line (without its terminator), valid UTF-8.
+    Line(String),
+    /// A complete line that was not valid UTF-8 (answer `ERR`, keep
+    /// the connection — framing is still line-aligned).
+    NotUtf8,
+    /// The line exceeded [`MAX_LINE`] before a terminator arrived
+    /// (answer `ERR` and hang up; the remainder is unbounded).
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated frame with a hard length bound, never
+/// buffering more than [`MAX_LINE`] bytes no matter what the peer
+/// sends. Split out over `BufRead` so tests can drive it with a
+/// cursor instead of a socket.
+fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<Frame> {
+    buf.clear();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(Frame::Eof);
+            }
+            // Final unterminated line.
+            break;
+        }
+        if let Some(nl) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..nl]);
+            reader.consume(nl + 1);
+            if buf.len() > MAX_LINE {
+                return Ok(Frame::TooLong);
+            }
+            break;
+        }
+        buf.extend_from_slice(chunk);
+        let n = chunk.len();
+        reader.consume(n);
+        if buf.len() > MAX_LINE {
+            return Ok(Frame::TooLong);
+        }
+    }
+    match std::str::from_utf8(buf) {
+        Ok(s) => Ok(Frame::Line(s.to_string())),
+        Err(_) => Ok(Frame::NotUtf8),
+    }
+}
+
 /// Serves the line protocol on `listener` until [`ServeCore::shutdown`]
 /// (one thread per connection; the dispatcher must be running):
 ///
-/// * `Q <theta> <i1,i2,...>` → `R <id1,id2,...>` | `SHED` | `ERR <why>`
+/// * `Q <theta> <i1,i2,...>` → `R <id1,id2,...>` | `SHED` | `TIMEOUT`
+///   | `ERR <why>`
 /// * `I <i1,i2,...>` → `OK <id>` | `ERR <why>`
 /// * `D <id>` → `OK` | `MISS` | `ERR <why>`
 ///
 /// `theta` is the normalized threshold in `[0, 1]`. All ranking input
-/// is validated before it can reach the engine's panicking asserts.
+/// is validated before it can reach the engine's panicking asserts;
+/// frames are length-bounded, non-UTF-8 input gets `ERR`, and a
+/// connection idle past the configured timeout is hung up on.
 pub fn serve_socket(core: &Arc<ServeCore>, listener: TcpListener) {
+    let idle = Duration::from_secs(ServeRunConfig::from_env().idle_timeout_s);
     std::thread::scope(|scope| {
         for stream in listener.incoming() {
             if core.stop.load(Ordering::Acquire) {
@@ -568,20 +769,34 @@ pub fn serve_socket(core: &Arc<ServeCore>, listener: TcpListener) {
             }
             let Ok(stream) = stream else { continue };
             let core = Arc::clone(core);
-            scope.spawn(move || handle_connection(&core, stream));
+            scope.spawn(move || handle_connection(&core, stream, idle));
         }
     });
 }
 
-fn handle_connection(core: &ServeCore, stream: TcpStream) {
+fn handle_connection(core: &ServeCore, stream: TcpStream, idle_timeout: Duration) {
+    // An idle peer holds a thread and a file descriptor; bound it.
+    let _ = stream.set_read_timeout(Some(idle_timeout));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
-        let response = handle_line(core, line.trim());
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        let response = match read_frame(&mut reader, &mut buf) {
+            Ok(Frame::Line(line)) => handle_line(core, line.trim()),
+            Ok(Frame::NotUtf8) => "ERR request is not utf-8".to_string(),
+            Ok(Frame::TooLong) => {
+                // Cannot resync framing on an unbounded line: say why,
+                // then hang up.
+                let _ = writer.write_all(b"ERR line too long\n");
+                return;
+            }
+            // Idle timeout (WouldBlock/TimedOut, platform-dependent)
+            // or a broken peer: hang up either way.
+            Ok(Frame::Eof) | Err(_) => return,
+        };
         if writer.write_all(response.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
             return;
         }
@@ -616,10 +831,11 @@ fn handle_line(core: &ServeCore, line: &str) -> String {
             };
             match core.submit_read(query, raw_threshold(theta, k)) {
                 Ok(rx) => match rx.recv() {
-                    Ok(ids) => {
+                    Ok(ReadReply::Done(ids)) => {
                         let ids: Vec<String> = ids.iter().map(|id| id.0.to_string()).collect();
                         format!("R {}", ids.join(","))
                     }
+                    Ok(ReadReply::TimedOut) => "TIMEOUT".into(),
                     Err(_) => "ERR service stopped".into(),
                 },
                 Err(SubmitError::Shed) => "SHED".into(),
@@ -627,12 +843,20 @@ fn handle_line(core: &ServeCore, line: &str) -> String {
             }
         }
         (Some("I"), Some(items), None) => match parse_items(items, k) {
-            Ok(items) => format!("OK {}", core.engine.insert_ranking(&items).0),
+            // The typed writer API: a WAL fail-stop comes back as ERR,
+            // never as a panic inside the connection thread.
+            Ok(items) => match core.engine.try_insert_ranking(&items) {
+                Ok(id) => format!("OK {}", id.0),
+                Err(e) => format!("ERR {e}"),
+            },
             Err(e) => format!("ERR {e}"),
         },
         (Some("D"), Some(id), None) => match id.parse::<u32>() {
-            Ok(id) if core.engine.remove_ranking(RankingId(id)) => "OK".into(),
-            Ok(_) => "MISS".into(),
+            Ok(id) => match core.engine.try_remove_ranking(RankingId(id)) {
+                Ok(true) => "OK".into(),
+                Ok(false) => "MISS".into(),
+                Err(e) => format!("ERR {e}"),
+            },
             Err(e) => format!("ERR bad ranking id: {e}"),
         },
         _ => "ERR expected Q <theta> <items> | I <items> | D <id>".into(),
@@ -645,7 +869,7 @@ mod tests {
     use ranksim_datasets::nyt_like;
     use ranksim_rankings::QueryStats;
 
-    fn tiny_core(queue_capacity: usize) -> ServeCore {
+    fn tiny_core_with_budget(queue_capacity: usize, read_budget_ms: u64) -> ServeCore {
         let ds = nyt_like(200, 8, 11);
         let engine = EngineBuilder::new(ds.store)
             .algorithms(&[Algorithm::Fv])
@@ -659,8 +883,14 @@ mod tests {
             algorithm: Algorithm::Fv,
             queue_capacity,
             batch_max: 8,
+            read_budget_ms,
+            idle_timeout_s: 60,
         };
         ServeCore::new(SnapshotEngine::new(engine), &rc)
+    }
+
+    fn tiny_core(queue_capacity: usize) -> ServeCore {
+        tiny_core_with_budget(queue_capacity, 2000)
     }
 
     #[test]
@@ -699,7 +929,10 @@ mod tests {
             for i in 0..20u32 {
                 let q: Vec<ItemId> = snap.store().items(RankingId(i * 7 % 200)).to_vec();
                 let rx = core.submit_read(q.clone(), theta).expect("admitted");
-                let got = rx.recv().expect("reply");
+                let got = match rx.recv().expect("reply") {
+                    ReadReply::Done(ids) => ids,
+                    ReadReply::TimedOut => panic!("query {i} timed out"),
+                };
                 let expect =
                     snap.query_items(Algorithm::Fv, &q, theta, &mut expected_scratch, &mut stats);
                 assert_eq!(got, expect, "query {i}");
@@ -779,5 +1012,124 @@ mod tests {
             let _ = TcpStream::connect(addr);
             server.join().unwrap();
         });
+    }
+
+    #[test]
+    fn reads_expired_in_the_queue_get_timeout_not_results() {
+        // A 1 ms budget and no dispatcher while requests age: by the
+        // time the dispatcher drains them they are long expired.
+        let core = tiny_core_with_budget(64, 1);
+        let q: Vec<ItemId> = core
+            .engine()
+            .snapshot()
+            .store()
+            .items(RankingId(0))
+            .to_vec();
+        let rx1 = core.submit_read(q.clone(), 10).expect("admitted");
+        let rx2 = core.submit_read(q, 10).expect("admitted");
+        std::thread::sleep(Duration::from_millis(20));
+        core.shutdown();
+        core.dispatch_loop();
+        assert_eq!(rx1.recv().unwrap(), ReadReply::TimedOut);
+        assert_eq!(rx2.recv().unwrap(), ReadReply::TimedOut);
+        assert_eq!(core.timeouts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn read_frame_bounds_hostile_input() {
+        use std::io::Cursor;
+        let mut buf = Vec::new();
+
+        // A normal line round-trips.
+        let mut r = Cursor::new(b"Q 0.1 1,2,3\nrest".to_vec());
+        match read_frame(&mut r, &mut buf).unwrap() {
+            Frame::Line(l) => assert_eq!(l, "Q 0.1 1,2,3"),
+            _ => panic!("expected a line"),
+        }
+
+        // An endless unterminated line is cut at the bound, not
+        // buffered to exhaustion.
+        let mut r = Cursor::new(vec![b'x'; MAX_LINE + 100]);
+        assert!(matches!(
+            read_frame(&mut r, &mut buf).unwrap(),
+            Frame::TooLong
+        ));
+
+        // A terminated-but-oversized line is also rejected.
+        let mut big = vec![b'y'; MAX_LINE + 1];
+        big.push(b'\n');
+        let mut r = Cursor::new(big);
+        assert!(matches!(
+            read_frame(&mut r, &mut buf).unwrap(),
+            Frame::TooLong
+        ));
+
+        // Non-UTF-8 is detected, framing stays aligned.
+        let mut r = Cursor::new(b"\xff\xfe\xfd\nQ next\n".to_vec());
+        assert!(matches!(
+            read_frame(&mut r, &mut buf).unwrap(),
+            Frame::NotUtf8
+        ));
+        match read_frame(&mut r, &mut buf).unwrap() {
+            Frame::Line(l) => assert_eq!(l, "Q next"),
+            _ => panic!("framing lost alignment after a bad line"),
+        }
+
+        // Clean EOF.
+        let mut r = Cursor::new(Vec::new());
+        assert!(matches!(read_frame(&mut r, &mut buf).unwrap(), Frame::Eof));
+    }
+
+    /// One engine shared across all proptest cases: `queue_capacity: 0`
+    /// sheds every admitted read instantly, so no dispatcher is needed
+    /// and `rx.recv()` inside `handle_line` can never block.
+    fn fuzz_core() -> &'static ServeCore {
+        static CORE: std::sync::OnceLock<ServeCore> = std::sync::OnceLock::new();
+        CORE.get_or_init(|| tiny_core(0))
+    }
+
+    /// Every reply `handle_line` may legitimately produce.
+    fn known_reply(r: &str) -> bool {
+        r.starts_with("ERR")
+            || r.starts_with("OK")
+            || r.starts_with("R ")
+            || r == "SHED"
+            || r == "TIMEOUT"
+            || r == "MISS"
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        // Structured-ish garbage: a (possibly wrong) verb, a numeric
+        // field and a comma-joined item list with printable noise.
+        #[test]
+        fn handle_line_never_panics_on_structured_garbage(
+            verb in proptest::sample::subsequence(
+                vec!["Q", "I", "D", "X", "QQ", ""], 1),
+            theta in -3.0f64..9.0,
+            items in proptest::collection::vec(0u32..1500, 0..12),
+            noise in proptest::collection::vec(32u8..127, 0..24),
+        ) {
+            let items: Vec<String> = items.iter().map(u32::to_string).collect();
+            let noise = String::from_utf8(noise).unwrap();
+            let line = format!("{} {theta} {}{noise}", verb[0], items.join(","));
+            let r = handle_line(fuzz_core(), line.trim());
+            prop_assert!(known_reply(&r), "unrecognized response {r:?} to {line:?}");
+        }
+
+        // Unstructured byte soup over the printable-ASCII range plus
+        // tab (valid UTF-8 by construction; non-UTF-8 is rejected by
+        // the framing layer and never reaches handle_line).
+        #[test]
+        fn handle_line_never_panics_on_byte_soup(
+            bytes in proptest::collection::vec(9u8..127, 0..120),
+        ) {
+            let line = String::from_utf8(bytes).unwrap();
+            let r = handle_line(fuzz_core(), line.trim());
+            prop_assert!(known_reply(&r), "unrecognized response {r:?} to {line:?}");
+        }
     }
 }

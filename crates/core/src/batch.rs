@@ -26,6 +26,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
 use crate::coarse::CoarseIndex;
 use crate::engine::{Algorithm, Engine};
@@ -52,6 +53,11 @@ pub struct WorkerReport {
     pub failed: u64,
     /// The first panic message this worker observed, if any.
     pub error: Option<String>,
+    /// Query indices this worker claimed at or past the batch deadline
+    /// and therefore skipped (empty result set; mirrors the per-query
+    /// panic containment — a timed-out query fails individually, the
+    /// batch completes). Always empty without a deadline.
+    pub timed_out: Vec<usize>,
 }
 
 /// Folds per-worker reports into one batch-wide [`QueryStats`].
@@ -111,7 +117,7 @@ fn resolve_threads(threads: usize, num_queries: usize) -> usize {
 /// Extracts a human-readable message from a caught panic payload
 /// (`panic!` with a literal yields `&'static str`, with a format string
 /// yields `String`; anything else is opaque).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -134,9 +140,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// reuse after a mid-query unwind is safe because every query re-arms
 /// its epoch structures from scratch-generation stamps before reading
 /// them.
+///
+/// `deadline` bounds the batch's tail: a query *claimed* at or past the
+/// deadline is skipped (recorded in [`WorkerReport::timed_out`], empty
+/// result set) instead of executed, so one slow batch cannot hold a
+/// serving thread hostage much past its budget. The check is at claim
+/// time — an already-running query finishes (queries are short; the
+/// driver never interrupts one mid-flight).
 pub(crate) fn run_stealing<W, F>(
     num_queries: usize,
     threads: usize,
+    deadline: Option<Instant>,
     make_worker: W,
 ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>)
 where
@@ -164,6 +178,11 @@ where
                         // cannot be drained before late workers exist.
                         barrier.wait();
                         while let Some(qi) = cursor.claim() {
+                            if deadline.is_some_and(|d| Instant::now() >= d) {
+                                report.queries += 1;
+                                report.timed_out.push(qi);
+                                continue;
+                            }
                             let attempt =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     work(qi, &mut report)
@@ -239,7 +258,36 @@ impl Engine {
         theta_raw: u32,
         threads: usize,
     ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
-        run_stealing(queries.len(), threads, || {
+        self.query_batch_inner(algorithm, queries, theta_raw, threads, None)
+    }
+
+    /// [`Engine::query_batch_reported`] with a wall-clock `budget`:
+    /// queries the pool has not *started* when the budget elapses are
+    /// skipped individually — empty result set, index recorded in
+    /// [`WorkerReport::timed_out`] — instead of stalling the batch's
+    /// caller (a serving loop with its own latency promise) for the
+    /// whole remaining tail.
+    pub fn query_batch_deadline(
+        &self,
+        algorithm: Algorithm,
+        queries: &[Vec<ItemId>],
+        theta_raw: u32,
+        threads: usize,
+        budget: Duration,
+    ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
+        let deadline = Instant::now() + budget;
+        self.query_batch_inner(algorithm, queries, theta_raw, threads, Some(deadline))
+    }
+
+    fn query_batch_inner(
+        &self,
+        algorithm: Algorithm,
+        queries: &[Vec<ItemId>],
+        theta_raw: u32,
+        threads: usize,
+        deadline: Option<Instant>,
+    ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
+        run_stealing(queries.len(), threads, deadline, || {
             let mut scratch = QueryScratch::new();
             move |qi: usize, report: &mut WorkerReport| {
                 let mut out = Vec::new();
@@ -474,7 +522,7 @@ mod tests {
         // Inject panics directly into the driver: queries 3, 10 and 17
         // die, everything else must complete with correct results and
         // the panics must be visible in the per-worker reports.
-        let (results, reports) = run_stealing(20, 4, || {
+        let (results, reports) = run_stealing(20, 4, None, || {
             |qi: usize, _report: &mut WorkerReport| {
                 if qi % 7 == 3 {
                     panic!("injected panic on query {qi}");
@@ -539,6 +587,87 @@ mod tests {
             .find_map(|r| r.error.clone())
             .expect("a worker recorded the panic");
         assert!(err.contains("query size"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn an_expired_deadline_times_queries_out_individually() {
+        // A deadline already in the past: every query is claimed after
+        // it, so every query is skipped — but the batch still returns,
+        // with the full index set accounted for in `timed_out`.
+        let deadline = Instant::now() - Duration::from_millis(1);
+        let (results, reports) = run_stealing(12, 3, Some(deadline), || {
+            |qi: usize, _report: &mut WorkerReport| vec![RankingId(qi as u32)]
+        });
+        assert!(results.iter().all(|r| r.is_empty()));
+        assert_eq!(reports.iter().map(|r| r.queries).sum::<u64>(), 12);
+        assert_eq!(reports.iter().map(|r| r.failed).sum::<u64>(), 0);
+        let mut skipped: Vec<usize> = reports
+            .iter()
+            .flat_map(|r| r.timed_out.iter().copied())
+            .collect();
+        skipped.sort_unstable();
+        assert_eq!(skipped, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_slow_query_lets_the_rest_complete_and_times_out_the_tail() {
+        // Query 0 burns past the deadline on one worker; the second
+        // worker drains what it can before the deadline. Whatever is
+        // claimed late is timed out, never silently dropped: every
+        // index is either answered or in `timed_out`.
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let (results, reports) = run_stealing(10, 2, Some(deadline), || {
+            |qi: usize, _report: &mut WorkerReport| {
+                if qi == 0 {
+                    std::thread::sleep(Duration::from_millis(80));
+                }
+                vec![RankingId(qi as u32)]
+            }
+        });
+        // The slow query itself started before the deadline: it
+        // completes (claim-time check only, no mid-flight interrupt).
+        assert_eq!(results[0], vec![RankingId(0)]);
+        let timed_out: Vec<usize> = reports
+            .iter()
+            .flat_map(|r| r.timed_out.iter().copied())
+            .collect();
+        for qi in 1..10 {
+            if timed_out.contains(&qi) {
+                assert!(results[qi].is_empty(), "timed-out query {qi} has results");
+            } else {
+                assert_eq!(results[qi], vec![RankingId(qi as u32)], "query {qi}");
+            }
+        }
+        assert_eq!(reports.iter().map(|r| r.queries).sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn query_batch_deadline_with_a_generous_budget_matches_query_batch() {
+        let ds = nyt_like(300, 10, 77);
+        let domain = ds.params.domain;
+        let engine = EngineBuilder::new(ds.store)
+            .algorithms(&[Algorithm::Fv])
+            .build();
+        let wl = workload(
+            engine.store(),
+            domain,
+            WorkloadParams {
+                num_queries: 12,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let theta = raw_threshold(0.2, 10);
+        let (plain, _) = engine.query_batch(Algorithm::Fv, &wl.queries, theta, 2);
+        let (with_deadline, reports) = engine.query_batch_deadline(
+            Algorithm::Fv,
+            &wl.queries,
+            theta,
+            2,
+            Duration::from_secs(60),
+        );
+        assert_eq!(with_deadline, plain);
+        assert!(reports.iter().all(|r| r.timed_out.is_empty()));
     }
 
     #[test]

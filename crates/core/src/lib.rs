@@ -32,6 +32,7 @@ pub mod engine;
 pub mod planner;
 pub mod shard;
 pub mod snapshot;
+pub mod wal;
 
 pub use batch::{merge_plan_reports, merge_reports, WorkerReport};
 pub use coarse::{CoarseBuildStats, CoarseExecutor, CoarseIndex};
@@ -43,4 +44,7 @@ pub use planner::{PlanDecision, PlanStats, Planner, THETA_BUCKETS};
 pub use shard::{
     RebalanceConfig, ShardStrategy, ShardedEngine, ShardedEngineBuilder, ShardedScratch,
 };
-pub use snapshot::{EngineSnapshot, SnapshotEngine};
+pub use snapshot::{EngineSnapshot, Health, MutationError, SnapshotEngine};
+pub use wal::{
+    read_wal, FailPoint, Fault, LogOp, RecoveryReport, SyncPolicy, WalError, WalScan, WalWriter,
+};

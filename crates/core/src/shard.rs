@@ -823,7 +823,7 @@ impl ShardedEngine {
         theta_raw: u32,
         threads: usize,
     ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
-        run_stealing(queries.len(), threads, || {
+        run_stealing(queries.len(), threads, None, || {
             let mut scratch = self.scratch();
             move |qi: usize, report: &mut WorkerReport| {
                 let mut out = Vec::new();

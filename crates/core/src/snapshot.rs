@@ -45,31 +45,103 @@
 //! fork and mutation draws a process-unique generation stamp (PR 5's
 //! scheme): a [`QueryScratch`] that last served a different snapshot
 //! observes a different stamp and re-arms its epoch structures.
+//!
+//! # Durability
+//!
+//! The mutation log doubles as a write-ahead log. An engine built with
+//! [`SnapshotEngine::with_wal`] appends every accepted [`LogOp`] to a
+//! checksummed on-disk log (see [`crate::wal`]) *inside the writer
+//! critical section, before the mutation is acknowledged*, under a
+//! configurable [`SyncPolicy`]. After a crash,
+//! [`SnapshotEngine::recover`] rebuilds the corpus by replaying the
+//! log's valid prefix onto the same base corpus the WAL was started
+//! from, truncating any torn tail, and resumes appending where the
+//! valid prefix ended — replay determinism (the property the replicas
+//! already rely on) makes the recovered engine bit-identical to one
+//! that applied exactly those operations and never crashed.
+//!
+//! **WAL failure is fail-stop for writes, not for reads.** If an
+//! append or sync fails (disk full, injected fault), the op that hit
+//! the failure *may* still become visible to snapshots — master and
+//! replicas must not diverge, so the in-memory log keeps it — but it
+//! is reported as [`MutationError::WalFailed`] because its durability
+//! is not guaranteed, and every subsequent mutation is refused with
+//! the same error. Reads keep serving the published generation
+//! indefinitely; [`SnapshotEngine::health`] surfaces the failure so an
+//! operator (or the serving layer) can fail over.
+//!
+//! Publisher death is surfaced the same way: the publisher thread runs
+//! under `catch_unwind`, records its panic, and trips a flag that
+//! [`SnapshotEngine::health`] reports and that stops
+//! [`SnapshotEngine::flush`] from blocking forever. Snapshots keep
+//! serving the last published generation.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
+use crate::batch::panic_message;
 use crate::engine::Engine;
-use ranksim_rankings::{ItemId, RankingId};
+use crate::wal::{read_wal, FailPoint, LogOp, RecoveryReport, SyncPolicy, WalError, WalWriter};
+use ranksim_rankings::{validate_items, ItemId, RankingError, RankingId};
 
 /// How long the publisher waits for straggler readers to release a
 /// retiring generation before abandoning it and forking the head.
 const RECLAIM_WAIT: Duration = Duration::from_millis(10);
 
-/// One logged mutation, replayed verbatim into the standby replica.
+/// How often a blocked [`SnapshotEngine::wait_until_published`] wakes
+/// to re-check whether the publisher died.
+const PUBLISH_POLL: Duration = Duration::from_millis(25);
+
+/// Why a mutation was refused by the `try_*` mutation API.
+#[derive(Debug)]
+pub enum MutationError {
+    /// The ranking failed validation (wrong length, duplicate item);
+    /// nothing was applied or logged.
+    Invalid(RankingError),
+    /// The write-ahead log failed on this or an earlier mutation. The
+    /// engine is fail-stop for writes (reads keep serving); the op
+    /// that first hit the failure may be visible but is not durable.
+    WalFailed(String),
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::Invalid(e) => write!(f, "invalid ranking: {e}"),
+            MutationError::WalFailed(msg) => write!(f, "wal failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// A point-in-time liveness report for the engine's moving parts,
+/// cheap enough to poll from a serving loop.
 #[derive(Debug, Clone)]
-enum LogOp {
-    /// `insert_ranking`; the id the master assigned rides along so
-    /// replay can assert replica/master id agreement.
-    Insert { id: RankingId, items: Vec<ItemId> },
-    /// `insert_ranking_at` (re-insertion at a released id).
-    InsertAt { id: RankingId, items: Vec<ItemId> },
-    /// `remove_ranking` (the master observed it as live).
-    Remove(RankingId),
-    /// An explicit `compact` (master-side *auto*-compactions are not
-    /// logged: replicas re-trigger them deterministically on replay).
-    Compact,
+pub struct Health {
+    /// The publisher thread is running (snapshots keep getting
+    /// fresher). `false` after shutdown began or the publisher died.
+    pub publisher_alive: bool,
+    /// The publisher's panic message, if it died by panic.
+    pub publisher_panic: Option<String>,
+    /// The WAL's fail-stop marker, if an append or sync failed.
+    pub wal_failure: Option<String>,
+    /// Absolute log position of the last accepted mutation.
+    pub writer_pos: u64,
+    /// Absolute log position covered by the published head.
+    pub published_pos: u64,
+    /// Generations abandoned to straggler readers (observability).
+    pub abandoned_generations: u64,
+}
+
+impl Health {
+    /// `true` when writes are durable and snapshots are advancing.
+    pub fn is_healthy(&self) -> bool {
+        self.publisher_alive && self.wal_failure.is_none()
+    }
 }
 
 /// One published generation: a frozen engine plus the absolute log
@@ -81,7 +153,8 @@ struct Generation {
     log_pos: u64,
 }
 
-/// Writer-side state: the master engine and the mutation log.
+/// Writer-side state: the master engine, the mutation log, and the
+/// optional write-ahead log mirroring it on disk.
 struct WriterState {
     master: Engine,
     /// Operations not yet truncated; `log[0]` is absolute position
@@ -89,11 +162,33 @@ struct WriterState {
     log: Vec<LogOp>,
     /// Absolute log position of `log[0]`.
     log_base: u64,
+    /// On-disk mirror of the log; `None` for a volatile engine.
+    wal: Option<WalWriter>,
 }
 
 impl WriterState {
     fn end_pos(&self) -> u64 {
         self.log_base + self.log.len() as u64
+    }
+
+    /// Refuses mutations once the WAL is fail-stop.
+    fn check_wal(&self) -> Result<(), MutationError> {
+        match self.wal.as_ref().and_then(|wal| wal.failure()) {
+            Some(msg) => Err(MutationError::WalFailed(msg.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends `op` to the WAL (no-op for volatile engines). Called
+    /// before the op is acknowledged to the caller.
+    fn append_wal(&mut self, op: &LogOp) -> Result<(), MutationError> {
+        match &mut self.wal {
+            Some(wal) => wal
+                .append(op)
+                .map(|_| ())
+                .map_err(|e| MutationError::WalFailed(e.to_string())),
+            None => Ok(()),
+        }
     }
 }
 
@@ -107,21 +202,33 @@ struct Shared {
     /// Wakes the publisher when the log grows (or on shutdown).
     pending_cv: Condvar,
     shutdown: AtomicBool,
+    /// Set when the publisher thread exits (cleanly or by panic), so
+    /// waiters stop blocking on publication that will never come.
+    publisher_down: AtomicBool,
+    /// The publisher's panic message, if it died by panic.
+    publisher_panic: Mutex<Option<String>>,
+    /// Test hook: makes the publisher panic at its next wakeup.
+    panic_requested: AtomicBool,
     /// Generations abandoned to straggler readers (observability).
     abandoned: AtomicU64,
 }
 
 /// Ignores mutex poisoning: every critical section either mutates
 /// nothing before its only panic point (validation panics precede the
-/// first store write) or performs non-panicking pointer/counter work,
-/// so the protected state is consistent even after an unwind.
+/// first store write, `insert_ranking_at` asserts slot freedom before
+/// touching it) or performs non-panicking pointer/counter work, so the
+/// protected state is consistent even after an unwind. This is what
+/// keeps one panicking writer from wedging every subsequent reader and
+/// writer.
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// An epoch/RCU snapshot layer over [`Engine`] (see the module docs):
 /// `&self` mutations, wait-free reads against immutable published
-/// generations, off-thread index publication.
+/// generations, off-thread index publication, and optional crash-safe
+/// durability via [`SnapshotEngine::with_wal`] /
+/// [`SnapshotEngine::recover`].
 pub struct SnapshotEngine {
     shared: Arc<Shared>,
     publisher: Option<std::thread::JoinHandle<()>>,
@@ -166,31 +273,75 @@ impl std::ops::Deref for EngineSnapshot {
 impl SnapshotEngine {
     /// Wraps a built engine, forking the two replicas (published head
     /// and standby) and starting the publisher thread. The wrapped
-    /// engine becomes the writer-side master.
+    /// engine becomes the writer-side master. No WAL: mutations are
+    /// volatile ([`SnapshotEngine::with_wal`] for durability).
     pub fn new(master: Engine) -> Self {
+        Self::spawn(master, None, 0)
+    }
+
+    /// Like [`SnapshotEngine::new`], but every mutation is appended to
+    /// a fresh write-ahead log at `path` (created or truncated) before
+    /// it is acknowledged, under `policy`. Recover with
+    /// [`SnapshotEngine::recover`] from the **same base corpus**.
+    pub fn with_wal(master: Engine, path: &Path, policy: SyncPolicy) -> Result<Self, WalError> {
+        let wal = WalWriter::create(path, policy)?;
+        Ok(Self::spawn(master, Some(wal), 0))
+    }
+
+    /// Rebuilds an engine after a crash: scans the WAL at `path`,
+    /// truncates any torn tail at the last valid record, replays the
+    /// valid prefix onto `base` (which must be the same base corpus
+    /// the WAL was created over — a divergence is reported as
+    /// [`WalError::Diverged`], never applied), and resumes appending
+    /// at the truncation point. Returns the recovered engine and a
+    /// [`RecoveryReport`] of what was applied and cut.
+    pub fn recover(
+        base: Engine,
+        path: &Path,
+        policy: SyncPolicy,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let scan = read_wal(path)?;
+        let mut master = base;
+        for op in &scan.ops {
+            replay_checked(&mut master, op)?;
+        }
+        let wal = WalWriter::resume(path, policy, &scan)?;
+        let applied = scan.ops.len() as u64;
+        let report = RecoveryReport {
+            applied,
+            truncated_bytes: scan.truncated_bytes,
+        };
+        Ok((Self::spawn(master, Some(wal), applied), report))
+    }
+
+    fn spawn(master: Engine, wal: Option<WalWriter>, base_pos: u64) -> Self {
         let head = Arc::new(Generation {
             engine: master.fork(),
-            log_pos: 0,
+            log_pos: base_pos,
         });
         let standby = master.fork();
         let shared = Arc::new(Shared {
             writer: Mutex::new(WriterState {
                 master,
                 log: Vec::new(),
-                log_base: 0,
+                log_base: base_pos,
+                wal,
             }),
             head: RwLock::new(head),
-            published: Mutex::new(0),
+            published: Mutex::new(base_pos),
             published_cv: Condvar::new(),
             pending_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            publisher_down: AtomicBool::new(false),
+            publisher_panic: Mutex::new(None),
+            panic_requested: AtomicBool::new(false),
             abandoned: AtomicU64::new(0),
         });
         let publisher = {
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name("ranksim-publisher".into())
-                .spawn(move || publisher_loop(&shared, standby))
+                .spawn(move || publisher_thread(&shared, standby, base_pos))
                 .expect("spawn snapshot publisher thread")
         };
         SnapshotEngine {
@@ -211,57 +362,177 @@ impl SnapshotEngine {
     }
 
     /// Inserts a ranking into the live corpus (see
-    /// [`Engine::insert_ranking`] for semantics and panics). The new
-    /// ranking is visible to snapshots taken after the next
-    /// publication; [`SnapshotEngine::flush`] forces that.
-    pub fn insert_ranking(&self, items: &[ItemId]) -> RankingId {
+    /// [`Engine::insert_ranking`] for semantics). The new ranking is
+    /// visible to snapshots taken after the next publication;
+    /// [`SnapshotEngine::flush`] forces that. Nothing is applied on
+    /// error.
+    pub fn try_insert_ranking(&self, items: &[ItemId]) -> Result<RankingId, MutationError> {
         let mut w = lock_ignore_poison(&self.shared.writer);
+        validate_items(items, w.master.store().k()).map_err(MutationError::Invalid)?;
+        w.check_wal()?;
         let id = w.master.insert_ranking(items);
-        w.log.push(LogOp::Insert {
+        let op = LogOp::Insert {
             id,
             items: items.to_vec(),
-        });
+        };
+        let durable = w.append_wal(&op);
+        // The op goes to the in-memory log even when the WAL append
+        // failed: master already applied it, and replicas must not
+        // diverge from the master. The caller learns it is not durable.
+        w.log.push(op);
         drop(w);
         self.shared.pending_cv.notify_one();
-        id
+        durable.map(|()| id)
     }
 
     /// Re-inserts a ranking at a released id (see
-    /// [`Engine::insert_ranking_at`]).
-    pub fn insert_ranking_at(&self, id: RankingId, items: &[ItemId]) {
+    /// [`Engine::insert_ranking_at`]; passing a non-released id is API
+    /// misuse and still panics).
+    pub fn try_insert_ranking_at(
+        &self,
+        id: RankingId,
+        items: &[ItemId],
+    ) -> Result<(), MutationError> {
         let mut w = lock_ignore_poison(&self.shared.writer);
+        validate_items(items, w.master.store().k()).map_err(MutationError::Invalid)?;
+        w.check_wal()?;
         w.master.insert_ranking_at(id, items);
-        w.log.push(LogOp::InsertAt {
+        let op = LogOp::InsertAt {
             id,
             items: items.to_vec(),
-        });
+        };
+        let durable = w.append_wal(&op);
+        w.log.push(op);
         drop(w);
         self.shared.pending_cv.notify_one();
+        durable
     }
 
-    /// Tombstones ranking `id`; returns `false` when it was not live.
-    /// May trigger a master-side auto-compaction (replicas re-trigger
-    /// it deterministically during replay).
-    pub fn remove_ranking(&self, id: RankingId) -> bool {
+    /// Tombstones ranking `id`; `Ok(false)` when it was not live. May
+    /// trigger a master-side auto-compaction (replicas re-trigger it
+    /// deterministically during replay).
+    pub fn try_remove_ranking(&self, id: RankingId) -> Result<bool, MutationError> {
         let mut w = lock_ignore_poison(&self.shared.writer);
+        w.check_wal()?;
         if !w.master.remove_ranking(id) {
-            return false;
+            return Ok(false);
         }
-        w.log.push(LogOp::Remove(id));
+        let op = LogOp::Remove(id);
+        let durable = w.append_wal(&op);
+        w.log.push(op);
         drop(w);
         self.shared.pending_cv.notify_one();
-        true
+        durable.map(|()| true)
     }
 
     /// Compacts the master and logs the compaction for the replicas.
     /// Readers are *not* blocked while replicas rebuild — that is the
     /// point of this type.
-    pub fn compact(&self) {
+    pub fn try_compact(&self) -> Result<(), MutationError> {
         let mut w = lock_ignore_poison(&self.shared.writer);
+        w.check_wal()?;
         w.master.compact();
-        w.log.push(LogOp::Compact);
+        let op = LogOp::Compact;
+        let durable = w.append_wal(&op);
+        w.log.push(op);
         drop(w);
         self.shared.pending_cv.notify_one();
+        durable
+    }
+
+    /// Panicking convenience for [`SnapshotEngine::try_insert_ranking`]
+    /// (keeps [`Engine::insert_ranking`]'s assert semantics).
+    pub fn insert_ranking(&self, items: &[ItemId]) -> RankingId {
+        match self.try_insert_ranking(items) {
+            Ok(id) => id,
+            Err(e) => panic_mutation(e),
+        }
+    }
+
+    /// Panicking convenience for
+    /// [`SnapshotEngine::try_insert_ranking_at`].
+    pub fn insert_ranking_at(&self, id: RankingId, items: &[ItemId]) {
+        if let Err(e) = self.try_insert_ranking_at(id, items) {
+            panic_mutation(e)
+        }
+    }
+
+    /// Panicking convenience for
+    /// [`SnapshotEngine::try_remove_ranking`].
+    pub fn remove_ranking(&self, id: RankingId) -> bool {
+        match self.try_remove_ranking(id) {
+            Ok(removed) => removed,
+            Err(e) => panic_mutation(e),
+        }
+    }
+
+    /// Panicking convenience for [`SnapshotEngine::try_compact`].
+    pub fn compact(&self) {
+        if let Err(e) = self.try_compact() {
+            panic_mutation(e)
+        }
+    }
+
+    /// Forces every acknowledged mutation onto stable storage (no-op
+    /// without a WAL). Graceful shutdown calls this; so does
+    /// [`Drop`].
+    pub fn sync_wal(&self) -> Result<(), WalError> {
+        match &mut lock_ignore_poison(&self.shared.writer).wal {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Current WAL length in bytes (`None` for a volatile engine).
+    pub fn wal_bytes(&self) -> Option<u64> {
+        lock_ignore_poison(&self.shared.writer)
+            .wal
+            .as_ref()
+            .map(|wal| wal.bytes())
+    }
+
+    /// The WAL's fault-injection handle (`None` for a volatile
+    /// engine) — the lever the fault-injection harness arms; see
+    /// [`crate::wal::FailPoint`].
+    pub fn wal_failpoint(&self) -> Option<FailPoint> {
+        lock_ignore_poison(&self.shared.writer)
+            .wal
+            .as_ref()
+            .map(|wal| wal.failpoint())
+    }
+
+    /// Liveness of the engine's moving parts: publisher thread, WAL,
+    /// and replication lag. Cheap enough to poll from a serving loop.
+    pub fn health(&self) -> Health {
+        let publisher_alive = !self.shared.publisher_down.load(Ordering::SeqCst)
+            && self.publisher.as_ref().is_some_and(|h| !h.is_finished());
+        let publisher_panic = lock_ignore_poison(&self.shared.publisher_panic).clone();
+        let (wal_failure, writer_pos) = {
+            let w = lock_ignore_poison(&self.shared.writer);
+            (
+                w.wal
+                    .as_ref()
+                    .and_then(|wal| wal.failure().map(String::from)),
+                w.end_pos(),
+            )
+        };
+        Health {
+            publisher_alive,
+            publisher_panic,
+            wal_failure,
+            writer_pos,
+            published_pos: self.published_pos(),
+            abandoned_generations: self.abandoned_generations(),
+        }
+    }
+
+    /// Test hook: makes the publisher thread panic at its next wakeup
+    /// (exercises death detection without a contrived replay bug).
+    #[doc(hidden)]
+    pub fn inject_publisher_panic(&self) {
+        self.shared.panic_requested.store(true, Ordering::SeqCst);
+        drop(lock_ignore_poison(&self.shared.writer));
+        self.shared.pending_cv.notify_all();
     }
 
     /// The absolute log position of the last accepted mutation.
@@ -281,22 +552,31 @@ impl SnapshotEngine {
     }
 
     /// Blocks until snapshots reflect at least log position `pos`.
-    pub fn wait_until_published(&self, pos: u64) {
+    /// Returns `false` (instead of blocking forever) if the publisher
+    /// died before getting there.
+    pub fn wait_until_published(&self, pos: u64) -> bool {
         let mut published = lock_ignore_poison(&self.shared.published);
-        while *published < pos {
-            published = self
+        loop {
+            if *published >= pos {
+                return true;
+            }
+            if self.shared.publisher_down.load(Ordering::SeqCst) {
+                return false;
+            }
+            let (guard, _) = self
                 .shared
                 .published_cv
-                .wait(published)
+                .wait_timeout(published, PUBLISH_POLL)
                 .unwrap_or_else(|e| e.into_inner());
+            published = guard;
         }
     }
 
     /// Blocks until every mutation accepted so far is visible to new
-    /// snapshots.
-    pub fn flush(&self) {
+    /// snapshots. Returns `false` if the publisher died first.
+    pub fn flush(&self) -> bool {
         let pos = self.writer_pos();
-        self.wait_until_published(pos);
+        self.wait_until_published(pos)
     }
 }
 
@@ -311,6 +591,25 @@ impl Drop for SnapshotEngine {
         if let Some(h) = self.publisher.take() {
             let _ = h.join();
         }
+        // Graceful shutdown is durable: flush any group-commit window.
+        if let Some(wal) = &mut lock_ignore_poison(&self.shared.writer).wal {
+            let _ = wal.sync();
+        }
+    }
+}
+
+/// Maps a `try_*` refusal onto the historical panic messages of the
+/// panicking mutation API (tests and callers match on them).
+fn panic_mutation(e: MutationError) -> ! {
+    match e {
+        MutationError::Invalid(RankingError::WrongLength { .. }) => {
+            panic!("ranking size must match the corpus k")
+        }
+        MutationError::Invalid(RankingError::DuplicateItem(a)) => {
+            panic!("duplicate item {a} in inserted ranking")
+        }
+        MutationError::Invalid(e) => panic!("{e}"),
+        MutationError::WalFailed(msg) => panic!("wal failed: {msg}"),
     }
 }
 
@@ -332,21 +631,105 @@ fn replay(engine: &mut Engine, op: &LogOp) {
     }
 }
 
-fn publisher_loop(shared: &Shared, mut standby: Engine) {
+/// Recovery-path replay: every precondition is *checked* (not
+/// debug-asserted) and a violation aborts recovery with
+/// [`WalError::Diverged`] instead of corrupting the corpus or
+/// panicking — a checksum-valid record can still disagree with the
+/// base corpus when the caller recovers over the wrong one.
+fn replay_checked(engine: &mut Engine, op: &LogOp) -> Result<(), WalError> {
+    let diverged = |msg: String| WalError::Diverged(msg);
+    match op {
+        LogOp::Insert { id, items } => {
+            validate_items(items, engine.store().k())
+                .map_err(|e| diverged(format!("logged insert is invalid: {e}")))?;
+            let got = engine.insert_ranking(items);
+            if got != *id {
+                return Err(diverged(format!(
+                    "insert assigned {got:?} where the log recorded {id:?} (wrong base corpus?)"
+                )));
+            }
+        }
+        LogOp::InsertAt { id, items } => {
+            validate_items(items, engine.store().k())
+                .map_err(|e| diverged(format!("logged insert_at is invalid: {e}")))?;
+            if !engine.store().is_free(*id) {
+                return Err(diverged(format!(
+                    "logged insert_at targets {id:?}, which is not a released slot"
+                )));
+            }
+            engine.insert_ranking_at(*id, items);
+        }
+        LogOp::Remove(id) => {
+            if !engine.remove_ranking(*id) {
+                return Err(diverged(format!("logged removal of non-live {id:?}")));
+            }
+        }
+        LogOp::Compact => engine.compact(),
+    }
+    Ok(())
+}
+
+/// The publisher thread's entry point: runs the loop under
+/// `catch_unwind` so a replay panic is *detected* (recorded and
+/// flagged) instead of silently leaving every future snapshot stale
+/// and every `flush` hung.
+fn publisher_thread(shared: &Shared, standby: Engine, start_pos: u64) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        publisher_loop(shared, standby, start_pos)
+    }));
+    if let Err(payload) = result {
+        let msg = panic_message(payload.as_ref());
+        *lock_ignore_poison(&shared.publisher_panic) = Some(msg);
+    }
+    shared.publisher_down.store(true, Ordering::SeqCst);
+    // Waiters poll `publisher_down` under `published`; the lock/notify
+    // pair bounds how long a racing waiter sleeps.
+    drop(lock_ignore_poison(&shared.published));
+    shared.published_cv.notify_all();
+}
+
+fn publisher_loop(shared: &Shared, mut standby: Engine, start_pos: u64) {
     // Log position `standby` currently reflects.
-    let mut standby_pos: u64 = 0;
+    let mut standby_pos: u64 = start_pos;
     loop {
         // Wait for new log entries (or shutdown), then copy the suffix
-        // out so replay runs without holding the writer lock.
+        // out so replay runs without holding the writer lock. While
+        // idle, this loop is also the group-commit flusher: an unsynced
+        // WAL window is bounded by `max_delay` even when traffic stops.
         let ops: Vec<LogOp>;
         let target_pos: u64;
         {
             let mut w = lock_ignore_poison(&shared.writer);
-            while w.end_pos() <= standby_pos && !shared.shutdown.load(Ordering::SeqCst) {
-                w = shared.pending_cv.wait(w).unwrap_or_else(|e| e.into_inner());
-            }
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
+            loop {
+                if shared.panic_requested.swap(false, Ordering::SeqCst) {
+                    panic!("injected publisher panic");
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if w.end_pos() > standby_pos {
+                    break;
+                }
+                let sync_due = w.wal.as_ref().and_then(|wal| wal.sync_due_at());
+                match sync_due {
+                    Some(at) => {
+                        let now = Instant::now();
+                        if at <= now {
+                            if let Some(wal) = &mut w.wal {
+                                let _ = wal.sync_if_due();
+                            }
+                            continue;
+                        }
+                        let (guard, _) = shared
+                            .pending_cv
+                            .wait_timeout(w, at - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        w = guard;
+                    }
+                    None => {
+                        w = shared.pending_cv.wait(w).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
             }
             let skip = (standby_pos - w.log_base) as usize;
             ops = w.log[skip..].to_vec();
@@ -410,10 +793,11 @@ fn publisher_loop(shared: &Shared, mut standby: Engine) {
 mod tests {
     use super::*;
     use crate::engine::{Algorithm, EngineBuilder};
+    use crate::wal::Fault;
     use ranksim_datasets::{nyt_like, workload, WorkloadParams};
     use ranksim_rankings::{raw_threshold, QueryStats};
 
-    fn small_snapshot_engine(n: usize, seed: u64) -> (SnapshotEngine, u32) {
+    fn small_engine(n: usize, seed: u64) -> (Engine, u32) {
         let ds = nyt_like(n, 8, seed);
         let domain = ds.params.domain;
         let engine = EngineBuilder::new(ds.store)
@@ -421,7 +805,18 @@ mod tests {
             .coarse_drop_threshold(0.06)
             .compaction_threshold(0.3)
             .build();
+        (engine, domain)
+    }
+
+    fn small_snapshot_engine(n: usize, seed: u64) -> (SnapshotEngine, u32) {
+        let (engine, domain) = small_engine(n, seed);
         (SnapshotEngine::new(engine), domain)
+    }
+
+    fn temp_wal(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ranksim-snapshot-{tag}-{}.wal", std::process::id()));
+        p
     }
 
     #[test]
@@ -467,7 +862,7 @@ mod tests {
             ids.push(se.insert_ranking(q));
         }
         assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be monotone");
-        se.flush();
+        assert!(se.flush());
         let snap = se.snapshot();
         assert_eq!(snap.log_pos(), se.writer_pos());
         let theta = raw_threshold(0.0, 8);
@@ -529,5 +924,163 @@ mod tests {
         assert_eq!(pinned.store().live_len(), 120);
         let now = se.snapshot();
         assert_eq!(now.store().live_len(), 180);
+    }
+
+    #[test]
+    fn wal_backed_engine_recovers_to_the_same_corpus() {
+        let path = temp_wal("recover");
+        let (engine, _domain) = small_engine(120, 11);
+        let mut expected_live = 120usize;
+        {
+            let se = SnapshotEngine::with_wal(engine, &path, SyncPolicy::PerOp).unwrap();
+            for i in 0..10u32 {
+                let items: Vec<ItemId> = (2000 + i * 10..2000 + i * 10 + 8).map(ItemId).collect();
+                se.try_insert_ranking(&items).unwrap();
+                expected_live += 1;
+            }
+            assert!(se.try_remove_ranking(RankingId(4)).unwrap());
+            expected_live -= 1;
+            se.try_compact().unwrap();
+            assert!(se.health().is_healthy());
+        }
+        // Recover over the same base corpus; same seed → same base.
+        let (base, _) = small_engine(120, 11);
+        let (recovered, report) = SnapshotEngine::recover(base, &path, SyncPolicy::PerOp).unwrap();
+        assert_eq!(report.applied, 12);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(recovered.writer_pos(), 12);
+        let snap = recovered.snapshot();
+        assert_eq!(snap.log_pos(), 12);
+        assert_eq!(snap.store().live_len(), expected_live);
+        assert!(!snap.store().is_live(RankingId(4)));
+        // The recovered engine keeps accepting durable writes.
+        recovered
+            .try_insert_ranking(&(5000..5008).map(ItemId).collect::<Vec<_>>())
+            .unwrap();
+        assert!(recovered.flush());
+        drop(recovered);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_base_corpus_is_diverged_not_corrupted() {
+        let path = temp_wal("diverge");
+        let (engine, _domain) = small_engine(100, 3);
+        {
+            let se = SnapshotEngine::with_wal(engine, &path, SyncPolicy::None).unwrap();
+            // Remove an id that only exists in the 100-ranking corpus.
+            assert!(se.try_remove_ranking(RankingId(99)).unwrap());
+        }
+        // A smaller base corpus does not have RankingId(99) live.
+        let (wrong_base, _domain) = small_engine(50, 3);
+        match SnapshotEngine::recover(wrong_base, &path, SyncPolicy::None) {
+            Err(WalError::Diverged(_)) => {}
+            Err(e) => panic!("expected Diverged, got {e:?}"),
+            Ok(_) => panic!("recovery over the wrong base corpus must not succeed"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wal_failure_is_fail_stop_for_writes_but_reads_survive() {
+        let path = temp_wal("failstop");
+        let (engine, _domain) = small_engine(80, 17);
+        let se = SnapshotEngine::with_wal(engine, &path, SyncPolicy::PerOp).unwrap();
+        se.try_insert_ranking(&(3000..3008).map(ItemId).collect::<Vec<_>>())
+            .unwrap();
+        se.wal_failpoint().unwrap().inject(Fault::ShortWrite(3));
+        let err = se
+            .try_insert_ranking(&(3100..3108).map(ItemId).collect::<Vec<_>>())
+            .unwrap_err();
+        assert!(matches!(err, MutationError::WalFailed(_)), "got {err}");
+        // Fail-stop: subsequent mutations refuse without touching the
+        // master (no divergence between memory and a future recovery).
+        let pos = se.writer_pos();
+        assert!(matches!(
+            se.try_remove_ranking(RankingId(0)),
+            Err(MutationError::WalFailed(_))
+        ));
+        assert_eq!(se.writer_pos(), pos);
+        let health = se.health();
+        assert!(!health.is_healthy());
+        assert!(health.wal_failure.is_some());
+        // Reads keep serving, including the non-durable op (the
+        // in-memory log kept master and replicas converged).
+        assert!(se.flush());
+        assert_eq!(se.snapshot().store().live_len(), 82);
+        drop(se);
+        // Recovery sees only the durable prefix plus a torn tail.
+        let (base, _domain) = small_engine(80, 17);
+        let (recovered, report) = SnapshotEngine::recover(base, &path, SyncPolicy::PerOp).unwrap();
+        assert_eq!(report.applied, 1);
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(recovered.snapshot().store().live_len(), 81);
+        drop(recovered);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn invalid_rankings_are_typed_errors_and_apply_nothing() {
+        let (se, _domain) = small_snapshot_engine(60, 29);
+        let pos = se.writer_pos();
+        assert!(matches!(
+            se.try_insert_ranking(&[ItemId(1), ItemId(2)]),
+            Err(MutationError::Invalid(RankingError::WrongLength { .. }))
+        ));
+        let dup: Vec<ItemId> = [7, 7, 1, 2, 3, 4, 5, 6].map(ItemId).to_vec();
+        assert!(matches!(
+            se.try_insert_ranking(&dup),
+            Err(MutationError::Invalid(RankingError::DuplicateItem(_)))
+        ));
+        assert_eq!(se.writer_pos(), pos, "failed validation must not log");
+        assert_eq!(se.snapshot().store().live_len(), 60);
+    }
+
+    #[test]
+    fn writer_panic_poisons_nothing_and_the_engine_keeps_serving() {
+        let (se, _domain) = small_snapshot_engine(90, 41);
+        // `insert_ranking_at` on a live slot is API misuse and panics
+        // inside the writer critical section — the classic poisoning
+        // scenario. The slot-freedom assert fires before any mutation,
+        // so the protected state is still consistent.
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    se.insert_ranking_at(RankingId(0), &(0..8).map(ItemId).collect::<Vec<_>>())
+                })
+                .join()
+        });
+        assert!(result.is_err(), "insert_ranking_at at a live id must panic");
+        // Readers and writers sail on.
+        assert_eq!(se.snapshot().store().live_len(), 90);
+        let id = se.insert_ranking(&(4000..4008).map(ItemId).collect::<Vec<_>>());
+        assert!(se.flush());
+        assert!(se.snapshot().store().is_live(id));
+        assert!(se.health().publisher_alive);
+    }
+
+    #[test]
+    fn publisher_death_is_detected_and_flush_does_not_hang() {
+        let (se, _domain) = small_snapshot_engine(70, 53);
+        let before = se.snapshot();
+        se.inject_publisher_panic();
+        // The publisher dies at its next wakeup; wait for detection.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while se.health().publisher_alive {
+            assert!(Instant::now() < deadline, "publisher death undetected");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let health = se.health();
+        assert!(!health.is_healthy());
+        assert_eq!(
+            health.publisher_panic.as_deref(),
+            Some("injected publisher panic")
+        );
+        // Writes are still accepted (they just never publish)...
+        se.insert_ranking(&(6000..6008).map(ItemId).collect::<Vec<_>>());
+        // ...and flush reports failure instead of blocking forever.
+        assert!(!se.flush());
+        // Snapshots keep serving the last published generation.
+        assert_eq!(se.snapshot().log_pos(), before.log_pos());
     }
 }

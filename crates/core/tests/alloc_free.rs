@@ -323,4 +323,85 @@ fn steady_state_query_into_performs_zero_allocations() {
          touch the allocator ({} allocations during the measured pass)",
         after - before
     );
+
+    // --- Recovered engine ---------------------------------------------
+    //
+    // Crash recovery must hand back an engine with the same steady-state
+    // read contract: a WAL-backed engine absorbs writes, is dropped
+    // (cleanly syncing its log), and a *recovered* engine replays that
+    // log over the base corpus. Once warm, serving reads through the
+    // recovered engine — fresh snapshot per query, like the dispatcher —
+    // touch the allocator zero times. The WAL is write-path machinery
+    // only; it must cost reads nothing.
+    let wal_path =
+        std::env::temp_dir().join(format!("ranksim-allocfree-{}.wal", std::process::id()));
+    let build_base = || {
+        EngineBuilder::new(nyt_like(1000, 10, 17).store)
+            .coarse_threshold(0.5)
+            .coarse_drop_threshold(0.06)
+            .build()
+    };
+    {
+        let durable = ranksim_core::SnapshotEngine::with_wal(
+            build_base(),
+            &wal_path,
+            ranksim_core::SyncPolicy::PerOp,
+        )
+        .expect("create alloc-test WAL");
+        for i in 0..40u32 {
+            let items: Vec<ranksim_rankings::ItemId> = (0..10)
+                .map(|j| ranksim_rankings::ItemId(800_000 + i * 16 + j))
+                .collect();
+            durable.insert_ranking(&items);
+        }
+        for id in (0..200u32).step_by(7) {
+            durable.remove_ranking(ranksim_rankings::RankingId(id));
+        }
+        durable.flush();
+    }
+    let (recovered, report) = ranksim_core::SnapshotEngine::recover(
+        build_base(),
+        &wal_path,
+        ranksim_core::SyncPolicy::PerOp,
+    )
+    .expect("recover alloc-test engine");
+    assert_eq!(report.applied, 40 + (0..200u32).step_by(7).count() as u64);
+    assert_eq!(
+        report.truncated_bytes, 0,
+        "clean shutdown leaves no torn tail"
+    );
+    recovered.flush();
+    let mut rscratch = recovered.snapshot().scratch();
+    let mut rout = Vec::new();
+    let mut rstats = QueryStats::new();
+    let run_recovered_grid = |scratch: &mut _, out: &mut Vec<_>, stats: &mut _| {
+        let mut total = 0usize;
+        for alg in Algorithm::ALL.iter().copied().chain([Algorithm::Auto]) {
+            for &raw in &thetas {
+                for q in &wl.queries {
+                    let snap = recovered.snapshot();
+                    snap.query_into(alg, q, raw, scratch, stats, out);
+                    total += out.len();
+                }
+            }
+        }
+        total
+    };
+    let rwarm1 = run_recovered_grid(&mut rscratch, &mut rout, &mut rstats);
+    let rwarm2 = run_recovered_grid(&mut rscratch, &mut rout, &mut rstats);
+    assert_eq!(rwarm1, rwarm2, "deterministic workload expected");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let rmeasured = run_recovered_grid(&mut rscratch, &mut rout, &mut rstats);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(rmeasured, rwarm1);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state reads on a crash-recovered engine must not touch \
+         the allocator ({} allocations during the measured pass)",
+        after - before
+    );
+    drop(recovered);
+    let _ = std::fs::remove_file(&wal_path);
 }

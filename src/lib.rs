@@ -110,9 +110,9 @@ pub use ranksim_rankings as rankings;
 pub mod prelude {
     pub use ranksim_core::engine::{Algorithm, Engine, EngineBuilder, QueryTrace};
     pub use ranksim_core::{
-        CalibratedCosts, CoarseIndex, CostModel, EngineSnapshot, PlanStats, Planner,
-        RebalanceConfig, ShardStrategy, ShardedEngine, ShardedEngineBuilder, SnapshotEngine,
-        WorkerReport,
+        CalibratedCosts, CoarseIndex, CostModel, EngineSnapshot, Health, MutationError, PlanStats,
+        Planner, RebalanceConfig, RecoveryReport, ShardStrategy, ShardedEngine,
+        ShardedEngineBuilder, SnapshotEngine, SyncPolicy, WorkerReport,
     };
     pub use ranksim_rankings::{
         footrule_pairs, raw_threshold, ExecStats, ItemId, ItemRemap, PositionMap, QueryExecutor,
