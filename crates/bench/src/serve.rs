@@ -698,6 +698,10 @@ pub fn run_serve(cfg: &ExpConfig, rc: ServeRunConfig) -> ServeReport {
 /// must never buffer an attacker-controlled unbounded line.
 const MAX_LINE: usize = 64 * 1024;
 
+/// How often the accept loop re-checks [`ServeCore::shutdown`] while
+/// no connection is arriving.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
 /// One framing outcome of [`read_frame`].
 enum Frame {
     /// A complete line (without its terminator), valid UTF-8.
@@ -762,14 +766,29 @@ fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<F
 /// connection idle past the configured timeout is hung up on.
 pub fn serve_socket(core: &Arc<ServeCore>, listener: TcpListener) {
     let idle = Duration::from_secs(ServeRunConfig::from_env().idle_timeout_s);
-    std::thread::scope(|scope| {
-        for stream in listener.incoming() {
-            if core.stop.load(Ordering::Acquire) {
-                return;
+    // Accept in a poll loop: a blocking `accept()` would hold this
+    // thread hostage after `shutdown()` until one more peer happened
+    // to connect. (If nonblocking mode is unavailable the loop
+    // degrades to the blocking behavior.)
+    let polling = listener.set_nonblocking(true).is_ok();
+    std::thread::scope(|scope| loop {
+        if core.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Connection I/O is blocking (bounded by the idle
+                // timeout), whatever mode the listener is in.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let core = Arc::clone(core);
+                scope.spawn(move || handle_connection(&core, stream, idle));
             }
-            let Ok(stream) = stream else { continue };
-            let core = Arc::clone(core);
-            scope.spawn(move || handle_connection(&core, stream, idle));
+            Err(e) if polling && e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => continue,
         }
     });
 }
@@ -1008,8 +1027,8 @@ mod tests {
 
             core.shutdown();
             dispatcher.join().unwrap();
-            // Unblock the accept loop so the server thread exits.
-            let _ = TcpStream::connect(addr);
+            // The accept loop polls the stop flag; no nudge connection
+            // is needed for the server thread to exit.
             server.join().unwrap();
         });
     }

@@ -1020,6 +1020,52 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_sync_failure_does_not_wedge_the_engine() {
+        let path = temp_wal("groupfail");
+        let (engine, _domain) = small_engine(80, 59);
+        let policy = SyncPolicy::GroupCommit {
+            max_ops: 100,
+            max_delay: Duration::from_millis(50),
+        };
+        let se = Arc::new(SnapshotEngine::with_wal(engine, &path, policy).unwrap());
+        se.try_insert_ranking(&(7000..7008).map(ItemId).collect::<Vec<_>>())
+            .unwrap();
+        se.try_insert_ranking(&(7100..7108).map(ItemId).collect::<Vec<_>>())
+            .unwrap();
+        // Fail the sync while a group-commit window is open, then let
+        // the window's flush deadline pass. The regression under test:
+        // a fail-stop writer that still reported a (forever-past) sync
+        // deadline spun the publisher inside the writer critical
+        // section, wedging health(), flush() and every write.
+        se.wal_failpoint().unwrap().inject(Fault::SyncFail);
+        assert!(se.sync_wal().is_err());
+        std::thread::sleep(Duration::from_millis(120));
+        // Probe from a helper thread so a wedge fails the test in
+        // bounded time instead of hanging it.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let probe = {
+            let se = Arc::clone(&se);
+            std::thread::spawn(move || tx.send(se.health()).unwrap())
+        };
+        let health = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("health() wedged after a group-commit sync failure");
+        probe.join().unwrap();
+        assert!(!health.is_healthy());
+        assert!(health.wal_failure.is_some());
+        assert!(health.publisher_alive, "publisher must outlive a WAL failure");
+        // Fail-stop for writes, but reads and publication sail on.
+        assert!(matches!(
+            se.try_insert_ranking(&(7200..7208).map(ItemId).collect::<Vec<_>>()),
+            Err(MutationError::WalFailed(_))
+        ));
+        assert!(se.flush());
+        assert_eq!(se.snapshot().store().live_len(), 82);
+        drop(se);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn invalid_rankings_are_typed_errors_and_apply_nothing() {
         let (se, _domain) = small_snapshot_engine(60, 29);
         let pos = se.writer_pos();

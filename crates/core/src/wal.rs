@@ -464,8 +464,13 @@ impl WalWriter {
 
     /// When the oldest unsynced record must be flushed under
     /// [`SyncPolicy::GroupCommit`] (the publisher's flush duty), if a
-    /// deadline is pending.
+    /// deadline is pending. `None` once the writer is fail-stop: no
+    /// sync can ever succeed again, and a perpetually-past deadline
+    /// would spin the publisher's flush loop forever.
     pub fn sync_due_at(&self) -> Option<Instant> {
+        if self.failed.is_some() {
+            return None;
+        }
         match (self.policy, self.oldest_unsynced) {
             (SyncPolicy::GroupCommit { max_delay, .. }, Some(oldest)) => Some(oldest + max_delay),
             _ => None,
@@ -476,6 +481,11 @@ impl WalWriter {
         if self.failed.is_none() {
             self.failed = Some(msg.clone());
         }
+        // Fail-stop retires the group-commit due-state: the records are
+        // not durable and never will be, and a surviving deadline would
+        // keep `sync_due_at` reporting work that cannot be done.
+        self.unsynced = 0;
+        self.oldest_unsynced = None;
         WalError::Failed(msg)
     }
 
@@ -503,10 +513,14 @@ impl WalWriter {
             Some(Fault::ShortWrite(keep)) => {
                 let keep = keep.min(scratch.len());
                 // Write the torn prefix so recovery has something to
-                // truncate, then report the append as failed.
+                // truncate, then report the append as failed. The
+                // partial write may itself land short, so the file is
+                // re-statted rather than trusting `keep`.
                 let _ = self.file.write_all(&scratch[..keep]);
                 let _ = self.file.sync_data();
-                self.bytes += keep as u64;
+                if let Ok(meta) = self.file.metadata() {
+                    self.bytes = meta.len();
+                }
                 Err(self.fail(format!(
                     "fail point: short write ({keep} of {} bytes)",
                     scratch.len()
@@ -603,46 +617,67 @@ pub struct WalScan {
     pub truncated_bytes: u64,
 }
 
+/// Reads until `buf` is full or EOF; returns how many bytes landed.
+/// A short count is EOF mid-frame — the torn-tail case, not an error.
+fn read_full(reader: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
 /// Scans the WAL at `path`, applying the torn-tail truncation rule
 /// (see the module docs): the scan stops at the first short, oversized,
 /// checksum-mismatched or undecodable record, and everything after it
 /// is reported as `truncated_bytes`. Never panics on arbitrary bytes;
-/// only a missing/wrong header is an error.
+/// only a missing/wrong header is an error. The scan streams one
+/// record at a time, so recovery memory is bounded by [`MAX_PAYLOAD`]
+/// plus the decoded ops — never by the log's on-disk length.
 pub fn read_wal(path: &Path) -> Result<WalScan, WalError> {
-    let mut data = Vec::new();
-    File::open(path)?.read_to_end(&mut data)?;
-    if data.len() < HEADER_LEN as usize
-        || data[..4] != WAL_MAGIC
-        || read_u32(&data, 4) != Some(WAL_VERSION)
+    let file = File::open(path)?;
+    let total_bytes = file.metadata()?.len();
+    let mut reader = std::io::BufReader::new(file);
+    let mut header = [0u8; HEADER_LEN as usize];
+    if read_full(&mut reader, &mut header)? < HEADER_LEN as usize
+        || header[..4] != WAL_MAGIC
+        || header[4..] != WAL_VERSION.to_le_bytes()
     {
         return Err(WalError::BadHeader);
     }
     let mut ops = Vec::new();
-    let mut pos = HEADER_LEN as usize;
+    let mut pos = HEADER_LEN;
+    let mut frame = [0u8; 8];
+    let mut payload = Vec::new();
     loop {
-        let Some(len) = read_u32(&data, pos) else {
+        if read_full(&mut reader, &mut frame)? < frame.len() {
             break;
-        };
+        }
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
         if len > MAX_PAYLOAD {
             break;
         }
-        let Some(crc) = read_u32(&data, pos + 4) else {
-            break;
-        };
-        let Some(payload) = data.get(pos + 8..pos + 8 + len as usize) else {
-            break;
-        };
-        if crc32(payload) != crc {
+        let crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        payload.resize(len as usize, 0);
+        if read_full(&mut reader, &mut payload)? < payload.len() {
             break;
         }
-        let Some(op) = decode_op(payload) else { break };
+        if crc32(&payload) != crc {
+            break;
+        }
+        let Some(op) = decode_op(&payload) else { break };
         ops.push(op);
-        pos += 8 + len as usize;
+        pos += 8 + len as u64;
     }
     Ok(WalScan {
         ops,
-        valid_bytes: pos as u64,
-        truncated_bytes: (data.len() - pos) as u64,
+        valid_bytes: pos,
+        truncated_bytes: total_bytes.saturating_sub(pos),
     })
 }
 
