@@ -304,6 +304,78 @@ impl AdaptSearchIndex {
             + self.pos_offsets.capacity() * std::mem::size_of::<u32>()
             + self.remap.heap_bytes()
     }
+
+    /// Decomposes the index into its flat persistence form. The cost
+    /// parameters' f64s are persisted as raw bits by the caller.
+    #[doc(hidden)]
+    pub fn export_parts(&self) -> AdaptIndexParts {
+        AdaptIndexParts {
+            k: self.k as u32,
+            indexed: self.indexed as u32,
+            params: self.params,
+            freq: self.freq.clone(),
+            pos_offsets: self.pos_offsets.clone(),
+            ids: ranksim_rankings::ranking_vec_into_u32(self.ids.clone()),
+        }
+    }
+
+    /// Rebuilds the index from its flat persistence form against the
+    /// corpus remap, validating the strided offset invariants.
+    #[doc(hidden)]
+    pub fn from_parts(parts: AdaptIndexParts, remap: Arc<ItemRemap>) -> Result<Self, String> {
+        let k = parts.k as usize;
+        if k == 0 {
+            return Err("adaptsearch index k must be positive".into());
+        }
+        let m = remap.len();
+        let stride = k + 1;
+        if parts.freq.len() != m {
+            return Err(format!(
+                "frequency table length {} != remap size {m}",
+                parts.freq.len()
+            ));
+        }
+        if parts.pos_offsets.len() != m * stride + 1 {
+            return Err(format!(
+                "prefix offsets length {} != remap size {m} × (k + 1) + 1",
+                parts.pos_offsets.len()
+            ));
+        }
+        if parts.pos_offsets.first().copied().unwrap_or(0) != 0 {
+            return Err("prefix offsets must start at 0".into());
+        }
+        if parts.pos_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("prefix offsets not monotone".into());
+        }
+        let end = parts.pos_offsets.last().copied().unwrap_or(0) as usize;
+        if end != parts.ids.len() {
+            return Err(format!(
+                "prefix offsets end {end} != posting arena length {}",
+                parts.ids.len()
+            ));
+        }
+        Ok(AdaptSearchIndex {
+            k,
+            remap,
+            freq: parts.freq,
+            ids: ranksim_rankings::ranking_vec_from_u32(parts.ids),
+            pos_offsets: parts.pos_offsets,
+            indexed: parts.indexed as usize,
+            params: parts.params,
+        })
+    }
+}
+
+/// Flat persistence form of an [`AdaptSearchIndex`].
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct AdaptIndexParts {
+    pub k: u32,
+    pub indexed: u32,
+    pub params: AdaptCostParams,
+    pub freq: Vec<u32>,
+    pub pos_offsets: Vec<u32>,
+    pub ids: Vec<u32>,
 }
 
 /// [`QueryExecutor`] running AdaptSearch over a shared delta index.

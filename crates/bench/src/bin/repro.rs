@@ -79,6 +79,7 @@ fn main() {
         "churn" => run_churn_cmd(&cfg, t0),
         "serve" => run_serve_cmd(&cfg, t0),
         "recovery" => run_recovery_cmd(&cfg),
+        "persist" => run_persist_cmd(&cfg, t0),
         "all" => {
             run_verify(&cfg);
             run_fig3(&cfg);
@@ -93,7 +94,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner churn serve recovery all"
+                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner churn serve recovery persist all"
             );
             std::process::exit(2);
         }
@@ -370,6 +371,58 @@ fn run_recovery_cmd(cfg: &ExpConfig) {
             std::process::exit(1);
         }
         println!("recovery time budget ok: {worst:.2}s <= {budget_s:.2}s");
+    }
+}
+
+/// The persistence experiment: full index build timed against re-opening
+/// the same engine from its `RSSN` snapshot (checksum-verified and
+/// trusting), with every answer self-checked bit-identical — written to
+/// `BENCH_persist.json` (path override: `RANKSIM_PERSIST_JSON`).
+/// `RANKSIM_PERSIST_TIME_BUDGET_S` turns the run into a CI guard
+/// bounding the end-to-end wall clock; at `n ≥ 200k` the run itself
+/// asserts the verified open is ≥10× faster than the rebuild.
+fn run_persist_cmd(cfg: &ExpConfig, t0: std::time::Instant) {
+    let rc = persist::PersistRunConfig::from_env(cfg);
+    println!(
+        "== persistence: NYT-family n={}, equivalence over {} queries ==",
+        cfg.nyt_n, rc.check_queries
+    );
+    let report = persist::run_persist(cfg, rc);
+    let mb = report.snapshot_bytes as f64 / (1024.0 * 1024.0);
+    println!(
+        "build: {:.2}s   save: {:.2}s ({mb:.1} MB, {:.0} MB/s)",
+        report.build_s, report.save_s, report.save_mb_per_s
+    );
+    println!(
+        "{:>14} {:>10} {:>10} {:>10}",
+        "open mode", "open s", "MB/s", "speedup"
+    );
+    for (name, c) in [("verify", &report.verify), ("trust", &report.trust)] {
+        println!(
+            "{:>14} {:>10.3} {:>10.0} {:>9.1}x",
+            name, c.open_s, c.mb_per_s, c.speedup
+        );
+    }
+    println!(
+        "answers: {} (query, θ, algorithm) cells bit-identical across both opens",
+        report.checked_cells
+    );
+
+    let json_path =
+        std::env::var("RANKSIM_PERSIST_JSON").unwrap_or_else(|_| "BENCH_persist.json".into());
+    std::fs::write(&json_path, report.to_json()).expect("write persist report JSON");
+    println!("report written to {json_path}");
+
+    if let Some(budget_s) = std::env::var("RANKSIM_PERSIST_TIME_BUDGET_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed > budget_s {
+            eprintln!("TIME BUDGET EXCEEDED: {elapsed:.1}s > {budget_s:.1}s");
+            std::process::exit(1);
+        }
+        println!("time budget ok: {elapsed:.1}s <= {budget_s:.1}s");
     }
 }
 

@@ -363,6 +363,73 @@ impl CoarseIndex {
             + self.medoid_to_partition.capacity() * std::mem::size_of::<u32>()
             + self.extra_medoids.capacity() * std::mem::size_of::<(RankingId, u32)>()
     }
+
+    /// Decomposes the index into its flat persistence form (overlay
+    /// medoids split into id/partition planes).
+    pub(crate) fn export_parts(&self) -> CoarseIndexParts {
+        CoarseIndexParts {
+            theta_c_raw: self.theta_c_raw,
+            partitioning: self.partitioning.export_parts(),
+            medoid_index: self.medoid_index.export_parts(),
+            medoid_to_partition: self.medoid_to_partition.clone(),
+            extra_medoid_ids: self.extra_medoids.iter().map(|&(m, _)| m.0).collect(),
+            extra_medoid_partitions: self.extra_medoids.iter().map(|&(_, pi)| pi).collect(),
+        }
+    }
+
+    /// Rebuilds the index from its flat persistence form against the
+    /// corpus remap (build statistics reset; partition count recomputed).
+    pub(crate) fn from_parts(
+        parts: CoarseIndexParts,
+        remap: Arc<ItemRemap>,
+    ) -> Result<Self, String> {
+        let partitioning = Partitioning::from_parts(parts.partitioning)?;
+        let medoid_index = PlainInvertedIndex::from_parts(parts.medoid_index, remap)?;
+        let np = partitioning.num_partitions() as u32;
+        if let Some(&bad) = parts
+            .medoid_to_partition
+            .iter()
+            .find(|&&pi| pi != u32::MAX && pi >= np)
+        {
+            return Err(format!("medoid maps to out-of-range partition {bad}"));
+        }
+        if parts.extra_medoid_ids.len() != parts.extra_medoid_partitions.len() {
+            return Err("overlay medoid planes disagree in length".into());
+        }
+        if let Some(&bad) = parts.extra_medoid_partitions.iter().find(|&&pi| pi >= np) {
+            return Err(format!(
+                "overlay medoid maps to out-of-range partition {bad}"
+            ));
+        }
+        let build = CoarseBuildStats {
+            distance_calls: 0,
+            num_partitions: partitioning.num_partitions(),
+        };
+        Ok(CoarseIndex {
+            theta_c_raw: parts.theta_c_raw,
+            partitioning,
+            medoid_index,
+            medoid_to_partition: parts.medoid_to_partition,
+            extra_medoids: parts
+                .extra_medoid_ids
+                .into_iter()
+                .map(RankingId)
+                .zip(parts.extra_medoid_partitions)
+                .collect(),
+            build,
+        })
+    }
+}
+
+/// Flat persistence form of a [`CoarseIndex`].
+#[derive(Debug, Clone)]
+pub(crate) struct CoarseIndexParts {
+    pub theta_c_raw: u32,
+    pub partitioning: ranksim_metricspace::PartitioningParts,
+    pub medoid_index: ranksim_invindex::PlainIndexParts,
+    pub medoid_to_partition: Vec<u32>,
+    pub extra_medoid_ids: Vec<u32>,
+    pub extra_medoid_partitions: Vec<u32>,
 }
 
 /// [`QueryExecutor`] running the coarse hybrid path (`Coarse` or, with

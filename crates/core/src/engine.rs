@@ -31,18 +31,22 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::coarse::{CoarseExecutor, CoarseIndex};
+use crate::coarse::{CoarseExecutor, CoarseIndex, CoarseIndexParts};
 use crate::cost::calibrate::CalibratedCosts;
-use crate::planner::Planner;
-use ranksim_adaptsearch::{AdaptCostParams, AdaptSearchExecutor, AdaptSearchIndex};
-use ranksim_invindex::{
-    AugmentedInvertedIndex, BlockedInvertedIndex, BlockedPruneExecutor, FvDropExecutor, FvExecutor,
-    ListMergeExecutor, PlainInvertedIndex,
+use crate::planner::{Planner, PlannerSaved};
+use ranksim_adaptsearch::{
+    AdaptCostParams, AdaptIndexParts, AdaptSearchExecutor, AdaptSearchIndex,
 };
-use ranksim_metricspace::{knn_bktree, knn_linear, query_pairs_into, BkTree};
+use ranksim_invindex::{
+    AugmentedIndexParts, AugmentedInvertedIndex, BlockedIndexParts, BlockedInvertedIndex,
+    BlockedPruneExecutor, FvDropExecutor, FvExecutor, ListMergeExecutor, PlainIndexParts,
+    PlainInvertedIndex,
+};
+use ranksim_metricspace::{knn_bktree, knn_linear, query_pairs_into, BkTree, BkTreeParts};
 use ranksim_rankings::{
     footrule_pairs, raw_threshold, validate_items, ExecStats, ItemId, ItemRemap, QueryExecutor,
-    QueryScratch, QueryStats, Ranking, RankingError, RankingId, RankingStore,
+    QueryScratch, QueryStats, Ranking, RankingError, RankingId, RankingStore, RemapParts,
+    StoreParts,
 };
 
 /// Process-wide generation source: every engine build, compaction and
@@ -519,6 +523,50 @@ fn build_executor_table(
     executors
 }
 
+/// Flat persistence form of an [`EngineConfig`]: the build knobs as
+/// plain scalars (`compact_tombstone_fraction` may be `f64::INFINITY`,
+/// so the codec carries its raw bits; algorithms travel as dense slots
+/// with `u32::MAX` standing in for `Auto`).
+#[derive(Debug, Clone)]
+pub(crate) struct EngineConfigParts {
+    pub coarse_theta_c: f64,
+    pub coarse_theta_c_drop: Option<f64>,
+    /// Dense slots ([`Algorithm::dense_index`]); `u32::MAX` = `Auto`.
+    pub selected: Option<Vec<u32>>,
+    pub topk_tree: bool,
+    pub calibrated: Option<(f64, f64)>,
+    pub compact_tombstone_fraction: f64,
+    pub planner_refresh_budget: u64,
+}
+
+/// Sentinel slot encoding [`Algorithm::Auto`] in a persisted candidate
+/// list (`Auto` has no dense index).
+const AUTO_SLOT: u32 = u32::MAX;
+
+/// Everything `crate::persist` needs to write an engine snapshot and
+/// rebuild the engine from one: the corpus and remap, the build config,
+/// every built index structure in its flat parts form, the planner's
+/// learned state, and the mutation overlay. Executors and the generation
+/// stamp are deliberately absent — both are derived at assembly time.
+#[derive(Debug, Clone)]
+pub(crate) struct EnginePersistParts {
+    pub store: StoreParts,
+    pub remap: RemapParts,
+    pub config: EngineConfigParts,
+    pub plain: Option<PlainIndexParts>,
+    pub augmented: Option<AugmentedIndexParts>,
+    pub blocked: Option<BlockedIndexParts>,
+    pub adapt: Option<AdaptIndexParts>,
+    pub coarse: Option<CoarseIndexParts>,
+    pub coarse_drop: Option<CoarseIndexParts>,
+    pub tree: Option<BkTreeParts>,
+    pub planner: Option<PlannerSaved>,
+    pub delta: Vec<u32>,
+    pub delta_pos: Vec<u32>,
+    pub base_dead: u64,
+    pub base_live_at_build: u64,
+}
+
 /// The all-algorithms query engine.
 pub struct Engine {
     store: RankingStore,
@@ -644,6 +692,189 @@ impl Engine {
             base_dead: self.base_dead,
             base_live_at_build: self.base_live_at_build,
         }
+    }
+
+    /// Decomposes the engine into its flat persistence form (see
+    /// [`EnginePersistParts`]); the inverse of
+    /// [`Engine::from_persist_parts`].
+    pub(crate) fn export_persist_parts(&self) -> EnginePersistParts {
+        let encode_alg = |a: &Algorithm| a.dense_index().map_or(AUTO_SLOT, |s| s as u32);
+        EnginePersistParts {
+            store: self.store.export_parts(),
+            remap: self.remap.export_parts(),
+            config: EngineConfigParts {
+                coarse_theta_c: self.config.coarse_theta_c,
+                coarse_theta_c_drop: self.config.coarse_theta_c_drop,
+                selected: self
+                    .config
+                    .selected
+                    .as_ref()
+                    .map(|sel| sel.iter().map(encode_alg).collect()),
+                topk_tree: self.config.topk_tree,
+                calibrated: self
+                    .config
+                    .calibrated
+                    .map(|c| (c.footrule_ns, c.merge_posting_ns)),
+                compact_tombstone_fraction: self.config.compact_tombstone_fraction,
+                planner_refresh_budget: self.config.planner_refresh_budget as u64,
+            },
+            plain: self.plain.as_ref().map(|i| i.export_parts()),
+            augmented: self.augmented.as_ref().map(|i| i.export_parts()),
+            blocked: self.blocked.as_ref().map(|i| i.export_parts()),
+            adapt: self.adapt.as_ref().map(|i| i.export_parts()),
+            coarse: self.coarse.as_ref().map(|i| i.export_parts()),
+            coarse_drop: self.coarse_drop.as_ref().map(|i| i.export_parts()),
+            tree: self.tree.as_ref().map(|t| t.export_parts()),
+            planner: self.planner.as_ref().map(|p| p.to_saved()),
+            delta: self.delta.iter().map(|id| id.0).collect(),
+            delta_pos: self.delta_pos.clone(),
+            base_dead: self.base_dead as u64,
+            base_live_at_build: self.base_live_at_build as u64,
+        }
+    }
+
+    /// Reassembles an engine from its flat persistence form: rebuilds
+    /// every structure through its validating `from_parts`, re-links the
+    /// shared remap, restores the planner warm, rebuilds the executor
+    /// table over the reloaded structures and draws a **fresh**
+    /// generation stamp (scratches from before the restart must re-arm).
+    /// Errors name the inconsistency; they never panic on hostile input.
+    pub(crate) fn from_persist_parts(parts: EnginePersistParts) -> Result<Engine, String> {
+        let store = RankingStore::from_parts(parts.store)?;
+        let remap = Arc::new(ItemRemap::from_parts(parts.remap)?);
+        let k = store.k() as u32;
+        let check_k = |parts_k: u32, what: &str| -> Result<(), String> {
+            if parts_k != k {
+                return Err(format!("{what} k {parts_k} disagrees with the store k {k}"));
+            }
+            Ok(())
+        };
+        if let Some(p) = &parts.plain {
+            check_k(p.k, "plain index")?;
+        }
+        if let Some(a) = &parts.augmented {
+            check_k(a.k, "augmented index")?;
+        }
+        if let Some(b) = &parts.blocked {
+            check_k(b.k, "blocked index")?;
+        }
+        if let Some(a) = &parts.adapt {
+            check_k(a.k, "adaptsearch index")?;
+        }
+        let plain = parts
+            .plain
+            .map(|p| PlainInvertedIndex::from_parts(p, remap.clone()))
+            .transpose()?
+            .map(Arc::new);
+        let augmented = parts
+            .augmented
+            .map(|p| AugmentedInvertedIndex::from_parts(p, remap.clone()))
+            .transpose()?
+            .map(Arc::new);
+        let blocked = parts
+            .blocked
+            .map(|p| BlockedInvertedIndex::from_parts(p, remap.clone()))
+            .transpose()?
+            .map(Arc::new);
+        let adapt = parts
+            .adapt
+            .map(|p| AdaptSearchIndex::from_parts(p, remap.clone()))
+            .transpose()?
+            .map(Arc::new);
+        let coarse = parts
+            .coarse
+            .map(|p| CoarseIndex::from_parts(p, remap.clone()))
+            .transpose()?
+            .map(Arc::new);
+        let coarse_drop = parts
+            .coarse_drop
+            .map(|p| CoarseIndex::from_parts(p, remap.clone()))
+            .transpose()?
+            .map(Arc::new);
+        let tree = parts.tree.map(BkTree::from_parts).transpose()?;
+        if let Some(s) = &parts.planner {
+            check_k(s.k, "planner")?;
+        }
+        let planner = parts
+            .planner
+            .map(|s| Planner::from_saved(s, remap.clone()))
+            .transpose()?;
+        let decode_alg = |slot: u32| -> Result<Algorithm, String> {
+            if slot == AUTO_SLOT {
+                return Ok(Algorithm::Auto);
+            }
+            Algorithm::from_dense_index(slot as usize)
+                .ok_or_else(|| format!("config algorithm slot {slot} names no algorithm"))
+        };
+        let selected = parts
+            .config
+            .selected
+            .map(|sel| sel.iter().map(|&s| decode_alg(s)).collect::<Result<_, _>>())
+            .transpose()?;
+        let config = EngineConfig {
+            coarse_theta_c: parts.config.coarse_theta_c,
+            coarse_theta_c_drop: parts.config.coarse_theta_c_drop,
+            selected,
+            topk_tree: parts.config.topk_tree,
+            calibrated: parts.config.calibrated.map(|(f, m)| CalibratedCosts {
+                footrule_ns: f,
+                merge_posting_ns: m,
+            }),
+            compact_tombstone_fraction: parts.config.compact_tombstone_fraction,
+            planner_refresh_budget: (parts.config.planner_refresh_budget as usize).max(1),
+        };
+        // The mutation overlay must describe this store exactly: the
+        // position table spans the id space, every delta entry is a live
+        // ranking, and table and list point at each other consistently.
+        if parts.delta_pos.len() != store.len() {
+            return Err(format!(
+                "delta position table length {} != store id space {}",
+                parts.delta_pos.len(),
+                store.len()
+            ));
+        }
+        let delta: Vec<RankingId> = parts.delta.iter().map(|&id| RankingId(id)).collect();
+        for (pos, &id) in delta.iter().enumerate() {
+            if id.index() >= store.len() {
+                return Err(format!("delta entry {id:?} is outside the store id space"));
+            }
+            if !store.is_live(id) {
+                return Err(format!("delta entry {id:?} is not live in the store"));
+            }
+            if parts.delta_pos[id.index()] != (pos + 1) as u32 {
+                return Err(format!(
+                    "delta position table disagrees with delta entry {pos}"
+                ));
+            }
+        }
+        let listed = parts.delta_pos.iter().filter(|&&p| p > 0).count();
+        if listed != delta.len() {
+            return Err(format!(
+                "delta position table lists {listed} rankings but the delta holds {}",
+                delta.len()
+            ));
+        }
+        let executors =
+            build_executor_table(&plain, &augmented, &blocked, &adapt, &coarse, &coarse_drop);
+        Ok(Engine {
+            store,
+            remap,
+            plain,
+            augmented,
+            blocked,
+            adapt,
+            coarse,
+            coarse_drop,
+            tree,
+            executors,
+            planner,
+            config,
+            generation: next_generation(),
+            delta,
+            delta_pos: parts.delta_pos,
+            base_dead: parts.base_dead as usize,
+            base_live_at_build: parts.base_live_at_build as usize,
+        })
     }
 
     // --- live-corpus mutation API -----------------------------------

@@ -29,6 +29,7 @@ pub mod batch;
 pub mod coarse;
 pub mod cost;
 pub mod engine;
+pub mod persist;
 pub mod planner;
 pub mod shard;
 pub mod snapshot;
@@ -40,6 +41,9 @@ pub use cost::calibrate::CalibratedCosts;
 pub use cost::cdf::DistanceCdf;
 pub use cost::model::CostModel;
 pub use engine::{Algorithm, Engine, EngineBuilder, ParseAlgorithmError, QueryTrace};
+pub use persist::{
+    load_engine, load_sharded, save_engine, save_sharded, LoadMode, PersistError, SnapshotMeta,
+};
 pub use planner::{PlanDecision, PlanStats, Planner, THETA_BUCKETS};
 pub use shard::{
     RebalanceConfig, ShardStrategy, ShardedEngine, ShardedEngineBuilder, ShardedScratch,

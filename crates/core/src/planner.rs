@@ -431,6 +431,135 @@ impl Planner {
         }
     }
 
+    /// Snapshots the planner into its flat persistence form: every
+    /// atomic level/exploration cell is read at its current value (the
+    /// same consistency [`Planner::fork`] provides), f64 tables travel
+    /// as raw bit patterns so a reload reprices queries bit-identically.
+    pub(crate) fn to_saved(&self) -> PlannerSaved {
+        let copy_cells =
+            |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|c| c.load(Ordering::Relaxed)).collect() };
+        PlannerSaved {
+            n: self.n as u64,
+            k: self.k as u32,
+            d_max: self.d_max,
+            footrule_ns: self.costs.footrule_ns,
+            merge_posting_ns: self.costs.merge_posting_ns,
+            zipf_s: self.zipf_s,
+            degenerate: self.degenerate,
+            coarse_theta_c_raw: self.coarse_theta_c_raw,
+            coarse_drop_theta_c_raw: self.coarse_drop_theta_c_raw,
+            pending_mutations: self.pending_mutations as u64,
+            candidates: self
+                .candidates
+                .iter()
+                .map(|c| c.dense_index().expect("concrete candidate") as u32)
+                .collect(),
+            freqs: self.freqs.clone(),
+            cdf_prefix: self.cdf_prefix.clone(),
+            coarse_cost: self.coarse_cost.clone(),
+            coarse_drop_cost: self.coarse_drop_cost.clone(),
+            wall_means: copy_cells(&self.wall_means),
+            raw_means: copy_cells(&self.raw_means),
+            observations: copy_cells(&self.observations),
+            explored: copy_cells(&self.explored),
+            incumbent: copy_cells(&self.incumbent),
+        }
+    }
+
+    /// Rebuilds a planner from its flat persistence form against the
+    /// engine's (reloaded) remap. The learned per-(algorithm, θ-bucket)
+    /// levels, exploration cursors and incumbents come back exactly, so
+    /// a restarted engine plans warm: buckets that finished exploring
+    /// serve the incumbent fast path immediately instead of re-running
+    /// the forced exploration rounds.
+    pub(crate) fn from_saved(saved: PlannerSaved, remap: Arc<ItemRemap>) -> Result<Self, String> {
+        let k = saved.k as usize;
+        if k == 0 {
+            return Err("planner k must be positive".into());
+        }
+        if saved.d_max != max_distance(k) {
+            return Err(format!(
+                "planner d_max {} disagrees with max_distance({k}) = {}",
+                saved.d_max,
+                max_distance(k)
+            ));
+        }
+        if saved.candidates.is_empty() {
+            return Err("planner candidate set is empty".into());
+        }
+        let candidates = saved
+            .candidates
+            .iter()
+            .map(|&slot| {
+                Algorithm::from_dense_index(slot as usize)
+                    .ok_or_else(|| format!("planner candidate slot {slot} names no algorithm"))
+            })
+            .collect::<Result<Vec<Algorithm>, String>>()?;
+        if saved.freqs.len() != remap.len() {
+            return Err(format!(
+                "planner frequency table length {} != remap size {}",
+                saved.freqs.len(),
+                remap.len()
+            ));
+        }
+        let table_len = saved.d_max as usize + 1;
+        if saved.cdf_prefix.len() != table_len
+            || saved.coarse_cost.len() != table_len
+            || saved.coarse_drop_cost.len() != table_len
+        {
+            return Err("planner θ-indexed tables disagree with d_max".into());
+        }
+        let cells = Algorithm::COUNT * THETA_BUCKETS;
+        if saved.wall_means.len() != cells
+            || saved.raw_means.len() != cells
+            || saved.observations.len() != cells
+        {
+            return Err(format!(
+                "planner level tables must hold {cells} cells (8 algorithms × {THETA_BUCKETS} \
+                 θ-buckets)"
+            ));
+        }
+        if saved.explored.len() != THETA_BUCKETS || saved.incumbent.len() != THETA_BUCKETS {
+            return Err(format!(
+                "planner bucket cursors must hold {THETA_BUCKETS} cells"
+            ));
+        }
+        if let Some(&bad) = saved
+            .incumbent
+            .iter()
+            .find(|&&inc| inc > Algorithm::COUNT as u64)
+        {
+            return Err(format!("planner incumbent {bad} names no executor slot"));
+        }
+        let restore =
+            |v: Vec<u64>| -> Vec<AtomicU64> { v.into_iter().map(AtomicU64::new).collect() };
+        Ok(Planner {
+            n: saved.n as usize,
+            k,
+            d_max: saved.d_max,
+            costs: CalibratedCosts {
+                footrule_ns: saved.footrule_ns,
+                merge_posting_ns: saved.merge_posting_ns,
+            },
+            remap,
+            freqs: saved.freqs,
+            cdf_prefix: saved.cdf_prefix,
+            coarse_cost: saved.coarse_cost,
+            coarse_drop_cost: saved.coarse_drop_cost,
+            candidates,
+            wall_means: restore(saved.wall_means),
+            raw_means: restore(saved.raw_means),
+            observations: restore(saved.observations),
+            explored: restore(saved.explored),
+            incumbent: restore(saved.incumbent),
+            zipf_s: saved.zipf_s,
+            degenerate: saved.degenerate,
+            coarse_theta_c_raw: saved.coarse_theta_c_raw,
+            coarse_drop_theta_c_raw: saved.coarse_drop_theta_c_raw,
+            pending_mutations: saved.pending_mutations as usize,
+        })
+    }
+
     /// Folds one insertion into the corpus statistics: `n` and the
     /// posting-length table track the live corpus exactly for items the
     /// remap knows; items first seen after the engine build join the
@@ -896,6 +1025,38 @@ impl Planner {
             Algorithm::Auto => unreachable!("Auto is resolved by the planner, not priced"),
         }
     }
+}
+
+/// Flat persistence form of a [`Planner`]: scalars plus plain vectors
+/// (atomic level cells snapshotted to `u64` f64-bit patterns), the shape
+/// `crate::persist` serializes into the snapshot's planner section.
+/// The remap is deliberately absent — it is engine-owned state and gets
+/// re-linked at load time.
+#[derive(Debug, Clone)]
+pub(crate) struct PlannerSaved {
+    pub n: u64,
+    pub k: u32,
+    pub d_max: u32,
+    pub footrule_ns: f64,
+    pub merge_posting_ns: f64,
+    pub zipf_s: f64,
+    pub degenerate: bool,
+    pub coarse_theta_c_raw: u32,
+    pub coarse_drop_theta_c_raw: u32,
+    pub pending_mutations: u64,
+    /// Dense executor slots ([`Algorithm::dense_index`]).
+    pub candidates: Vec<u32>,
+    pub freqs: Vec<u32>,
+    pub cdf_prefix: Vec<f64>,
+    pub coarse_cost: Vec<f64>,
+    pub coarse_drop_cost: Vec<f64>,
+    /// f64 bit patterns (`Algorithm::COUNT × THETA_BUCKETS` cells).
+    pub wall_means: Vec<u64>,
+    /// f64 bit patterns (`Algorithm::COUNT × THETA_BUCKETS` cells).
+    pub raw_means: Vec<u64>,
+    pub observations: Vec<u64>,
+    pub explored: Vec<u64>,
+    pub incumbent: Vec<u64>,
 }
 
 #[cfg(test)]

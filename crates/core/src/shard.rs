@@ -842,6 +842,298 @@ impl ShardedEngine {
     }
 }
 
+/// Flat form of the retained per-shard build config, for the snapshot
+/// codec (`crate::persist`). Algorithms travel as dense slots with
+/// `u32::MAX` standing in for `Auto`; the rebalance policy is inlined.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub(crate) struct ShardConfigParts {
+    pub coarse_theta_c: f64,
+    pub coarse_theta_c_drop: Option<f64>,
+    pub selected: Option<Vec<u32>>,
+    pub topk_trees: bool,
+    pub calibrated: Option<(f64, f64)>,
+    pub compact_tombstone_fraction: Option<f64>,
+    pub planner_refresh_budget: Option<u64>,
+    pub rebalance_skew_factor: f64,
+    pub rebalance_min_gap: u64,
+    pub rebalance_auto: bool,
+}
+
+/// Everything the sharded snapshot manifest records besides the
+/// per-shard engine snapshots themselves: routing state, the
+/// global→(shard, local) directory as flat planes (`u32::MAX` pairs
+/// encode removed ids), and each shard's local→global map.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub(crate) struct ShardedPersistParts {
+    pub k: u32,
+    /// 0 = [`ShardStrategy::Hash`], 1 = [`ShardStrategy::Medoid`].
+    pub strategy: u8,
+    pub config: ShardConfigParts,
+    /// Medoid routing state, one slot per shard (raw item ids).
+    pub medoids: Vec<Option<Vec<u32>>>,
+    pub dir_shards: Vec<u32>,
+    pub dir_locals: Vec<u32>,
+    pub next_global: u32,
+    /// Which shards carry an engine (and thus a snapshot file).
+    pub engine_present: Vec<bool>,
+    /// Per shard: the global id of each local slot, ascending.
+    pub globals: Vec<Vec<u32>>,
+}
+
+impl ShardedEngine {
+    /// Snapshot view of the engine-level state (see
+    /// [`ShardedPersistParts`]); per-shard engines are exported
+    /// separately via [`ShardedEngine::shard_engine`].
+    pub(crate) fn export_sharded_parts(&self) -> ShardedPersistParts {
+        let encode_alg = |a: &Algorithm| a.dense_index().map_or(u32::MAX, |s| s as u32);
+        ShardedPersistParts {
+            k: self.k as u32,
+            strategy: match self.strategy {
+                ShardStrategy::Hash => 0,
+                ShardStrategy::Medoid => 1,
+            },
+            config: ShardConfigParts {
+                coarse_theta_c: self.config.coarse_theta_c,
+                coarse_theta_c_drop: self.config.coarse_theta_c_drop,
+                selected: self
+                    .config
+                    .selected
+                    .as_ref()
+                    .map(|sel| sel.iter().map(encode_alg).collect()),
+                topk_trees: self.config.topk_trees,
+                calibrated: self
+                    .config
+                    .calibrated
+                    .map(|c| (c.footrule_ns, c.merge_posting_ns)),
+                compact_tombstone_fraction: self.config.compact_tombstone_fraction,
+                planner_refresh_budget: self.config.planner_refresh_budget.map(|b| b as u64),
+                rebalance_skew_factor: self.config.rebalance.skew_factor,
+                rebalance_min_gap: self.config.rebalance.min_gap as u64,
+                rebalance_auto: self.config.rebalance.auto,
+            },
+            medoids: self
+                .medoids
+                .iter()
+                .map(|m| m.as_ref().map(|v| v.iter().map(|i| i.0).collect()))
+                .collect(),
+            dir_shards: self.directory.iter().map(|l| l.shard).collect(),
+            dir_locals: self.directory.iter().map(|l| l.local).collect(),
+            next_global: self.next_global,
+            engine_present: self.shards.iter().map(|s| s.engine.is_some()).collect(),
+            globals: self
+                .shards
+                .iter()
+                .map(|s| s.global.iter().map(|g| g.0).collect())
+                .collect(),
+        }
+    }
+
+    /// Shard `i`'s engine, if the shard holds any rankings.
+    pub(crate) fn shard_engine(&self, i: usize) -> Option<&Engine> {
+        self.shards[i].engine.as_ref()
+    }
+
+    /// Reassembles a sharded engine from manifest parts plus the
+    /// separately loaded per-shard engines. Every cross-structure
+    /// invariant is checked — directory entries resolve to live locals
+    /// whose global map points back, local↔global maps stay monotone,
+    /// presence flags agree — so a corrupt manifest fails typed instead
+    /// of producing an engine that answers wrongly.
+    pub(crate) fn from_sharded_parts(
+        parts: ShardedPersistParts,
+        engines: Vec<Option<Engine>>,
+    ) -> Result<ShardedEngine, String> {
+        let ShardedPersistParts {
+            k,
+            strategy,
+            config,
+            medoids,
+            dir_shards,
+            dir_locals,
+            next_global,
+            engine_present,
+            globals,
+        } = parts;
+        let k = k as usize;
+        if k == 0 {
+            return Err("ranking size k must be positive".to_string());
+        }
+        let num_shards = globals.len();
+        if num_shards == 0 {
+            return Err("need at least one shard".to_string());
+        }
+        if engine_present.len() != num_shards
+            || medoids.len() != num_shards
+            || engines.len() != num_shards
+        {
+            return Err(format!(
+                "per-shard plane lengths disagree: {num_shards} global maps, {} presence \
+                 flags, {} medoid slots, {} engines",
+                engine_present.len(),
+                medoids.len(),
+                engines.len()
+            ));
+        }
+        let strategy = match strategy {
+            0 => ShardStrategy::Hash,
+            1 => ShardStrategy::Medoid,
+            s => return Err(format!("unknown shard strategy {s}")),
+        };
+        let selected = match config.selected {
+            None => None,
+            Some(slots) => {
+                let mut sel = Vec::with_capacity(slots.len());
+                for slot in slots {
+                    sel.push(if slot == u32::MAX {
+                        Algorithm::Auto
+                    } else {
+                        Algorithm::from_dense_index(slot as usize)
+                            .ok_or_else(|| format!("unknown algorithm slot {slot}"))?
+                    });
+                }
+                Some(sel)
+            }
+        };
+        let config = ShardConfig {
+            coarse_theta_c: config.coarse_theta_c,
+            coarse_theta_c_drop: config.coarse_theta_c_drop,
+            selected,
+            topk_trees: config.topk_trees,
+            calibrated: config.calibrated.map(|(f, m)| crate::CalibratedCosts {
+                footrule_ns: f,
+                merge_posting_ns: m,
+            }),
+            compact_tombstone_fraction: config.compact_tombstone_fraction,
+            planner_refresh_budget: config.planner_refresh_budget.map(|b| b as usize),
+            rebalance: RebalanceConfig {
+                skew_factor: config.rebalance_skew_factor,
+                min_gap: config.rebalance_min_gap as usize,
+                auto: config.rebalance_auto,
+            },
+        };
+        let medoids: Vec<Option<Vec<ItemId>>> = medoids
+            .into_iter()
+            .enumerate()
+            .map(|(si, m)| match m {
+                None => Ok(None),
+                Some(items) if items.len() == k => {
+                    Ok(Some(items.into_iter().map(ItemId).collect()))
+                }
+                Some(items) => Err(format!(
+                    "shard {si}: medoid has {} items (expected {k})",
+                    items.len()
+                )),
+            })
+            .collect::<Result<_, String>>()?;
+        let n = next_global as usize;
+        let mut shards: Vec<Shard> = Vec::with_capacity(num_shards);
+        for (si, (global_raw, engine)) in globals.into_iter().zip(engines).enumerate() {
+            if engine_present[si] != engine.is_some() {
+                return Err(format!(
+                    "shard {si}: manifest presence flag and loaded engine disagree"
+                ));
+            }
+            if let Some(e) = &engine {
+                if e.store().k() != k {
+                    return Err(format!(
+                        "shard {si}: engine ranking size {} != manifest k {k}",
+                        e.store().k()
+                    ));
+                }
+                if e.store().len() != global_raw.len() {
+                    return Err(format!(
+                        "shard {si}: engine holds {} slots but the global map has {}",
+                        e.store().len(),
+                        global_raw.len()
+                    ));
+                }
+            } else if !global_raw.is_empty() {
+                return Err(format!(
+                    "shard {si}: global map has {} entries but no engine",
+                    global_raw.len()
+                ));
+            }
+            if !global_raw.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("shard {si}: global ids are not strictly ascending"));
+            }
+            if global_raw.iter().any(|&g| g as usize >= n) {
+                return Err(format!(
+                    "shard {si}: global map exceeds next_global {next_global}"
+                ));
+            }
+            shards.push(Shard {
+                engine,
+                global: global_raw.into_iter().map(RankingId).collect(),
+            });
+        }
+        if dir_shards.len() != n || dir_locals.len() != n {
+            return Err(format!(
+                "directory planes hold {}/{} entries for {n} assigned globals",
+                dir_shards.len(),
+                dir_locals.len()
+            ));
+        }
+        let mut directory = Vec::with_capacity(n);
+        let mut live_count = 0usize;
+        for g in 0..n {
+            let (s, l) = (dir_shards[g], dir_locals[g]);
+            if s == u32::MAX || l == u32::MAX {
+                if s != u32::MAX || l != u32::MAX {
+                    return Err(format!("directory entry {g} is half-removed ({s}, {l})"));
+                }
+                directory.push(GONE);
+                continue;
+            }
+            let shard = shards.get(s as usize).ok_or_else(|| {
+                format!("directory entry {g} points at shard {s} of {num_shards}")
+            })?;
+            let global_at = shard.global.get(l as usize).ok_or_else(|| {
+                format!(
+                    "directory entry {g} points at local {l} beyond shard {s}'s {} slots",
+                    shard.global.len()
+                )
+            })?;
+            if global_at.index() != g {
+                return Err(format!(
+                    "directory entry {g} disagrees with shard {s}'s global map ({global_at:?})"
+                ));
+            }
+            let engine = shard
+                .engine
+                .as_ref()
+                .ok_or_else(|| format!("directory entry {g} points into engineless shard {s}"))?;
+            if !engine.is_live(RankingId(l)) {
+                return Err(format!(
+                    "directory entry {g} points at dead local {l} in shard {s}"
+                ));
+            }
+            directory.push(ShardLoc { shard: s, local: l });
+            live_count += 1;
+        }
+        let engine_live: usize = shards
+            .iter()
+            .map(|s| s.engine.as_ref().map_or(0, |e| e.live_len()))
+            .sum();
+        if live_count != engine_live {
+            return Err(format!(
+                "directory lists {live_count} live rankings but the shard engines hold \
+                 {engine_live}"
+            ));
+        }
+        Ok(ShardedEngine {
+            k,
+            strategy,
+            shards,
+            config,
+            medoids,
+            directory,
+            next_global,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

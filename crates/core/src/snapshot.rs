@@ -84,6 +84,7 @@ use std::time::{Duration, Instant};
 
 use crate::batch::panic_message;
 use crate::engine::Engine;
+use crate::persist::{load_engine, save_engine, LoadMode, PersistError, SnapshotMeta};
 use crate::wal::{read_wal, FailPoint, LogOp, RecoveryReport, SyncPolicy, WalError, WalWriter};
 use ranksim_rankings::{validate_items, ItemId, RankingError, RankingId};
 
@@ -164,6 +165,11 @@ struct WriterState {
     log_base: u64,
     /// On-disk mirror of the log; `None` for a volatile engine.
     wal: Option<WalWriter>,
+    /// Absolute log position of the WAL file's **first** record — 0
+    /// for a fresh log, the checkpoint position after
+    /// [`SnapshotEngine::checkpoint_and_truncate`]. Snapshots record
+    /// it so recovery can verify the WAL tail lines up.
+    wal_base: u64,
 }
 
 impl WriterState {
@@ -276,7 +282,7 @@ impl SnapshotEngine {
     /// engine becomes the writer-side master. No WAL: mutations are
     /// volatile ([`SnapshotEngine::with_wal`] for durability).
     pub fn new(master: Engine) -> Self {
-        Self::spawn(master, None, 0)
+        Self::spawn(master, None, 0, 0)
     }
 
     /// Like [`SnapshotEngine::new`], but every mutation is appended to
@@ -285,7 +291,7 @@ impl SnapshotEngine {
     /// [`SnapshotEngine::recover`] from the **same base corpus**.
     pub fn with_wal(master: Engine, path: &Path, policy: SyncPolicy) -> Result<Self, WalError> {
         let wal = WalWriter::create(path, policy)?;
-        Ok(Self::spawn(master, Some(wal), 0))
+        Ok(Self::spawn(master, Some(wal), 0, 0))
     }
 
     /// Rebuilds an engine after a crash: scans the WAL at `path`,
@@ -311,10 +317,136 @@ impl SnapshotEngine {
             applied,
             truncated_bytes: scan.truncated_bytes,
         };
-        Ok((Self::spawn(master, Some(wal), applied), report))
+        Ok((Self::spawn(master, Some(wal), applied, 0), report))
     }
 
-    fn spawn(master: Engine, wal: Option<WalWriter>, base_pos: u64) -> Self {
+    /// Rebuilds an engine after a crash from a checkpoint plus the WAL
+    /// tail, instead of [`SnapshotEngine::recover`]'s full replay over
+    /// the base corpus: loads the snapshot at `snapshot_path` (under
+    /// `mode`), verifies its recorded log position against the WAL's
+    /// base, replays **only** the WAL records past the snapshot, and
+    /// resumes appending at the truncation point. A snapshot that does
+    /// not line up with the WAL — position before the WAL's base, or
+    /// past its valid prefix — is a typed [`PersistError::WalMismatch`],
+    /// and a WAL record that contradicts the loaded corpus is
+    /// [`WalError::Diverged`]; neither is ever applied. The
+    /// [`RecoveryReport`] counts only the replayed tail.
+    pub fn recover_from_snapshot(
+        snapshot_path: &Path,
+        wal_path: &Path,
+        policy: SyncPolicy,
+        mode: LoadMode,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let (mut master, meta) = load_engine(snapshot_path, mode)?;
+        let scan = read_wal(wal_path)?;
+        if meta.log_pos < meta.wal_base {
+            return Err(PersistError::WalMismatch {
+                detail: format!(
+                    "snapshot log position {} precedes its recorded WAL base {}",
+                    meta.log_pos, meta.wal_base
+                ),
+            });
+        }
+        let skip = meta.log_pos - meta.wal_base;
+        if skip > scan.ops.len() as u64 {
+            return Err(PersistError::WalMismatch {
+                detail: format!(
+                    "snapshot is at log position {} but the WAL (base {}) holds only {} \
+                     valid records",
+                    meta.log_pos,
+                    meta.wal_base,
+                    scan.ops.len()
+                ),
+            });
+        }
+        for op in &scan.ops[skip as usize..] {
+            replay_checked(&mut master, op)?;
+        }
+        let wal = WalWriter::resume(wal_path, policy, &scan)?;
+        let end_pos = meta.wal_base + scan.ops.len() as u64;
+        let report = RecoveryReport {
+            applied: scan.ops.len() as u64 - skip,
+            truncated_bytes: scan.truncated_bytes,
+        };
+        Ok((
+            Self::spawn(master, Some(wal), end_pos, meta.wal_base),
+            report,
+        ))
+    }
+
+    /// Writes the **published** generation to `path` as an `RSSN`
+    /// snapshot (see [`crate::persist`]), recording its log position
+    /// and the live WAL base so [`SnapshotEngine::recover_from_snapshot`]
+    /// can later replay exactly the missing tail. Readers and writers
+    /// are never blocked: the engine serialized is the immutable head.
+    /// Returns the log position the snapshot covers.
+    pub fn checkpoint(&self, path: &Path) -> Result<u64, PersistError> {
+        let snap = self.snapshot();
+        let wal_base = lock_ignore_poison(&self.shared.writer).wal_base;
+        if wal_base > snap.log_pos() {
+            // A concurrent checkpoint_and_truncate advanced the WAL
+            // past the published head; a snapshot written now could
+            // never be recovered. Flush and retry.
+            return Err(PersistError::WalMismatch {
+                detail: format!(
+                    "published head at {} predates the WAL base {wal_base}; \
+                     flush before checkpointing",
+                    snap.log_pos()
+                ),
+            });
+        }
+        save_engine(
+            path,
+            snap.engine(),
+            SnapshotMeta {
+                log_pos: snap.log_pos(),
+                wal_base,
+            },
+        )?;
+        Ok(snap.log_pos())
+    }
+
+    /// Checkpoints the **master** (every acknowledged mutation) to
+    /// `snapshot_path` and then truncates the WAL behind it: once the
+    /// snapshot is durably renamed into place, the log is restarted
+    /// empty at `wal_path` with its base advanced to the checkpoint
+    /// position. Crash-ordering is safe at every step — a crash before
+    /// the rename leaves the old snapshot + full WAL, a crash after
+    /// leaves the new snapshot + empty WAL, and both pairs recover to
+    /// the same corpus. Writers are blocked for the duration (the
+    /// master must not move while it is serialized); readers are not.
+    /// For a volatile engine the snapshot is still written and nothing
+    /// is truncated. Returns the checkpoint's log position.
+    pub fn checkpoint_and_truncate(
+        &self,
+        snapshot_path: &Path,
+        wal_path: &Path,
+    ) -> Result<u64, PersistError> {
+        let mut w = lock_ignore_poison(&self.shared.writer);
+        if let Some(wal) = &mut w.wal {
+            // The tail being cut must be durable first: an op that was
+            // acknowledged against the old WAL may not be in any sync
+            // window yet.
+            wal.sync()?;
+        }
+        let pos = w.end_pos();
+        save_engine(
+            snapshot_path,
+            &w.master,
+            SnapshotMeta {
+                log_pos: pos,
+                wal_base: pos,
+            },
+        )?;
+        if let Some(old) = &w.wal {
+            let fresh = WalWriter::create(wal_path, old.policy())?;
+            w.wal = Some(fresh);
+            w.wal_base = pos;
+        }
+        Ok(pos)
+    }
+
+    fn spawn(master: Engine, wal: Option<WalWriter>, base_pos: u64, wal_base: u64) -> Self {
         let head = Arc::new(Generation {
             engine: master.fork(),
             log_pos: base_pos,
@@ -326,6 +458,7 @@ impl SnapshotEngine {
                 log: Vec::new(),
                 log_base: base_pos,
                 wal,
+                wal_base,
             }),
             head: RwLock::new(head),
             published: Mutex::new(base_pos),
@@ -1053,7 +1186,10 @@ mod tests {
         probe.join().unwrap();
         assert!(!health.is_healthy());
         assert!(health.wal_failure.is_some());
-        assert!(health.publisher_alive, "publisher must outlive a WAL failure");
+        assert!(
+            health.publisher_alive,
+            "publisher must outlive a WAL failure"
+        );
         // Fail-stop for writes, but reads and publication sail on.
         assert!(matches!(
             se.try_insert_ranking(&(7200..7208).map(ItemId).collect::<Vec<_>>()),
@@ -1128,5 +1264,180 @@ mod tests {
         assert!(!se.flush());
         // Snapshots keep serving the last published generation.
         assert_eq!(se.snapshot().log_pos(), before.log_pos());
+    }
+
+    fn temp_snap(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "ranksim-snapshot-{tag}-{}.rssn",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn corpus_fingerprint(se: &SnapshotEngine, domain: u32) -> Vec<Vec<RankingId>> {
+        let snap = se.snapshot();
+        let wl = workload(
+            snap.store(),
+            domain,
+            WorkloadParams {
+                num_queries: 5,
+                seed: 77,
+                ..Default::default()
+            },
+        );
+        let theta = raw_threshold(0.3, 8);
+        let mut scratch = snap.scratch();
+        let mut stats = QueryStats::new();
+        wl.queries
+            .iter()
+            .map(|q| snap.query_items(Algorithm::Auto, q, theta, &mut scratch, &mut stats))
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_then_recover_replays_only_the_wal_tail() {
+        let wal_path = temp_wal("ckpt-tail");
+        let snap_path = temp_snap("ckpt-tail");
+        let (engine, domain) = small_engine(220, 31);
+        let se = SnapshotEngine::with_wal(engine, &wal_path, SyncPolicy::PerOp).expect("wal");
+        let wl = workload(
+            se.snapshot().store(),
+            domain,
+            WorkloadParams {
+                num_queries: 8,
+                seed: 13,
+                ..Default::default()
+            },
+        );
+        // Some mutations before the checkpoint...
+        for q in &wl.queries[..4] {
+            se.insert_ranking(q);
+        }
+        se.remove_ranking(RankingId(5));
+        se.flush();
+        let pos = se.checkpoint(&snap_path).expect("checkpoint");
+        assert_eq!(pos, 5);
+        // ...and some after, which only the WAL holds.
+        for q in &wl.queries[4..] {
+            se.insert_ranking(q);
+        }
+        se.flush();
+        let expect = corpus_fingerprint(&se, domain);
+        drop(se);
+
+        let (rec, report) = SnapshotEngine::recover_from_snapshot(
+            &snap_path,
+            &wal_path,
+            SyncPolicy::PerOp,
+            LoadMode::Verify,
+        )
+        .expect("recover from snapshot");
+        assert_eq!(report.applied, 4, "only the tail past the snapshot replays");
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(rec.writer_pos(), 9);
+        assert_eq!(corpus_fingerprint(&rec, domain), expect);
+
+        // The recovered engine keeps appending to the same WAL.
+        let id = rec.insert_ranking(&wl.queries[0]);
+        rec.flush();
+        assert!(rec.snapshot().store().is_live(id));
+        drop(rec);
+        let scan = read_wal(&wal_path).expect("rescan");
+        assert_eq!(scan.ops.len(), 10);
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&snap_path);
+    }
+
+    #[test]
+    fn checkpoint_and_truncate_restarts_the_wal_behind_the_snapshot() {
+        let wal_path = temp_wal("ckpt-trunc");
+        let snap_path = temp_snap("ckpt-trunc");
+        let (engine, domain) = small_engine(180, 47);
+        let se = SnapshotEngine::with_wal(engine, &wal_path, SyncPolicy::PerOp).expect("wal");
+        let wl = workload(
+            se.snapshot().store(),
+            domain,
+            WorkloadParams {
+                num_queries: 6,
+                seed: 29,
+                ..Default::default()
+            },
+        );
+        for q in &wl.queries[..3] {
+            se.insert_ranking(q);
+        }
+        let pos = se
+            .checkpoint_and_truncate(&snap_path, &wal_path)
+            .expect("checkpoint_and_truncate");
+        assert_eq!(pos, 3);
+        // The WAL restarted empty; new writes land at the new base.
+        for q in &wl.queries[3..] {
+            se.insert_ranking(q);
+        }
+        se.flush();
+        let expect = corpus_fingerprint(&se, domain);
+        drop(se);
+        let scan = read_wal(&wal_path).expect("scan");
+        assert_eq!(scan.ops.len(), 3, "WAL holds only the post-checkpoint tail");
+
+        let (rec, report) = SnapshotEngine::recover_from_snapshot(
+            &snap_path,
+            &wal_path,
+            SyncPolicy::PerOp,
+            LoadMode::Verify,
+        )
+        .expect("recover");
+        assert_eq!(report.applied, 3);
+        assert_eq!(rec.writer_pos(), 6);
+        assert_eq!(corpus_fingerprint(&rec, domain), expect);
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&snap_path);
+    }
+
+    #[test]
+    fn recover_rejects_wal_that_does_not_reach_the_snapshot() {
+        let wal_path = temp_wal("ckpt-short");
+        let snap_path = temp_snap("ckpt-short");
+        let (engine, domain) = small_engine(120, 61);
+        let se = SnapshotEngine::with_wal(engine, &wal_path, SyncPolicy::PerOp).expect("wal");
+        let wl = workload(
+            se.snapshot().store(),
+            domain,
+            WorkloadParams {
+                num_queries: 3,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        for q in &wl.queries {
+            se.insert_ranking(q);
+        }
+        se.flush();
+        se.checkpoint(&snap_path).expect("checkpoint");
+        drop(se);
+        // Hand recovery a *different*, shorter WAL: the snapshot claims
+        // log position 3 but this log has never seen those records.
+        let other_wal = temp_wal("ckpt-short-other");
+        let (engine2, _) = small_engine(120, 61);
+        let se2 = SnapshotEngine::with_wal(engine2, &other_wal, SyncPolicy::PerOp).expect("wal");
+        se2.insert_ranking(&wl.queries[0]);
+        se2.flush();
+        drop(se2);
+        match SnapshotEngine::recover_from_snapshot(
+            &snap_path,
+            &other_wal,
+            SyncPolicy::PerOp,
+            LoadMode::Verify,
+        ) {
+            Err(PersistError::WalMismatch { detail }) => {
+                assert!(detail.contains("1 valid record"), "detail: {detail}");
+            }
+            Err(other) => panic!("expected WalMismatch, got {other:?}"),
+            Ok(_) => panic!("short WAL must be rejected"),
+        }
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&other_wal);
+        let _ = std::fs::remove_file(&snap_path);
     }
 }

@@ -404,4 +404,100 @@ fn steady_state_query_into_performs_zero_allocations() {
     );
     drop(recovered);
     let _ = std::fs::remove_file(&wal_path);
+
+    // --- Snapshot-loaded engine (RSSN) --------------------------------
+    //
+    // A warm cold-start must land in the same steady state as the
+    // engine it was saved from: `load_engine` reconstructs every arena
+    // by casting over one owned buffer, and the *planner section*
+    // carries the saved engine's exploration tables — so the loaded
+    // engine serves `Auto` without re-exploring. Only the fresh
+    // scratch/result buffers need warm-up passes; the measured pass is
+    // zero-allocation, `Auto` included. (`live`'s planner is fully
+    // warmed by the grids above, which is exactly what the snapshot
+    // must preserve.)
+    let rssn_path =
+        std::env::temp_dir().join(format!("ranksim-allocfree-{}.rssn", std::process::id()));
+    ranksim_core::save_engine(&rssn_path, &live, ranksim_core::SnapshotMeta::default())
+        .expect("save alloc-test snapshot");
+    let (warm_loaded, _) = ranksim_core::load_engine(&rssn_path, ranksim_core::LoadMode::Verify)
+        .expect("load alloc-test snapshot");
+    let run_loaded_grid = |scratch: &mut _, out: &mut Vec<_>, stats: &mut _| {
+        let mut total = 0usize;
+        for alg in Algorithm::ALL.iter().copied().chain([Algorithm::Auto]) {
+            for &raw in &thetas {
+                for q in &wl.queries {
+                    warm_loaded.query_into(alg, q, raw, scratch, stats, out);
+                    total += out.len();
+                }
+            }
+        }
+        total
+    };
+    let mut pscratch = warm_loaded.scratch();
+    let mut pout = Vec::new();
+    let mut pstats = QueryStats::new();
+    let pwarm1 = run_loaded_grid(&mut pscratch, &mut pout, &mut pstats);
+    let pwarm2 = run_loaded_grid(&mut pscratch, &mut pout, &mut pstats);
+    assert_eq!(pwarm1, pwarm2, "deterministic workload expected");
+    assert_eq!(
+        pwarm1, lwarm1,
+        "the loaded engine must return the saved engine's result mass"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let pmeasured = run_loaded_grid(&mut pscratch, &mut pout, &mut pstats);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(pmeasured, pwarm1);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state queries on a snapshot-loaded engine must not touch \
+         the allocator ({} allocations during the measured pass)",
+        after - before
+    );
+    let _ = std::fs::remove_file(&rssn_path);
+
+    // The same contract for a snapshot-loaded *sharded* engine: the
+    // manifest + per-shard files reload into per-shard engines whose
+    // steady-state reads (including the id-translating merge) stay
+    // zero-allocation.
+    let rssn_dir =
+        std::env::temp_dir().join(format!("ranksim-allocfree-sharded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&rssn_dir);
+    ranksim_core::save_sharded(&rssn_dir, &sharded).expect("save alloc-test sharded snapshot");
+    let loaded_sharded = ranksim_core::load_sharded(&rssn_dir, ranksim_core::LoadMode::Verify)
+        .expect("load alloc-test sharded snapshot");
+    let run_loaded_sharded_grid =
+        |scratch: &mut ranksim_core::ShardedScratch, out: &mut Vec<_>, stats: &mut _| {
+            let mut total = 0usize;
+            for alg in Algorithm::ALL.iter().copied().chain([Algorithm::Auto]) {
+                for &raw in &thetas {
+                    for q in &wl.queries {
+                        loaded_sharded.query_into(alg, q, raw, scratch, stats, out);
+                        total += out.len();
+                    }
+                }
+            }
+            total
+        };
+    let mut qscratch = loaded_sharded.scratch();
+    let mut qout = Vec::new();
+    let mut qstats = QueryStats::new();
+    let qwarm1 = run_loaded_sharded_grid(&mut qscratch, &mut qout, &mut qstats);
+    let qwarm2 = run_loaded_sharded_grid(&mut qscratch, &mut qout, &mut qstats);
+    assert_eq!(qwarm1, qwarm2, "deterministic workload expected");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let qmeasured = run_loaded_sharded_grid(&mut qscratch, &mut qout, &mut qstats);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(qmeasured, qwarm1);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state queries on a snapshot-loaded sharded engine must \
+         not touch the allocator ({} allocations during the measured pass)",
+        after - before
+    );
+    let _ = std::fs::remove_dir_all(&rssn_dir);
 }

@@ -13,7 +13,12 @@ use std::sync::Arc;
 use ranksim_rankings::{ItemId, ItemRemap, RankingId, RankingStore};
 
 /// One posting: a ranking containing the item, and the rank it holds there.
+///
+/// `repr(C)` pins the layout to two consecutive little-endian-persistable
+/// `u32`s (8 bytes, no padding) so the persistence layer can round-trip
+/// the postings arena as raw bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct Posting {
     /// The ranking containing the item.
     pub id: RankingId,
@@ -160,6 +165,72 @@ impl AugmentedInvertedIndex {
             + self.postings.capacity() * std::mem::size_of::<Posting>()
             + self.remap.heap_bytes()
     }
+
+    /// Decomposes the index into its flat persistence form. Postings are
+    /// split into `u32` id/rank planes (the `repr(C)` pair itself could be
+    /// persisted raw, but planes keep every section a plain `u32` array).
+    #[doc(hidden)]
+    pub fn export_parts(&self) -> AugmentedIndexParts {
+        let mut ids = Vec::with_capacity(self.postings.len());
+        let mut ranks = Vec::with_capacity(self.postings.len());
+        for p in &self.postings {
+            ids.push(p.id.0);
+            ranks.push(p.rank);
+        }
+        AugmentedIndexParts {
+            k: self.k as u32,
+            indexed: self.indexed as u32,
+            offsets: self.offsets.clone(),
+            ids,
+            ranks,
+        }
+    }
+
+    /// Rebuilds the index from its flat persistence form against the
+    /// corpus remap, validating the CSR invariants and rank bounds.
+    #[doc(hidden)]
+    pub fn from_parts(parts: AugmentedIndexParts, remap: Arc<ItemRemap>) -> Result<Self, String> {
+        crate::plain::validate_csr(&parts.offsets, parts.ids.len(), remap.len())?;
+        if parts.ids.len() != parts.ranks.len() {
+            return Err("augmented posting id/rank planes disagree".into());
+        }
+        let k = parts.k as usize;
+        if let Some(bad) = parts.ranks.iter().find(|&&r| r as usize >= k.max(1)) {
+            return Err(format!("posting rank {bad} out of bounds for k {k}"));
+        }
+        let postings = parts
+            .ids
+            .iter()
+            .zip(&parts.ranks)
+            .map(|(&id, &rank)| Posting {
+                id: RankingId(id),
+                rank,
+            })
+            .collect();
+        let m = remap.len();
+        let num_items = (0..m)
+            .filter(|&d| parts.offsets[d] < parts.offsets[d + 1])
+            .count();
+        Ok(AugmentedInvertedIndex {
+            k,
+            remap,
+            offsets: parts.offsets,
+            postings,
+            indexed: parts.indexed as usize,
+            num_items,
+        })
+    }
+}
+
+/// Flat persistence form of an [`AugmentedInvertedIndex`].
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct AugmentedIndexParts {
+    pub k: u32,
+    pub indexed: u32,
+    pub offsets: Vec<u32>,
+    pub ids: Vec<u32>,
+    pub ranks: Vec<u32>,
 }
 
 #[cfg(test)]

@@ -164,6 +164,72 @@ impl BlockedInvertedIndex {
             + self.block_offsets.capacity() * std::mem::size_of::<u32>()
             + self.remap.heap_bytes()
     }
+
+    /// Decomposes the index into its flat persistence form.
+    #[doc(hidden)]
+    pub fn export_parts(&self) -> BlockedIndexParts {
+        BlockedIndexParts {
+            k: self.k as u32,
+            indexed: self.indexed as u32,
+            block_offsets: self.block_offsets.clone(),
+            ids: ranksim_rankings::ranking_vec_into_u32(self.ids.clone()),
+        }
+    }
+
+    /// Rebuilds the index from its flat persistence form against the
+    /// corpus remap, validating the strided block-offset invariants.
+    #[doc(hidden)]
+    pub fn from_parts(parts: BlockedIndexParts, remap: Arc<ItemRemap>) -> Result<Self, String> {
+        let k = parts.k as usize;
+        if k == 0 {
+            return Err("blocked index k must be positive".into());
+        }
+        let m = remap.len();
+        let stride = k + 1;
+        if parts.block_offsets.len() != m * stride + 1 {
+            return Err(format!(
+                "block offsets length {} != remap size {} × (k + 1) + 1",
+                parts.block_offsets.len(),
+                m
+            ));
+        }
+        if parts.block_offsets.first().copied().unwrap_or(0) != 0 {
+            return Err("block offsets must start at 0".into());
+        }
+        if parts.block_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("block offsets not monotone".into());
+        }
+        let end = parts.block_offsets.last().copied().unwrap_or(0) as usize;
+        if end != parts.ids.len() {
+            return Err(format!(
+                "block offsets end {end} != posting arena length {}",
+                parts.ids.len()
+            ));
+        }
+        let num_items = (0..m)
+            .filter(|&d| parts.block_offsets[d * stride] < parts.block_offsets[d * stride + k])
+            .count();
+        Ok(BlockedInvertedIndex {
+            k,
+            remap,
+            ids: ranksim_rankings::ranking_vec_from_u32(parts.ids),
+            block_offsets: parts.block_offsets,
+            indexed: parts.indexed as usize,
+            num_items,
+            build_sort_ops: 0,
+        })
+    }
+}
+
+/// Flat persistence form of a [`BlockedInvertedIndex`]. `build_sort_ops`
+/// is a construction-time statistic and resets to 0 on load.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct BlockedIndexParts {
+    pub k: u32,
+    pub indexed: u32,
+    pub block_offsets: Vec<u32>,
+    pub ids: Vec<u32>,
 }
 
 #[cfg(test)]

@@ -35,11 +35,17 @@ pub mod listmerge;
 pub mod minimal;
 pub mod plain;
 
+#[doc(hidden)]
+pub use augmented::AugmentedIndexParts;
 pub use augmented::{AugmentedInvertedIndex, Posting};
+#[doc(hidden)]
+pub use blocked::BlockedIndexParts;
 pub use blocked::BlockedInvertedIndex;
 pub use drop::{keep_positions, keep_positions_into, omega};
 pub use executors::{BlockedPruneExecutor, FvDropExecutor, FvExecutor, ListMergeExecutor};
 pub use minimal::MinimalFv;
+#[doc(hidden)]
+pub use plain::PlainIndexParts;
 pub use plain::PlainInvertedIndex;
 
 #[cfg(test)]

@@ -142,6 +142,73 @@ impl PlainInvertedIndex {
             + self.postings.capacity() * std::mem::size_of::<RankingId>()
             + self.remap.heap_bytes()
     }
+
+    /// Decomposes the index into its flat persistence form (the shared
+    /// remap is persisted once by the engine, not per index).
+    #[doc(hidden)]
+    pub fn export_parts(&self) -> PlainIndexParts {
+        PlainIndexParts {
+            k: self.k as u32,
+            indexed: self.indexed as u32,
+            offsets: self.offsets.clone(),
+            postings: ranksim_rankings::ranking_vec_into_u32(self.postings.clone()),
+        }
+    }
+
+    /// Rebuilds the index from its flat persistence form against the
+    /// corpus remap, validating the CSR invariants (monotone offsets
+    /// covering the postings arena, one offsets row per dense item).
+    #[doc(hidden)]
+    pub fn from_parts(parts: PlainIndexParts, remap: Arc<ItemRemap>) -> Result<Self, String> {
+        validate_csr(&parts.offsets, parts.postings.len(), remap.len())?;
+        let m = remap.len();
+        let num_items = (0..m)
+            .filter(|&d| parts.offsets[d] < parts.offsets[d + 1])
+            .count();
+        Ok(PlainInvertedIndex {
+            k: parts.k as usize,
+            remap,
+            offsets: parts.offsets,
+            postings: ranksim_rankings::ranking_vec_from_u32(parts.postings),
+            indexed: parts.indexed as usize,
+            num_items,
+        })
+    }
+}
+
+/// Flat persistence form of a [`PlainInvertedIndex`].
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct PlainIndexParts {
+    pub k: u32,
+    pub indexed: u32,
+    pub offsets: Vec<u32>,
+    pub postings: Vec<u32>,
+}
+
+/// Validates a CSR offsets array: `m + 1` monotone entries whose last
+/// offset covers the arena exactly.
+pub(crate) fn validate_csr(offsets: &[u32], arena_len: usize, m: usize) -> Result<(), String> {
+    if offsets.len() != m + 1 {
+        return Err(format!(
+            "CSR offsets length {} != remap size {} + 1",
+            offsets.len(),
+            m
+        ));
+    }
+    if offsets.first().copied().unwrap_or(0) != 0 {
+        return Err("CSR offsets must start at 0".into());
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err("CSR offsets not monotone".into());
+    }
+    let end = offsets.last().copied().unwrap_or(0) as usize;
+    if end != arena_len {
+        return Err(format!(
+            "CSR offsets end {end} != postings arena length {arena_len}"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

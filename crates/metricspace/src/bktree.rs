@@ -234,6 +234,112 @@ impl BkTree {
                 .map(|n| n.children.capacity() * std::mem::size_of::<(u32, u32)>())
                 .sum::<usize>()
     }
+
+    /// Decomposes the tree into its flat persistence form: one CSR arena
+    /// over the per-node child lists (children keep their edge-distance
+    /// sort order by flattening in place), plus parallel per-node arrays.
+    #[doc(hidden)]
+    pub fn export_parts(&self) -> BkTreeParts {
+        let total: usize = self.nodes.iter().map(|n| n.children.len()).sum();
+        let mut parts = BkTreeParts {
+            rankings: Vec::with_capacity(self.nodes.len()),
+            subtree_sizes: Vec::with_capacity(self.nodes.len()),
+            child_offsets: Vec::with_capacity(self.nodes.len() + 1),
+            child_edges: Vec::with_capacity(total),
+            child_targets: Vec::with_capacity(total),
+        };
+        parts.child_offsets.push(0);
+        for n in &self.nodes {
+            parts.rankings.push(n.ranking.0);
+            parts.subtree_sizes.push(n.subtree_size);
+            for &(e, c) in &n.children {
+                parts.child_edges.push(e);
+                parts.child_targets.push(c);
+            }
+            parts.child_offsets.push(parts.child_edges.len() as u32);
+        }
+        parts
+    }
+
+    /// Rebuilds the tree from its flat persistence form, validating the
+    /// CSR and arena-index invariants (`build_distance_calls` is a
+    /// construction statistic and resets to 0).
+    #[doc(hidden)]
+    pub fn from_parts(parts: BkTreeParts) -> Result<Self, String> {
+        let n = parts.rankings.len();
+        if parts.subtree_sizes.len() != n || parts.child_offsets.len() != n + 1 {
+            return Err("BK-tree node arrays disagree in length".into());
+        }
+        if parts.child_offsets.first().copied().unwrap_or(0) != 0
+            || parts.child_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("BK-tree child offsets not monotone from 0".into());
+        }
+        let total = parts.child_offsets.last().copied().unwrap_or(0) as usize;
+        if parts.child_edges.len() != total || parts.child_targets.len() != total {
+            return Err("BK-tree child arena length disagrees with offsets".into());
+        }
+        if let Some(&bad) = parts.child_targets.iter().find(|&&c| c as usize >= n) {
+            return Err(format!("BK-tree child index {bad} out of arena bounds {n}"));
+        }
+        // Every node must be reachable from the root exactly once — a
+        // cyclic or forested child graph would hang the stack-driven
+        // traversals (defense in depth for Trust-mode loads).
+        if n > 0 {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0u32];
+            let mut visited = 0usize;
+            while let Some(i) = stack.pop() {
+                let i = i as usize;
+                if seen[i] {
+                    return Err(format!("BK-tree node {i} reachable twice (cycle)"));
+                }
+                seen[i] = true;
+                visited += 1;
+                let (lo, hi) = (parts.child_offsets[i], parts.child_offsets[i + 1]);
+                stack.extend_from_slice(&parts.child_targets[lo as usize..hi as usize]);
+            }
+            if visited != n {
+                return Err(format!(
+                    "BK-tree has {} nodes unreachable from the root",
+                    n - visited
+                ));
+            }
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = parts.child_offsets[i] as usize;
+            let hi = parts.child_offsets[i + 1] as usize;
+            let children: Vec<(u32, u32)> = parts.child_edges[lo..hi]
+                .iter()
+                .copied()
+                .zip(parts.child_targets[lo..hi].iter().copied())
+                .collect();
+            if children.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(format!("BK-tree node {i} child edges not strictly sorted"));
+            }
+            nodes.push(BkNode {
+                ranking: RankingId(parts.rankings[i]),
+                children,
+                subtree_size: parts.subtree_sizes[i],
+            });
+        }
+        Ok(BkTree {
+            nodes,
+            build_distance_calls: 0,
+        })
+    }
+}
+
+/// Flat persistence form of a [`BkTree`] (see [`BkTree::export_parts`]).
+#[doc(hidden)]
+#[derive(Debug, Clone, Default)]
+pub struct BkTreeParts {
+    pub rankings: Vec<u32>,
+    pub subtree_sizes: Vec<u32>,
+    pub child_offsets: Vec<u32>,
+    pub child_edges: Vec<u32>,
+    pub child_targets: Vec<u32>,
 }
 
 #[cfg(test)]

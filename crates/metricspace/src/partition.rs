@@ -268,6 +268,123 @@ impl Partitioning {
             .sum();
         arena + parts
     }
+
+    /// Decomposes the partitioning into its flat persistence form: the
+    /// shared arena (if any) and each standalone partition tree as
+    /// [`BkTreeParts`], the per-partition scalars as parallel arrays, and
+    /// all subtree-root lists in one CSR plane.
+    #[doc(hidden)]
+    pub fn export_parts(&self) -> PartitioningParts {
+        let np = self.partitions.len();
+        let mut parts = PartitioningParts {
+            theta_c_raw: self.theta_c_raw,
+            arena: self.arena.as_ref().map(|a| a.export_parts()),
+            medoids: Vec::with_capacity(np),
+            sizes: Vec::with_capacity(np),
+            medoid_nodes: Vec::with_capacity(np),
+            root_offsets: Vec::with_capacity(np + 1),
+            roots: Vec::new(),
+            trees: Vec::new(),
+        };
+        parts.root_offsets.push(0);
+        for p in &self.partitions {
+            parts.medoids.push(p.medoid.0);
+            parts.sizes.push(p.size);
+            parts.medoid_nodes.push(p.medoid_node.unwrap_or(u32::MAX));
+            match &p.members {
+                PartitionMembers::BkSubtrees(roots) => parts.roots.extend_from_slice(roots),
+                PartitionMembers::Tree(tree) => parts.trees.push(tree.export_parts()),
+            }
+            parts.root_offsets.push(parts.roots.len() as u32);
+        }
+        parts
+    }
+
+    /// Rebuilds a partitioning from its flat persistence form, validating
+    /// the per-partition invariants (arena presence, medoid-node and
+    /// subtree-root bounds, standalone-tree count).
+    #[doc(hidden)]
+    pub fn from_parts(parts: PartitioningParts) -> Result<Self, String> {
+        let np = parts.medoids.len();
+        if parts.sizes.len() != np
+            || parts.medoid_nodes.len() != np
+            || parts.root_offsets.len() != np + 1
+        {
+            return Err("partitioning per-partition arrays disagree in length".into());
+        }
+        if parts.root_offsets.first().copied().unwrap_or(0) != 0
+            || parts.root_offsets.windows(2).any(|w| w[0] > w[1])
+            || parts.root_offsets.last().copied().unwrap_or(0) as usize != parts.roots.len()
+        {
+            return Err("partitioning subtree-root offsets are not a valid CSR".into());
+        }
+        let arena = match parts.arena {
+            Some(a) => Some(BkTree::from_parts(a)?),
+            None => None,
+        };
+        let arena_len = arena.as_ref().map(|a| a.len()).unwrap_or(0);
+        let mut trees = parts.trees.into_iter();
+        let mut partitions = Vec::with_capacity(np);
+        for i in 0..np {
+            let lo = parts.root_offsets[i] as usize;
+            let hi = parts.root_offsets[i + 1] as usize;
+            let mnode = parts.medoid_nodes[i];
+            let members = if mnode != u32::MAX {
+                // Arena-backed partition: medoid node and subtree roots
+                // must be valid arena indices.
+                if mnode as usize >= arena_len {
+                    return Err(format!("partition {i} medoid node outside the arena"));
+                }
+                let roots = parts.roots[lo..hi].to_vec();
+                if roots.iter().any(|&r| r as usize >= arena_len) {
+                    return Err(format!("partition {i} subtree root outside the arena"));
+                }
+                PartitionMembers::BkSubtrees(roots)
+            } else {
+                if lo != hi {
+                    return Err(format!("partition {i} mixes a standalone tree with roots"));
+                }
+                PartitionMembers::Tree(
+                    trees
+                        .next()
+                        .map(BkTree::from_parts)
+                        .transpose()?
+                        .ok_or_else(|| format!("partition {i} missing its standalone tree"))?,
+                )
+            };
+            partitions.push(Partition {
+                medoid: RankingId(parts.medoids[i]),
+                members,
+                size: parts.sizes[i],
+                medoid_node: (mnode != u32::MAX).then_some(mnode),
+            });
+        }
+        if trees.next().is_some() {
+            return Err("partitioning has more standalone trees than Tree partitions".into());
+        }
+        Ok(Partitioning {
+            theta_c_raw: parts.theta_c_raw,
+            arena,
+            partitions,
+            build_distance_calls: 0,
+        })
+    }
+}
+
+/// Flat persistence form of a [`Partitioning`] (see
+/// [`Partitioning::export_parts`]). `u32::MAX` encodes an absent medoid
+/// node (standalone-tree partitions).
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct PartitioningParts {
+    pub theta_c_raw: u32,
+    pub arena: Option<crate::bktree::BkTreeParts>,
+    pub medoids: Vec<u32>,
+    pub sizes: Vec<u32>,
+    pub medoid_nodes: Vec<u32>,
+    pub root_offsets: Vec<u32>,
+    pub roots: Vec<u32>,
+    pub trees: Vec<crate::bktree::BkTreeParts>,
 }
 
 /// The paper's BK-subtree partitioner (Section 4.1, Figure 1).

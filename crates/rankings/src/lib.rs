@@ -39,7 +39,13 @@ pub use footrule::{
     footrule_items, footrule_pairs, footrule_store, max_distance, min_distance_for_overlap,
     one_side_total, raw_threshold, PositionMap,
 };
+#[doc(hidden)]
+pub use ranking::{
+    item_vec_from_u32, item_vec_into_u32, ranking_vec_from_u32, ranking_vec_into_u32, StoreParts,
+};
 pub use ranking::{validate_items, ItemId, Ranking, RankingError, RankingId, RankingStore};
 pub use remap::ItemRemap;
+#[doc(hidden)]
+pub use remap::RemapParts;
 pub use scratch::{EpochMap, EpochSet, FlatPositionMap, QueryScratch};
 pub use stats::QueryStats;

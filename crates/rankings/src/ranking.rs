@@ -458,6 +458,148 @@ impl RankingStore {
         self.sorted.shrink_to_fit();
         self.slots.shrink_to_fit();
     }
+
+    /// Decomposes the store into its flat persistence form. The `sorted`
+    /// arena is split into two `u32` planes because the layout of a Rust
+    /// tuple is unspecified — two plain arrays round-trip bytes exactly.
+    #[doc(hidden)]
+    pub fn export_parts(&self) -> StoreParts {
+        let mut sorted_items = Vec::with_capacity(self.sorted.len());
+        let mut sorted_ranks = Vec::with_capacity(self.sorted.len());
+        for &(item, rank) in &self.sorted {
+            sorted_items.push(item.0);
+            sorted_ranks.push(rank);
+        }
+        StoreParts {
+            k: self.k as u32,
+            items: item_vec_into_u32(self.items.clone()),
+            sorted_items,
+            sorted_ranks,
+            slots: self
+                .slots
+                .iter()
+                .map(|s| match s {
+                    SlotState::Live => 0u8,
+                    SlotState::Quarantined => 1,
+                    SlotState::Free => 2,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a store from its flat persistence form, validating the
+    /// structural invariants (arena lengths, slot codes) so that a
+    /// corrupted-but-checksum-passing payload is rejected instead of
+    /// producing a silently-wrong corpus.
+    #[doc(hidden)]
+    pub fn from_parts(parts: StoreParts) -> Result<Self, String> {
+        let k = parts.k as usize;
+        if k == 0 {
+            return Err("store k must be positive".into());
+        }
+        let n = parts.slots.len();
+        if parts.items.len() != n * k {
+            return Err(format!(
+                "items arena length {} != {} slots × k {}",
+                parts.items.len(),
+                n,
+                k
+            ));
+        }
+        if parts.sorted_items.len() != n * k || parts.sorted_ranks.len() != n * k {
+            return Err("sorted arena planes disagree with the slot count".into());
+        }
+        let mut live_len = 0usize;
+        let mut free_len = 0usize;
+        let mut slots = Vec::with_capacity(n);
+        for &code in &parts.slots {
+            slots.push(match code {
+                0 => {
+                    live_len += 1;
+                    SlotState::Live
+                }
+                1 => SlotState::Quarantined,
+                2 => {
+                    free_len += 1;
+                    SlotState::Free
+                }
+                other => return Err(format!("unknown slot state code {other}")),
+            });
+        }
+        let mut sorted = Vec::with_capacity(n * k);
+        for (i, (&item, &rank)) in parts
+            .sorted_items
+            .iter()
+            .zip(&parts.sorted_ranks)
+            .enumerate()
+        {
+            if rank as usize >= k && item != HOLE_ITEM.0 {
+                return Err(format!("sorted rank {rank} out of bounds at entry {i}"));
+            }
+            sorted.push((ItemId(item), rank));
+        }
+        for row in sorted.chunks_exact(k) {
+            if row.windows(2).any(|w| w[0].0 > w[1].0) {
+                return Err("sorted arena row not sorted by item id".into());
+            }
+        }
+        Ok(RankingStore {
+            k,
+            items: item_vec_from_u32(parts.items),
+            sorted,
+            slots,
+            live_len,
+            free_len,
+        })
+    }
+}
+
+/// Flat persistence form of a [`RankingStore`] (see
+/// [`RankingStore::export_parts`]). Slot codes: 0 = live, 1 = quarantined,
+/// 2 = free.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct StoreParts {
+    pub k: u32,
+    pub items: Vec<u32>,
+    pub sorted_items: Vec<u32>,
+    pub sorted_ranks: Vec<u32>,
+    pub slots: Vec<u8>,
+}
+
+/// Reinterprets a `Vec<ItemId>` as its raw `Vec<u32>` without copying
+/// (`ItemId` is `repr(transparent)` over `u32`).
+#[doc(hidden)]
+pub fn item_vec_into_u32(v: Vec<ItemId>) -> Vec<u32> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    // SAFETY: ItemId is #[repr(transparent)] over u32 — identical size,
+    // alignment and validity; the allocation is transferred, not copied.
+    unsafe { Vec::from_raw_parts(v.as_mut_ptr() as *mut u32, v.len(), v.capacity()) }
+}
+
+/// Reinterprets a raw `Vec<u32>` as a `Vec<ItemId>` without copying.
+#[doc(hidden)]
+pub fn item_vec_from_u32(v: Vec<u32>) -> Vec<ItemId> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    // SAFETY: see `item_vec_into_u32` — the transparent wrapper accepts
+    // every u32 bit pattern.
+    unsafe { Vec::from_raw_parts(v.as_mut_ptr() as *mut ItemId, v.len(), v.capacity()) }
+}
+
+/// Reinterprets a `Vec<RankingId>` as its raw `Vec<u32>` without copying.
+#[doc(hidden)]
+pub fn ranking_vec_into_u32(v: Vec<RankingId>) -> Vec<u32> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    // SAFETY: RankingId is #[repr(transparent)] over u32.
+    unsafe { Vec::from_raw_parts(v.as_mut_ptr() as *mut u32, v.len(), v.capacity()) }
+}
+
+/// Reinterprets a raw `Vec<u32>` as a `Vec<RankingId>` without copying.
+#[doc(hidden)]
+pub fn ranking_vec_from_u32(v: Vec<u32>) -> Vec<RankingId> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    // SAFETY: see `ranking_vec_into_u32`.
+    unsafe { Vec::from_raw_parts(v.as_mut_ptr() as *mut RankingId, v.len(), v.capacity()) }
 }
 
 #[cfg(test)]

@@ -164,6 +164,87 @@ impl ItemRemap {
             Table::Hashed(m) => m.capacity() * (std::mem::size_of::<(u32, u32)>() + 1),
         }
     }
+
+    /// Decomposes the remap into its flat persistence form. The hashed
+    /// fallback is emitted as parallel key/value planes sorted by key, so
+    /// the serialized bytes are deterministic across runs.
+    #[doc(hidden)]
+    pub fn export_parts(&self) -> RemapParts {
+        match &self.table {
+            Table::Direct(t) => RemapParts {
+                hashed: false,
+                len: self.len,
+                keys: Vec::new(),
+                values: t.clone(),
+            },
+            Table::Hashed(m) => {
+                let mut pairs: Vec<(u32, u32)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+                pairs.sort_unstable();
+                RemapParts {
+                    hashed: true,
+                    len: self.len,
+                    keys: pairs.iter().map(|&(k, _)| k).collect(),
+                    values: pairs.iter().map(|&(_, v)| v).collect(),
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a remap from its flat persistence form, validating that
+    /// the mapped dense ids form exactly `0..len`.
+    #[doc(hidden)]
+    pub fn from_parts(parts: RemapParts) -> Result<Self, String> {
+        let len = parts.len;
+        let check_bijection = |dense: &mut dyn Iterator<Item = u32>| -> Result<(), String> {
+            let mut seen = vec![false; len as usize];
+            let mut count = 0u32;
+            for d in dense {
+                match seen.get_mut(d as usize) {
+                    Some(s @ false) => *s = true,
+                    Some(_) => return Err(format!("dense id {d} mapped twice")),
+                    None => return Err(format!("dense id {d} out of range 0..{len}")),
+                }
+                count += 1;
+            }
+            if count != len {
+                return Err(format!("{count} dense ids mapped, header says {len}"));
+            }
+            Ok(())
+        };
+        let table = if parts.hashed {
+            if parts.keys.len() != parts.values.len() {
+                return Err("hashed remap key/value planes disagree".into());
+            }
+            check_bijection(&mut parts.values.iter().copied())?;
+            let mut m = fx_map_with_capacity(parts.keys.len());
+            for (&k, &v) in parts.keys.iter().zip(&parts.values) {
+                if m.insert(k, v).is_some() {
+                    return Err(format!("raw id {k} mapped twice"));
+                }
+            }
+            Table::Hashed(m)
+        } else {
+            if !parts.keys.is_empty() {
+                return Err("direct remap carries a key plane".into());
+            }
+            check_bijection(&mut parts.values.iter().copied().filter(|&d| d != ABSENT))?;
+            Table::Direct(parts.values)
+        };
+        Ok(ItemRemap { table, len })
+    }
+}
+
+/// Flat persistence form of an [`ItemRemap`] (see
+/// [`ItemRemap::export_parts`]). Direct tables store the raw→dense lookup
+/// in `values` (with `u32::MAX` marking absent raw ids, `keys` empty);
+/// hashed tables store sorted parallel key/value planes.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct RemapParts {
+    pub hashed: bool,
+    pub len: u32,
+    pub keys: Vec<u32>,
+    pub values: Vec<u32>,
 }
 
 #[cfg(test)]

@@ -110,9 +110,10 @@ pub use ranksim_rankings as rankings;
 pub mod prelude {
     pub use ranksim_core::engine::{Algorithm, Engine, EngineBuilder, QueryTrace};
     pub use ranksim_core::{
-        CalibratedCosts, CoarseIndex, CostModel, EngineSnapshot, Health, MutationError, PlanStats,
+        load_engine, load_sharded, save_engine, save_sharded, CalibratedCosts, CoarseIndex,
+        CostModel, EngineSnapshot, Health, LoadMode, MutationError, PersistError, PlanStats,
         Planner, RebalanceConfig, RecoveryReport, ShardStrategy, ShardedEngine,
-        ShardedEngineBuilder, SnapshotEngine, SyncPolicy, WorkerReport,
+        ShardedEngineBuilder, SnapshotEngine, SnapshotMeta, SyncPolicy, WorkerReport,
     };
     pub use ranksim_rankings::{
         footrule_pairs, raw_threshold, ExecStats, ItemId, ItemRemap, PositionMap, QueryExecutor,
