@@ -10,6 +10,22 @@
 //! reused `QueryScratch` and result buffer. Both arms are verified to
 //! return identical result sets before anything is timed.
 //!
+//! On top of the legacy-vs-CSR comparison, a **kernel grid** times the
+//! same workload through three engine configurations per algorithm:
+//!
+//! | arm | posting order | distance kernel |
+//! |---|---|---|
+//! | `scalar` | insertion (`Id`) | [`Kernel::Scalar`] — the oracle |
+//! | `simd` | insertion (`Id`) | [`Kernel::Simd`] |
+//! | `suffix-bound` | [`PostingOrder::SuffixBound`] | [`Kernel::Simd`] |
+//!
+//! All arms are verified result-set-identical before timing, and the
+//! suffix-bound arm's early-termination counters (posting-window skip
+//! rate, validation abort rate) land in the artifact. When
+//! `RANKSIM_HOTPATH_SPEEDUP_MIN` is set, the run fails (exit 1) unless
+//! the best kernelized arm beats the scalar oracle by that factor on
+//! F&V or ListMerge — the CI smoke step pins it.
+//!
 //! Workload: NYT-like corpus (default n = 50 000, k = 10, θ = 0.2) —
 //! override with `RANKSIM_NYT_N` / `RANKSIM_QUERIES`; the CI smoke step
 //! runs the `ExpConfig::small()` scale through those variables. Reported
@@ -23,11 +39,12 @@
 use std::time::Instant;
 
 use ranksim_bench::{Bench, ExpConfig, Family};
-use ranksim_core::engine::{Algorithm, EngineBuilder};
-use ranksim_invindex::Posting;
+use ranksim_core::engine::{Algorithm, Engine, EngineBuilder};
+use ranksim_invindex::{Posting, PostingOrder};
 use ranksim_rankings::hash::{fx_map_with_capacity, fx_set_with_capacity, FxHashMap};
 use ranksim_rankings::{
-    one_side_total, raw_threshold, ItemId, PositionMap, QueryStats, RankingId, RankingStore,
+    one_side_total, raw_threshold, ExecStats, ItemId, Kernel, PositionMap, QueryStats, RankingId,
+    RankingStore,
 };
 
 /// The pre-refactor `PlainInvertedIndex`: one heap-allocated `Vec` per
@@ -154,6 +171,87 @@ impl Comparison {
     }
 }
 
+/// One algorithm's row of the kernel grid: mean ms per 1000 queries for
+/// the scalar oracle, the SIMD kernel and the suffix-bound-ordered +
+/// SIMD configuration, plus the suffix-bound arm's early-termination
+/// counters.
+struct KernelRow {
+    name: &'static str,
+    scalar_ms: f64,
+    simd_ms: f64,
+    suffix_ms: f64,
+    exec: ExecStats,
+}
+
+impl KernelRow {
+    fn simd_speedup(&self) -> f64 {
+        self.scalar_ms / self.simd_ms
+    }
+
+    fn suffix_speedup(&self) -> f64 {
+        self.scalar_ms / self.suffix_ms
+    }
+
+    /// Fraction of validations the suffix-bound kernel aborted early.
+    fn abort_rate(&self) -> f64 {
+        let calls = self.exec.distance_calls;
+        if calls == 0 {
+            return 0.0;
+        }
+        self.exec.validations_pruned as f64 / calls as f64
+    }
+
+    /// Fraction of posting entries bypassed by rank-window scans.
+    fn skip_rate(&self) -> f64 {
+        let total = self.exec.postings_scanned + self.exec.postings_skipped;
+        if total == 0 {
+            return 0.0;
+        }
+        self.exec.postings_skipped as f64 / total as f64
+    }
+}
+
+/// Measures one kernel-grid arm in isolation: a verification pass per
+/// algorithm against the precomputed oracle result sets (doubling as
+/// warmup and as the [`ExecStats`] source), then `rounds` consecutive
+/// timed passes per algorithm. Keeping each arm's passes back-to-back —
+/// instead of round-robining the arms — stops the engines from evicting
+/// each other's postings between timed passes.
+fn measure_arm(
+    engine: &Engine,
+    queries: &[Vec<ItemId>],
+    oracles: &[[Vec<RankingId>; 2]],
+    theta_raw: u32,
+    scale_to_1000: f64,
+    rounds: usize,
+    label: &str,
+) -> [(f64, ExecStats); 2] {
+    let mut scratch = engine.scratch();
+    let mut stats = QueryStats::new();
+    let mut out = Vec::new();
+    let mut cells = [(0.0, ExecStats::default()), (0.0, ExecStats::default())];
+    for (ai, alg) in [Algorithm::Fv, Algorithm::ListMerge]
+        .into_iter()
+        .enumerate()
+    {
+        for (q, oracle) in queries.iter().zip(oracles) {
+            let trace =
+                engine.query_into_traced(alg, q, theta_raw, &mut scratch, &mut stats, &mut out);
+            cells[ai].1.merge(&trace.exec);
+            out.sort_unstable();
+            assert_eq!(&out, &oracle[ai], "{alg} {label} arm disagrees with legacy");
+        }
+        for _ in 0..rounds {
+            cells[ai].0 += time_pass(queries, scale_to_1000, |q| {
+                engine.query_into(alg, q, theta_raw, &mut scratch, &mut stats, &mut out);
+                std::hint::black_box(out.len());
+            });
+        }
+        cells[ai].0 /= rounds as f64;
+    }
+    cells
+}
+
 fn main() {
     let cfg = ExpConfig::from_env();
     let theta = 0.2f64;
@@ -180,24 +278,29 @@ fn main() {
     let mut out: Vec<RankingId> = Vec::new();
     let mut stats = QueryStats::new();
 
-    // Correctness gate: both arms must agree before anything is timed.
-    for q in &bench.queries {
-        let mut legacy = legacy_plain.filter_validate(store, q, raw);
-        engine.query_into(Algorithm::Fv, q, raw, &mut scratch, &mut stats, &mut out);
-        let mut csr = out.clone();
-        legacy.sort_unstable();
-        csr.sort_unstable();
-        assert_eq!(legacy, csr, "F&V arms disagree");
-        let legacy_lm = legacy_augmented.list_merge(store, q, raw);
-        engine.query_into(
-            Algorithm::ListMerge,
-            q,
-            raw,
-            &mut scratch,
-            &mut stats,
-            &mut out,
-        );
-        assert_eq!(legacy_lm, out, "ListMerge arms disagree");
+    // Oracle result sets from the legacy arms, computed once: every
+    // engine arm — CSR default and each kernel-grid configuration — is
+    // checked against these before it is timed.
+    let oracles: Vec<[Vec<RankingId>; 2]> = bench
+        .queries
+        .iter()
+        .map(|q| {
+            let mut fv = legacy_plain.filter_validate(store, q, raw);
+            fv.sort_unstable();
+            [fv, legacy_augmented.list_merge(store, q, raw)]
+        })
+        .collect();
+
+    // Correctness gate: the CSR arm must agree before anything is timed.
+    for (q, oracle) in bench.queries.iter().zip(&oracles) {
+        for (alg, expect) in [Algorithm::Fv, Algorithm::ListMerge]
+            .into_iter()
+            .zip(oracle)
+        {
+            engine.query_into(alg, q, raw, &mut scratch, &mut stats, &mut out);
+            out.sort_unstable();
+            assert_eq!(&out, expect, "{alg} CSR arm disagrees with legacy");
+        }
     }
 
     // Alternate the arms per round so drift hits both equally; report the
@@ -240,6 +343,69 @@ fn main() {
         c.csr_ms /= rounds as f64;
     }
 
+    // Kernel grid: scalar oracle, SIMD kernel, suffix-bound order + SIMD
+    // kernel — each arm measured in isolation (its engine is built, its
+    // passes run back-to-back, then it is dropped). `engine` (the CSR
+    // arm above) doubles as the `simd` arm: insertion order + SIMD
+    // kernel is the engine default.
+    let scalar_cells = {
+        let engine_scalar = EngineBuilder::new(store.clone())
+            .algorithms(&[Algorithm::Fv, Algorithm::ListMerge])
+            .kernel(Kernel::Scalar)
+            .posting_order(PostingOrder::Id)
+            .build();
+        measure_arm(
+            &engine_scalar,
+            &bench.queries,
+            &oracles,
+            raw,
+            bench.scale_to_1000,
+            rounds,
+            "scalar",
+        )
+    };
+    let simd_cells = measure_arm(
+        &engine,
+        &bench.queries,
+        &oracles,
+        raw,
+        bench.scale_to_1000,
+        rounds,
+        "simd",
+    );
+    let suffix_cells = {
+        let engine_suffix = EngineBuilder::new(store.clone())
+            .algorithms(&[Algorithm::Fv, Algorithm::ListMerge])
+            .kernel(Kernel::Simd)
+            .posting_order(PostingOrder::SuffixBound)
+            .build();
+        measure_arm(
+            &engine_suffix,
+            &bench.queries,
+            &oracles,
+            raw,
+            bench.scale_to_1000,
+            rounds,
+            "suffix-bound",
+        )
+    };
+    let kernel_rows = [
+        KernelRow {
+            name: "fv",
+            scalar_ms: scalar_cells[0].0,
+            simd_ms: simd_cells[0].0,
+            suffix_ms: suffix_cells[0].0,
+            exec: suffix_cells[0].1,
+        },
+        KernelRow {
+            name: "listmerge",
+            scalar_ms: scalar_cells[1].0,
+            simd_ms: simd_cells[1].0,
+            suffix_ms: suffix_cells[1].0,
+            exec: suffix_cells[1].1,
+        },
+    ];
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"hotpath_throughput\",\n");
@@ -249,16 +415,31 @@ fn main() {
     ));
     json.push_str("  \"units\": \"ms per 1000 queries\",\n");
     json.push_str("  \"baseline\": \"pre-CSR hashmap postings + per-query allocations\",\n");
-    for (i, c) in [&fv, &lm].iter().enumerate() {
+    for c in [&fv, &lm] {
         json.push_str(&format!(
-            "  \"{}\": {{\"baseline_ms_per_1000q\": {:.3}, \"csr_ms_per_1000q\": {:.3}, \"mean_speedup\": {:.3}}}{}\n",
+            "  \"{}\": {{\"baseline_ms_per_1000q\": {:.3}, \"csr_ms_per_1000q\": {:.3}, \"mean_speedup\": {:.3}}},\n",
             c.name,
             c.baseline_ms,
             c.csr_ms,
             c.speedup(),
+        ));
+    }
+    json.push_str("  \"kernels\": {\n");
+    for (i, row) in kernel_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"scalar_ms_per_1000q\": {:.3}, \"simd_ms_per_1000q\": {:.3}, \"suffix_bound_ms_per_1000q\": {:.3}, \"simd_speedup_vs_scalar\": {:.3}, \"suffix_bound_speedup_vs_scalar\": {:.3}, \"early_termination\": {{\"validation_abort_rate\": {:.4}, \"posting_skip_rate\": {:.4}}}}}{}\n",
+            row.name,
+            row.scalar_ms,
+            row.simd_ms,
+            row.suffix_ms,
+            row.simd_speedup(),
+            row.suffix_speedup(),
+            row.abort_rate(),
+            row.skip_rate(),
             if i == 0 { "," } else { "" }
         ));
     }
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     let out_path = std::env::var("RANKSIM_HOTPATH_OUT").unwrap_or_else(|_| {
@@ -279,5 +460,40 @@ fn main() {
         lm.csr_ms,
         lm.speedup()
     );
+    for row in &kernel_rows {
+        println!(
+            "{:<10} scalar {:8.2}  simd {:8.2} ({:.2}x)  suffix-bound {:8.2} ({:.2}x)  abort {:.1}%  skip {:.1}%",
+            row.name,
+            row.scalar_ms,
+            row.simd_ms,
+            row.simd_speedup(),
+            row.suffix_ms,
+            row.suffix_speedup(),
+            100.0 * row.abort_rate(),
+            100.0 * row.skip_rate(),
+        );
+    }
     eprintln!("# wrote {out_path}");
+
+    // Self-enforced regression floor: the best kernelized arm (SIMD or
+    // suffix-bound + SIMD) must beat the scalar oracle by the configured
+    // factor on at least one algorithm (CI pins
+    // `RANKSIM_HOTPATH_SPEEDUP_MIN`).
+    if let Some(min) = std::env::var("RANKSIM_HOTPATH_SPEEDUP_MIN")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let best = kernel_rows
+            .iter()
+            .map(|r| r.simd_speedup().max(r.suffix_speedup()))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best < min {
+            eprintln!(
+                "FAIL: best kernel speedup over the scalar oracle {best:.3}x is below \
+                 the RANKSIM_HOTPATH_SPEEDUP_MIN floor {min:.3}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("# speedup floor satisfied: {best:.3}x >= {min:.3}x");
+    }
 }

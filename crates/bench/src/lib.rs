@@ -28,7 +28,9 @@ use ranksim_invindex::{
     AugmentedInvertedIndex, BlockedInvertedIndex, MinimalFv, PlainInvertedIndex,
 };
 use ranksim_metricspace::{query_pairs, BkPartitioner, BkTree, MTree, VpTree};
-use ranksim_rankings::{raw_threshold, ItemId, QueryScratch, QueryStats, RankingId, RankingStore};
+use ranksim_rankings::{
+    raw_threshold, ItemId, Kernel, QueryScratch, QueryStats, RankingId, RankingStore,
+};
 
 /// Experiment scaling configuration (from the environment).
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +43,10 @@ pub struct ExpConfig {
     pub queries: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Position-compare kernel the experiment engines run (`repro
+    /// --kernel scalar|simd`, or `RANKSIM_KERNEL`). Results are
+    /// bit-identical across kernels; only speed differs.
+    pub kernel: Kernel,
 }
 
 impl ExpConfig {
@@ -64,6 +70,10 @@ impl ExpConfig {
             yago_n: get("RANKSIM_YAGO_N", self.yago_n),
             queries: get("RANKSIM_QUERIES", self.queries),
             seed: self.seed,
+            kernel: std::env::var("RANKSIM_KERNEL")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.kernel),
         }
     }
 
@@ -74,6 +84,7 @@ impl ExpConfig {
             yago_n: 25_000,
             queries: 200,
             seed: 42,
+            kernel: Kernel::Simd,
         }
     }
 
@@ -84,6 +95,7 @@ impl ExpConfig {
             yago_n: 6_000,
             queries: 50,
             seed: 42,
+            kernel: Kernel::Simd,
         }
     }
 
@@ -97,6 +109,7 @@ impl ExpConfig {
             yago_n: 25_000,
             queries: 1000,
             seed: 42,
+            kernel: Kernel::Simd,
         }
     }
 
@@ -430,6 +443,7 @@ pub fn fig7_sweep(bench: &Bench, theta: f64, theta_cs: &[f64]) -> Vec<Fig7Row> {
                     q,
                     theta_raw,
                     false,
+                    Kernel::default(),
                     &mut scratch,
                     &mut stats,
                     &mut filtered,
@@ -580,6 +594,7 @@ impl ComparisonSetup {
         let engine = EngineBuilder::new(bench.ds.store.clone())
             .coarse_threshold(0.5)
             .coarse_drop_threshold(0.06)
+            .kernel(cfg.kernel)
             .build();
         let oracles = thetas
             .iter()
@@ -872,6 +887,7 @@ pub fn run_sharded(cfg: &ExpConfig, family: Family, rc: ShardRunConfig) -> Shard
     let mut builder = ShardedEngineBuilder::new(k, rc.shards, rc.strategy)
         .coarse_threshold(0.5)
         .coarse_drop_threshold(0.06)
+        .kernel(cfg.kernel)
         .algorithms(&[rc.algorithm]);
     let stride = (n / cfg.queries.max(1)).max(1);
     let mut bases: Vec<Vec<ItemId>> = Vec::with_capacity(cfg.queries);
@@ -1076,6 +1092,7 @@ pub fn run_churn(cfg: &ExpConfig, rc: ChurnRunConfig) -> ChurnReport {
     let mut engine = EngineBuilder::new(bench.ds.store)
         .coarse_threshold(0.5)
         .coarse_drop_threshold(0.06)
+        .kernel(cfg.kernel)
         .algorithms(&[
             rc.algorithm,
             Algorithm::Fv,
@@ -1261,6 +1278,14 @@ pub fn parse_algorithms_flag(list: &str) -> Result<Vec<Algorithm>, String> {
     }
 }
 
+/// Parses the `--kernel` flag value: the position-compare kernel every
+/// experiment engine runs (`scalar` — the exact oracle — or `simd`).
+/// Results are bit-identical across kernels; the flag exists for A/B
+/// speed measurement.
+pub fn parse_kernel_flag(value: &str) -> Result<Kernel, String> {
+    value.trim().parse().map_err(|e| format!("{e}"))
+}
+
 impl PlannerRunConfig {
     /// Defaults: all eight candidates, θ ∈ {0.05, 0.1, 0.2, 0.3}, corpus
     /// sizes {n/4, n}, 2 timed rounds (`RANKSIM_PLANNER_ROUNDS`).
@@ -1435,6 +1460,7 @@ pub fn run_planner_sweep(cfg: &ExpConfig, rc: &PlannerRunConfig) -> PlannerRepor
         let engine = EngineBuilder::new(bench.ds.store.clone())
             .coarse_threshold(0.5)
             .coarse_drop_threshold(0.06)
+            .kernel(cfg.kernel)
             .algorithms(&selected)
             .build();
         let mut scratch = engine.scratch();
@@ -1641,6 +1667,23 @@ mod tests {
             "Auto is not a candidate"
         );
         assert!(parse_algorithms_flag("").is_err());
+    }
+
+    #[test]
+    fn kernel_flag_parses_both_kernels_and_rejects_bad_input() {
+        assert_eq!(parse_kernel_flag("scalar").unwrap(), Kernel::Scalar);
+        assert_eq!(parse_kernel_flag("simd").unwrap(), Kernel::Simd);
+        assert_eq!(parse_kernel_flag(" SIMD ").unwrap(), Kernel::Simd);
+        let err = parse_kernel_flag("avx512").unwrap_err();
+        assert!(err.contains("avx512"), "error names the bad value: {err}");
+        assert!(parse_kernel_flag("").is_err());
+    }
+
+    #[test]
+    fn exp_config_defaults_to_the_simd_kernel() {
+        assert_eq!(ExpConfig::default_scale().kernel, Kernel::Simd);
+        assert_eq!(ExpConfig::small().kernel, Kernel::Simd);
+        assert_eq!(ExpConfig::paper().kernel, Kernel::Simd);
     }
 
     #[test]

@@ -527,6 +527,7 @@ pub fn run_serve(cfg: &ExpConfig, rc: ServeRunConfig) -> ServeReport {
     let engine = EngineBuilder::new(bench.ds.store)
         .coarse_threshold(0.5)
         .coarse_drop_threshold(0.06)
+        .kernel(cfg.kernel)
         .algorithms(&[
             rc.algorithm,
             Algorithm::Fv,

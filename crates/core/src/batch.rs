@@ -33,13 +33,16 @@ use crate::engine::{Algorithm, Engine};
 use crate::planner::PlanStats;
 use ranksim_metricspace::query_pairs_into;
 use ranksim_rankings::{
-    footrule_items, footrule_pairs, ItemId, QueryScratch, QueryStats, RankingId, RankingStore,
+    footrule_items, footrule_pairs, ItemId, Kernel, QueryScratch, QueryStats, RankingId,
+    RankingStore,
 };
 
 /// What one worker of a work-stealing batch run did.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkerReport {
-    /// Queries this worker claimed and processed (including failed ones).
+    /// Work units this worker claimed and processed (including failed
+    /// ones): one query in the monolithic driver, one (query, shard)
+    /// task in the sharded driver's (query × shard) split.
     pub queries: u64,
     /// The stats accumulated over exactly those queries.
     pub stats: QueryStats,
@@ -369,6 +372,7 @@ pub fn batch_query(
             leader,
             theta.saturating_add(rho_raw),
             false,
+            Kernel::default(),
             &mut scratch,
             stats,
             &mut shared,

@@ -40,13 +40,13 @@ use ranksim_adaptsearch::{
 use ranksim_invindex::{
     AugmentedIndexParts, AugmentedInvertedIndex, BlockedIndexParts, BlockedInvertedIndex,
     BlockedPruneExecutor, FvDropExecutor, FvExecutor, ListMergeExecutor, PlainIndexParts,
-    PlainInvertedIndex,
+    PlainInvertedIndex, PostingOrder,
 };
 use ranksim_metricspace::{knn_bktree, knn_linear, query_pairs_into, BkTree, BkTreeParts};
 use ranksim_rankings::{
-    footrule_pairs, raw_threshold, validate_items, ExecStats, ItemId, ItemRemap, QueryExecutor,
-    QueryScratch, QueryStats, Ranking, RankingError, RankingId, RankingStore, RemapParts,
-    StoreParts,
+    footrule_pairs, raw_threshold, validate_items, ExecStats, ItemId, ItemRemap, Kernel,
+    QueryExecutor, QueryScratch, QueryStats, Ranking, RankingError, RankingId, RankingStore,
+    RemapParts, StoreParts,
 };
 
 /// Process-wide generation source: every engine build, compaction and
@@ -239,6 +239,14 @@ struct EngineConfig {
     compact_tombstone_fraction: f64,
     /// Planner corpus-statistics refresh budget in mutations.
     planner_refresh_budget: usize,
+    /// Position-compare kernel every distance-dominated executor runs
+    /// (see [`Kernel`]; default [`Kernel::Simd`] — results are
+    /// bit-identical across kernels, only counters and speed differ).
+    kernel: Kernel,
+    /// Build-time ordering of the CSR posting slices (see
+    /// [`PostingOrder`]; default [`PostingOrder::Id`], the classic
+    /// layout — `SuffixBound` enables threshold-window scans).
+    posting_order: PostingOrder,
 }
 
 /// Builder for [`Engine`].
@@ -260,8 +268,28 @@ impl EngineBuilder {
                 calibrated: None,
                 compact_tombstone_fraction: 0.5,
                 planner_refresh_budget: 1024,
+                kernel: Kernel::default(),
+                posting_order: PostingOrder::default(),
             },
         }
+    }
+
+    /// Selects the position-compare kernel for every distance-dominated
+    /// executor (default [`Kernel::Simd`]). Result sets are bit-identical
+    /// across kernels; only speed and the pruning counters differ.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.config.kernel = kernel;
+        self
+    }
+
+    /// Selects the build-time ordering of the CSR posting slices (default
+    /// [`PostingOrder::Id`], the classic layout). `SuffixBound` sorts
+    /// each per-item slice by `(rank, id)` so scans window to the
+    /// `|rank − q_rank| ≤ θ` band; result sets are bit-identical, only
+    /// the scan counters differ.
+    pub fn posting_order(mut self, order: PostingOrder) -> Self {
+        self.config.posting_order = order;
+        self
     }
 
     /// Tombstone fraction of the base corpus at which a removal triggers
@@ -397,20 +425,25 @@ fn build_parts(store: &RankingStore, config: &EngineConfig, remap: Arc<ItemRemap
         }
     };
     let want = |a: Algorithm| candidates.contains(&a);
+    let order = config.posting_order;
     let plain = (want(Algorithm::Fv) || want(Algorithm::FvDrop)).then(|| {
-        Arc::new(PlainInvertedIndex::build_with_remap(
+        Arc::new(PlainInvertedIndex::build_with_remap_ordered(
             store,
             remap.clone(),
             store.live_ids(),
+            order,
         ))
     });
     let augmented = want(Algorithm::ListMerge).then(|| {
-        Arc::new(AugmentedInvertedIndex::build_with_remap(
+        Arc::new(AugmentedInvertedIndex::build_with_remap_ordered(
             store,
             remap.clone(),
             store.live_ids(),
+            order,
         ))
     });
+    // The blocked layout is already rank-major by construction; the
+    // posting order applies to the flat CSR layouts only.
     let blocked = (want(Algorithm::BlockedPrune) || want(Algorithm::BlockedPruneDrop)).then(|| {
         Arc::new(BlockedInvertedIndex::build_with_remap(
             store,
@@ -419,10 +452,11 @@ fn build_parts(store: &RankingStore, config: &EngineConfig, remap: Arc<ItemRemap
         ))
     });
     let adapt = want(Algorithm::AdaptSearch).then(|| {
-        Arc::new(AdaptSearchIndex::build_with_remap(
+        Arc::new(AdaptSearchIndex::build_with_remap_ordered(
             store,
             remap.clone(),
             AdaptCostParams::default(),
+            order,
         ))
     });
     let coarse_theta = raw_threshold(config.coarse_theta_c, k);
@@ -449,8 +483,15 @@ fn build_parts(store: &RankingStore, config: &EngineConfig, remap: Arc<ItemRemap
         ))
     });
     let tree = config.topk_tree.then(|| BkTree::build(store));
-    let executors =
-        build_executor_table(&plain, &augmented, &blocked, &adapt, &coarse, &coarse_drop);
+    let executors = build_executor_table(
+        &plain,
+        &augmented,
+        &blocked,
+        &adapt,
+        &coarse,
+        &coarse_drop,
+        config.kernel,
+    );
 
     let planner = want_auto.then(|| {
         let costs = config
@@ -492,33 +533,46 @@ fn build_executor_table(
     adapt: &Option<Arc<AdaptSearchIndex>>,
     coarse: &Option<Arc<CoarseIndex>>,
     coarse_drop: &Option<Arc<CoarseIndex>>,
+    kernel: Kernel,
 ) -> Vec<Option<Box<dyn QueryExecutor>>> {
     let mut executors: Vec<Option<Box<dyn QueryExecutor>>> =
         (0..Algorithm::COUNT).map(|_| None).collect();
     let slot = |a: Algorithm| a.dense_index().expect("concrete algorithm");
     if let Some(p) = plain {
-        executors[slot(Algorithm::Fv)] = Some(Box::new(FvExecutor::new(p.clone())));
-        executors[slot(Algorithm::FvDrop)] = Some(Box::new(FvDropExecutor::new(p.clone())));
+        executors[slot(Algorithm::Fv)] = Some(Box::new(FvExecutor::with_kernel(p.clone(), kernel)));
+        executors[slot(Algorithm::FvDrop)] =
+            Some(Box::new(FvDropExecutor::with_kernel(p.clone(), kernel)));
     }
     if let Some(a) = augmented {
         executors[slot(Algorithm::ListMerge)] = Some(Box::new(ListMergeExecutor::new(a.clone())));
     }
     if let Some(b) = blocked {
-        executors[slot(Algorithm::BlockedPrune)] =
-            Some(Box::new(BlockedPruneExecutor::new(b.clone(), false)));
-        executors[slot(Algorithm::BlockedPruneDrop)] =
-            Some(Box::new(BlockedPruneExecutor::new(b.clone(), true)));
+        executors[slot(Algorithm::BlockedPrune)] = Some(Box::new(
+            BlockedPruneExecutor::with_kernel(b.clone(), false, kernel),
+        ));
+        executors[slot(Algorithm::BlockedPruneDrop)] = Some(Box::new(
+            BlockedPruneExecutor::with_kernel(b.clone(), true, kernel),
+        ));
     }
     if let Some(a) = adapt {
-        executors[slot(Algorithm::AdaptSearch)] =
-            Some(Box::new(AdaptSearchExecutor::new(a.clone())));
+        executors[slot(Algorithm::AdaptSearch)] = Some(Box::new(AdaptSearchExecutor::with_kernel(
+            a.clone(),
+            kernel,
+        )));
     }
     if let Some(c) = coarse {
-        executors[slot(Algorithm::Coarse)] = Some(Box::new(CoarseExecutor::new(c.clone(), false)));
+        executors[slot(Algorithm::Coarse)] = Some(Box::new(CoarseExecutor::with_kernel(
+            c.clone(),
+            false,
+            kernel,
+        )));
     }
     if let Some(c) = coarse_drop.as_ref().or(coarse.as_ref()) {
-        executors[slot(Algorithm::CoarseDrop)] =
-            Some(Box::new(CoarseExecutor::new(c.clone(), true)));
+        executors[slot(Algorithm::CoarseDrop)] = Some(Box::new(CoarseExecutor::with_kernel(
+            c.clone(),
+            true,
+            kernel,
+        )));
     }
     executors
 }
@@ -537,6 +591,10 @@ pub(crate) struct EngineConfigParts {
     pub calibrated: Option<(f64, f64)>,
     pub compact_tombstone_fraction: f64,
     pub planner_refresh_budget: u64,
+    /// [`Kernel::to_tag`] of the configured distance kernel.
+    pub kernel: u32,
+    /// [`PostingOrder::to_tag`] of the configured posting order.
+    pub posting_order: u32,
 }
 
 /// Sentinel slot encoding [`Algorithm::Auto`] in a persisted candidate
@@ -638,6 +696,16 @@ impl Engine {
         self.planner.as_ref()
     }
 
+    /// The configured position-compare kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.config.kernel
+    }
+
+    /// The configured CSR posting-slice ordering.
+    pub fn posting_order(&self) -> PostingOrder {
+        self.config.posting_order
+    }
+
     /// The executor registered for a concrete algorithm. Panics with the
     /// same diagnostic the old enum dispatch produced when the backing
     /// index was not built.
@@ -683,6 +751,7 @@ impl Engine {
                 &self.adapt,
                 &self.coarse,
                 &self.coarse_drop,
+                self.config.kernel,
             ),
             planner: self.planner.as_ref().map(Planner::fork),
             config: self.config.clone(),
@@ -717,6 +786,8 @@ impl Engine {
                     .map(|c| (c.footrule_ns, c.merge_posting_ns)),
                 compact_tombstone_fraction: self.config.compact_tombstone_fraction,
                 planner_refresh_budget: self.config.planner_refresh_budget as u64,
+                kernel: self.config.kernel.to_tag(),
+                posting_order: self.config.posting_order.to_tag(),
             },
             plain: self.plain.as_ref().map(|i| i.export_parts()),
             augmented: self.augmented.as_ref().map(|i| i.export_parts()),
@@ -822,6 +893,8 @@ impl Engine {
             }),
             compact_tombstone_fraction: parts.config.compact_tombstone_fraction,
             planner_refresh_budget: (parts.config.planner_refresh_budget as usize).max(1),
+            kernel: Kernel::from_tag(parts.config.kernel)?,
+            posting_order: PostingOrder::from_tag(parts.config.posting_order)?,
         };
         // The mutation overlay must describe this store exactly: the
         // position table spans the id space, every delta entry is a live
@@ -854,8 +927,15 @@ impl Engine {
                 delta.len()
             ));
         }
-        let executors =
-            build_executor_table(&plain, &augmented, &blocked, &adapt, &coarse, &coarse_drop);
+        let executors = build_executor_table(
+            &plain,
+            &augmented,
+            &blocked,
+            &adapt,
+            &coarse,
+            &coarse_drop,
+            config.kernel,
+        );
         Ok(Engine {
             store,
             remap,
@@ -1179,7 +1259,7 @@ impl Engine {
                 out,
             );
             let actual_ns = start.elapsed().as_nanos() as f64;
-            planner.record(&decision, actual_ns);
+            planner.record_exec(&decision, actual_ns, &exec);
             QueryTrace {
                 algorithm: decision.algorithm,
                 planned: true,

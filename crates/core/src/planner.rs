@@ -39,7 +39,7 @@ use crate::cost::calibrate::CalibratedCosts;
 use crate::cost::model::CostModel;
 use crate::engine::{Algorithm, QueryTrace};
 use ranksim_invindex::drop::omega;
-use ranksim_rankings::{max_distance, ItemId, ItemRemap, QueryScratch, RankingStore};
+use ranksim_rankings::{max_distance, ExecStats, ItemId, ItemRemap, QueryScratch, RankingStore};
 
 /// Number of θ ranges with independent recalibration state. Raw
 /// thresholds map linearly onto `0..THETA_BUCKETS`.
@@ -255,6 +255,18 @@ pub struct Planner {
     raw_means: Vec<AtomicU64>,
     /// Observation counts per cell (anchor vs EWMA staging).
     observations: Vec<AtomicU64>,
+    /// EWMA of the suffix-bound validation-pruning rate per cell
+    /// (`validations_pruned / distance_calls` of observed executions,
+    /// f64 bits in `[0, 1]`). Folded into [`Planner::raw_cost`]: a kernel
+    /// that aborts most validations early makes an arm's distance term
+    /// proportionally cheaper, and the model should predict that instead
+    /// of waiting for the wall-time levels to discover it.
+    pruned_rates: Vec<AtomicU64>,
+    /// EWMA of the posting-window skip rate per cell
+    /// (`postings_skipped / (entries_scanned + postings_skipped)`, f64
+    /// bits in `[0, 1]`); discounts the scan terms of suffix-bound
+    /// ordered arms the same way.
+    skip_rates: Vec<AtomicU64>,
     /// Per-bucket exploration cursors: while below
     /// `candidates.len() · EXPLORE_ROUNDS`, planning round-robins the
     /// candidate set to seed every correction cell.
@@ -315,6 +327,8 @@ impl Planner {
         };
         let wall_means = cells(0.0);
         let raw_means = cells(0.0);
+        let pruned_rates = cells(0.0);
+        let skip_rates = cells(0.0);
         let observations: Vec<AtomicU64> = (0..Algorithm::COUNT * THETA_BUCKETS)
             .map(|_| AtomicU64::new(0))
             .collect();
@@ -335,6 +349,8 @@ impl Planner {
                 wall_means,
                 raw_means,
                 observations,
+                pruned_rates,
+                skip_rates,
                 explored,
                 incumbent,
                 zipf_s: 0.0,
@@ -385,6 +401,8 @@ impl Planner {
             wall_means,
             raw_means,
             observations,
+            pruned_rates,
+            skip_rates,
             explored,
             incumbent,
             zipf_s: model.zipf_s(),
@@ -421,6 +439,8 @@ impl Planner {
             wall_means: copy_cells(&self.wall_means),
             raw_means: copy_cells(&self.raw_means),
             observations: copy_cells(&self.observations),
+            pruned_rates: copy_cells(&self.pruned_rates),
+            skip_rates: copy_cells(&self.skip_rates),
             explored: copy_cells(&self.explored),
             incumbent: copy_cells(&self.incumbent),
             zipf_s: self.zipf_s,
@@ -461,6 +481,8 @@ impl Planner {
             wall_means: copy_cells(&self.wall_means),
             raw_means: copy_cells(&self.raw_means),
             observations: copy_cells(&self.observations),
+            pruned_rates: copy_cells(&self.pruned_rates),
+            skip_rates: copy_cells(&self.skip_rates),
             explored: copy_cells(&self.explored),
             incumbent: copy_cells(&self.incumbent),
         }
@@ -513,6 +535,8 @@ impl Planner {
         if saved.wall_means.len() != cells
             || saved.raw_means.len() != cells
             || saved.observations.len() != cells
+            || saved.pruned_rates.len() != cells
+            || saved.skip_rates.len() != cells
         {
             return Err(format!(
                 "planner level tables must hold {cells} cells (8 algorithms × {THETA_BUCKETS} \
@@ -550,6 +574,8 @@ impl Planner {
             wall_means: restore(saved.wall_means),
             raw_means: restore(saved.raw_means),
             observations: restore(saved.observations),
+            pruned_rates: restore(saved.pruned_rates),
+            skip_rates: restore(saved.skip_rates),
             explored: restore(saved.explored),
             incumbent: restore(saved.incumbent),
             zipf_s: saved.zipf_s,
@@ -931,6 +957,67 @@ impl Planner {
         raw_cell.store(raw_new.to_bits(), Ordering::Relaxed);
     }
 
+    /// [`Planner::record`] plus the early-termination counters: folds the
+    /// execution's validation-pruning and posting-skip rates into the
+    /// decision cell's rate EWMAs, which [`Planner::raw_cost`] discounts
+    /// the arm's distance and scan terms by on future plans. Unlike the
+    /// wall levels, the rates are deterministic counter facts, so even
+    /// provisional (cache-cold) observations update them.
+    pub fn record_exec(&self, decision: &PlanDecision, actual_ns: f64, exec: &ExecStats) {
+        self.record(decision, actual_ns);
+        let Some(slot) = decision.algorithm.dense_index() else {
+            return;
+        };
+        let idx = slot * THETA_BUCKETS + decision.bucket;
+        let pruned_frac = if exec.distance_calls > 0 {
+            exec.validations_pruned as f64 / exec.distance_calls as f64
+        } else {
+            0.0
+        };
+        let scan_total = exec.postings_scanned + exec.postings_skipped;
+        let skip_frac = if scan_total > 0 {
+            exec.postings_skipped as f64 / scan_total as f64
+        } else {
+            0.0
+        };
+        let fold = |cell: &AtomicU64, frac: f64| {
+            let frac = frac.clamp(0.0, 1.0);
+            let old = f64::from_bits(cell.load(Ordering::Relaxed));
+            // Zero bits double as "never observed": anchoring there (and
+            // whenever the rate decayed to exactly 0) costs nothing —
+            // rates are bounded in [0, 1] — and grounds the cell in one
+            // observation instead of a slow climb from the zero prior.
+            let new = if old == 0.0 {
+                frac
+            } else {
+                old * (1.0 - ALPHA) + ALPHA * frac
+            };
+            cell.store(new.to_bits(), Ordering::Relaxed);
+        };
+        fold(&self.pruned_rates[idx], pruned_frac);
+        fold(&self.skip_rates[idx], skip_frac);
+    }
+
+    /// The learned validation-pruning rate of one (algorithm, θ-bucket)
+    /// cell (0 before any observation).
+    pub fn pruned_rate(&self, algorithm: Algorithm, bucket: usize) -> f64 {
+        self.rate_cell(&self.pruned_rates, algorithm, bucket)
+    }
+
+    /// The learned posting-window skip rate of one (algorithm, θ-bucket)
+    /// cell (0 before any observation).
+    pub fn skip_rate(&self, algorithm: Algorithm, bucket: usize) -> f64 {
+        self.rate_cell(&self.skip_rates, algorithm, bucket)
+    }
+
+    fn rate_cell(&self, cells: &[AtomicU64], algorithm: Algorithm, bucket: usize) -> f64 {
+        let Some(slot) = algorithm.dense_index() else {
+            return 0.0;
+        };
+        let idx = slot * THETA_BUCKETS + bucket.min(THETA_BUCKETS - 1);
+        f64::from_bits(cells[idx].load(Ordering::Relaxed)).clamp(0.0, 1.0)
+    }
+
     /// Heap footprint of the planner's tables.
     pub fn heap_bytes(&self) -> usize {
         self.freqs.capacity() * std::mem::size_of::<u32>()
@@ -988,26 +1075,46 @@ impl Planner {
     /// nanoseconds, over the ascending posting lengths of the query's
     /// items. Every arm carries the fixed per-query floor so ratios of
     /// actual to predicted cost stay bounded even for near-free queries.
+    ///
+    /// The learned early-termination rates of the arm's `(algorithm,
+    /// θ-bucket)` cell discount the analytical terms: the scan terms by
+    /// the observed posting-window skip rate (a window-skipped posting is
+    /// two binary-search probes amortized over the whole list — ~free),
+    /// and the validation terms by `0.7 ×` the observed pruning rate (an
+    /// aborted validation still pays the chunks before its early exit, so
+    /// at most 70 % of a validation is ever saved). A fresh planner has
+    /// both rates at 0 and prices exactly the unscaled model.
     fn raw_cost(&self, algorithm: Algorithm, theta_raw: u32, freqs: &[u32]) -> f64 {
         let merge = self.costs.merge_posting_ns;
         let foot = self.costs.footrule_ns;
         let base = self.k as f64 * merge * PER_ITEM_OVERHEAD_POSTINGS;
         let sum = |fs: &[u32]| fs.iter().map(|&f| f as f64).sum::<f64>();
+        let bucket = self.bucket_of(theta_raw);
+        let scan_scale = 1.0 - self.rate_cell(&self.skip_rates, algorithm, bucket);
+        let foot_scale = 1.0 - 0.7 * self.rate_cell(&self.pruned_rates, algorithm, bucket);
         base + match algorithm {
-            Algorithm::Fv => merge * sum(freqs) + foot * self.union_estimate(freqs),
+            Algorithm::Fv => {
+                scan_scale * merge * sum(freqs) + foot_scale * foot * self.union_estimate(freqs)
+            }
             Algorithm::FvDrop => {
                 let kept = &freqs[..self.kept(theta_raw).min(freqs.len())];
-                merge * sum(kept) + foot * self.union_estimate(kept)
+                scan_scale * merge * sum(kept) + foot_scale * foot * self.union_estimate(kept)
             }
-            Algorithm::ListMerge => LISTMERGE_POSTING_FACTOR * merge * sum(freqs),
+            Algorithm::ListMerge => scan_scale * LISTMERGE_POSTING_FACTOR * merge * sum(freqs),
             Algorithm::BlockedPrune => {
                 BLOCKED_POSTING_FACTOR * merge * sum(freqs)
-                    + foot * self.union_estimate(freqs) * self.validated_fraction(theta_raw)
+                    + foot_scale
+                        * foot
+                        * self.union_estimate(freqs)
+                        * self.validated_fraction(theta_raw)
             }
             Algorithm::BlockedPruneDrop => {
                 let kept = &freqs[..self.kept(theta_raw).min(freqs.len())];
                 BLOCKED_POSTING_FACTOR * merge * sum(kept)
-                    + foot * self.union_estimate(kept) * self.validated_fraction(theta_raw)
+                    + foot_scale
+                        * foot
+                        * self.union_estimate(kept)
+                        * self.validated_fraction(theta_raw)
             }
             Algorithm::AdaptSearch => {
                 // ℓ = 1 prefix scheme: the (k − c + 1) rarest items' delta
@@ -1017,8 +1124,8 @@ impl Planner {
                 let kept = &freqs[..prefix];
                 let scale = prefix as f64 / self.k.max(1) as f64;
                 let scanned = scale * sum(kept);
-                ADAPT_POSTING_FACTOR * merge * scanned
-                    + foot * scanned.min(self.union_estimate(kept))
+                scan_scale * ADAPT_POSTING_FACTOR * merge * scanned
+                    + foot_scale * foot * scanned.min(self.union_estimate(kept))
             }
             Algorithm::Coarse => self.coarse_cost[theta_raw.min(self.d_max) as usize],
             Algorithm::CoarseDrop => self.coarse_drop_cost[theta_raw.min(self.d_max) as usize],
@@ -1055,6 +1162,10 @@ pub(crate) struct PlannerSaved {
     /// f64 bit patterns (`Algorithm::COUNT × THETA_BUCKETS` cells).
     pub raw_means: Vec<u64>,
     pub observations: Vec<u64>,
+    /// f64 bit patterns in `[0, 1]` (same cell grid).
+    pub pruned_rates: Vec<u64>,
+    /// f64 bit patterns in `[0, 1]` (same cell grid).
+    pub skip_rates: Vec<u64>,
     pub explored: Vec<u64>,
     pub incumbent: Vec<u64>,
 }

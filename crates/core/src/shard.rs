@@ -36,8 +36,9 @@
 use crate::batch::{merge_reports, run_stealing, WorkerReport};
 use crate::engine::{Algorithm, Engine, EngineBuilder};
 use crate::planner::PlanStats;
+use ranksim_invindex::PostingOrder;
 use ranksim_metricspace::KnnHeap;
-use ranksim_rankings::{ItemId, QueryScratch, QueryStats, RankingId, RankingStore};
+use ranksim_rankings::{ItemId, Kernel, QueryScratch, QueryStats, RankingId, RankingStore};
 
 /// How rankings are routed to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +101,8 @@ struct ShardConfig {
     calibrated: Option<crate::CalibratedCosts>,
     compact_tombstone_fraction: Option<f64>,
     planner_refresh_budget: Option<usize>,
+    kernel: Kernel,
+    posting_order: PostingOrder,
     rebalance: RebalanceConfig,
 }
 
@@ -123,6 +126,7 @@ impl ShardConfig {
         if let Some(m) = self.planner_refresh_budget {
             b = b.planner_refresh_budget(m);
         }
+        b = b.kernel(self.kernel).posting_order(self.posting_order);
         b.build()
     }
 }
@@ -208,6 +212,8 @@ impl ShardedEngineBuilder {
                 calibrated: None,
                 compact_tombstone_fraction: None,
                 planner_refresh_budget: None,
+                kernel: Kernel::default(),
+                posting_order: PostingOrder::default(),
                 rebalance: RebalanceConfig::default(),
             },
             stores: (0..num_shards).map(|_| RankingStore::new(k)).collect(),
@@ -274,6 +280,20 @@ impl ShardedEngineBuilder {
     /// [`EngineBuilder::planner_refresh_budget`]).
     pub fn planner_refresh_budget(mut self, mutations: usize) -> Self {
         self.config.planner_refresh_budget = Some(mutations);
+        self
+    }
+
+    /// Position-compare kernel for every per-shard engine (see
+    /// [`EngineBuilder::kernel`]).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.config.kernel = kernel;
+        self
+    }
+
+    /// CSR posting-slice ordering for every per-shard engine (see
+    /// [`EngineBuilder::posting_order`]).
+    pub fn posting_order(mut self, order: PostingOrder) -> Self {
+        self.config.posting_order = order;
         self
     }
 
@@ -816,6 +836,15 @@ impl ShardedEngine {
 
     /// [`ShardedEngine::query_batch`] with one [`WorkerReport`] per
     /// worker instead of pre-merged stats.
+    ///
+    /// Work is split at **(query × shard)** granularity: every stealable
+    /// task scans exactly one non-empty shard for one query, so a single
+    /// expensive query spreads across workers instead of pinning one
+    /// worker for its full all-shard sweep (the imbalance the per-worker
+    /// [`PlanStats`] exposed). [`WorkerReport::queries`] therefore counts
+    /// claimed *tasks* here. Per-shard result sets are disjoint, so the
+    /// per-query reassembly (concatenate, then one ascending sort) is
+    /// bit-identical to the serial all-shards-per-query path.
     pub fn query_batch_reported(
         &self,
         algorithm: Algorithm,
@@ -823,22 +852,49 @@ impl ShardedEngine {
         theta_raw: u32,
         threads: usize,
     ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
-        run_stealing(queries.len(), threads, None, || {
+        let active: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.engine.is_some())
+            .map(|(si, _)| si)
+            .collect();
+        let na = active.len();
+        if na == 0 || queries.is_empty() {
+            return (vec![Vec::new(); queries.len()], Vec::new());
+        }
+        let active = &active;
+        let (tasks, reports) = run_stealing(queries.len() * na, threads, None, || {
             let mut scratch = self.scratch();
-            move |qi: usize, report: &mut WorkerReport| {
-                let mut out = Vec::new();
-                self.query_into_recorded(
+            move |t: usize, report: &mut WorkerReport| {
+                let (qi, si) = (t / na, active[t % na]);
+                let shard = &self.shards[si];
+                let engine = shard.engine.as_ref().expect("active shard has an engine");
+                let trace = engine.query_into_traced(
                     algorithm,
                     &queries[qi],
                     theta_raw,
-                    &mut scratch,
+                    &mut scratch.scratch,
                     &mut report.stats,
-                    &mut report.plan,
-                    &mut out,
+                    &mut scratch.local,
                 );
-                out
+                report.plan.record(&trace);
+                scratch
+                    .local
+                    .iter()
+                    .map(|id| shard.global[id.index()])
+                    .collect()
             }
-        })
+        });
+        let mut results: Vec<Vec<RankingId>> = Vec::with_capacity(queries.len());
+        results.resize_with(queries.len(), Vec::new);
+        for (t, mut part) in tasks.into_iter().enumerate() {
+            results[t / na].append(&mut part);
+        }
+        for r in &mut results {
+            r.sort_unstable();
+        }
+        (results, reports)
     }
 }
 
@@ -855,6 +911,10 @@ pub(crate) struct ShardConfigParts {
     pub calibrated: Option<(f64, f64)>,
     pub compact_tombstone_fraction: Option<f64>,
     pub planner_refresh_budget: Option<u64>,
+    /// [`Kernel::to_tag`] of the per-shard distance kernel.
+    pub kernel: u32,
+    /// [`PostingOrder::to_tag`] of the per-shard posting order.
+    pub posting_order: u32,
     pub rebalance_skew_factor: f64,
     pub rebalance_min_gap: u64,
     pub rebalance_auto: bool,
@@ -909,6 +969,8 @@ impl ShardedEngine {
                     .map(|c| (c.footrule_ns, c.merge_posting_ns)),
                 compact_tombstone_fraction: self.config.compact_tombstone_fraction,
                 planner_refresh_budget: self.config.planner_refresh_budget.map(|b| b as u64),
+                kernel: self.config.kernel.to_tag(),
+                posting_order: self.config.posting_order.to_tag(),
                 rebalance_skew_factor: self.config.rebalance.skew_factor,
                 rebalance_min_gap: self.config.rebalance.min_gap as u64,
                 rebalance_auto: self.config.rebalance.auto,
@@ -1007,6 +1069,8 @@ impl ShardedEngine {
             }),
             compact_tombstone_fraction: config.compact_tombstone_fraction,
             planner_refresh_budget: config.planner_refresh_budget.map(|b| b as usize),
+            kernel: Kernel::from_tag(config.kernel)?,
+            posting_order: PostingOrder::from_tag(config.posting_order)?,
             rebalance: RebalanceConfig {
                 skew_factor: config.rebalance_skew_factor,
                 min_gap: config.rebalance_min_gap as usize,

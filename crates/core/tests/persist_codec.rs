@@ -162,11 +162,11 @@ proptest! {
 fn future_format_version_is_refused_by_name() {
     let (mut bytes, path) = probe_snapshot("future-version");
     // Bytes 4..8 are the little-endian format version.
-    bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+    bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
     std::fs::write(&path, &bytes).unwrap();
     match load_engine(&path, LoadMode::Verify) {
-        Err(PersistError::UnsupportedVersion(2)) => {}
-        Err(other) => panic!("expected UnsupportedVersion(2), got {other:?}"),
+        Err(PersistError::UnsupportedVersion(3)) => {}
+        Err(other) => panic!("expected UnsupportedVersion(3), got {other:?}"),
         Ok(_) => panic!("future version must not load"),
     }
     std::fs::remove_file(&path).unwrap();

@@ -115,6 +115,62 @@ fn stealing_balances_an_adversarially_skewed_batch() {
     assert_eq!(merge_reports(&reports), seq_stats);
 }
 
+/// The (query × shard) split: a batch of ONE expensive query on a
+/// 4-shard engine fans out into 4 tasks, so multiple workers share the
+/// single query instead of one worker serializing it — with results
+/// bit-identical to sequential sharded processing. Claim counts are
+/// scheduler-dependent, so the ≥2-workers assertion gets bounded
+/// retries; the task accounting (1 query × 4 shards = 4 claims) and the
+/// result set are deterministic and checked every attempt.
+#[test]
+fn one_heavy_query_splits_across_workers() {
+    use ranksim_core::{ShardStrategy, ShardedEngineBuilder};
+
+    let ds = nyt_like(20_000, 10, 999);
+    let domain = ds.params.domain;
+    let shards = 4usize;
+    let mut builder =
+        ShardedEngineBuilder::new(10, shards, ShardStrategy::Hash).algorithms(&[Algorithm::Fv]);
+    builder.extend_from_store(&ds.store);
+    let se = builder.build();
+    assert!(
+        se.shard_sizes().iter().all(|&s| s > 0),
+        "every shard must be populated for the 4-task split"
+    );
+    let (heavy, _) = frequency_extreme_queries(&ds.store, domain);
+    let theta = raw_threshold(0.6, 10);
+
+    let mut scratch = se.scratch();
+    let mut seq_stats = QueryStats::new();
+    let expect = se.query_items(Algorithm::Fv, &heavy, theta, &mut scratch, &mut seq_stats);
+    assert!(!expect.is_empty(), "the heavy query must have matches");
+
+    let mut split_seen = false;
+    for attempt in 0..10 {
+        let (results, reports) =
+            se.query_batch_reported(Algorithm::Fv, std::slice::from_ref(&heavy), theta, shards);
+        // Deterministic every attempt: the one query's merged result is
+        // bit-identical to sequential processing, and exactly
+        // 1 query × 4 shards = 4 tasks were claimed in total.
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0], expect, "attempt {attempt}");
+        assert_eq!(reports.len(), shards);
+        let claimed: u64 = reports.iter().map(|r| r.queries).sum();
+        assert_eq!(claimed as usize, shards, "1 query × {shards} shards");
+        assert_eq!(merge_reports(&reports), seq_stats);
+        // Scheduler-dependent: at least two workers took a slice of the
+        // single query.
+        if reports.iter().filter(|r| r.queries > 0).count() >= 2 {
+            split_seen = true;
+            break;
+        }
+    }
+    assert!(
+        split_seen,
+        "one worker claimed all 4 (query, shard) tasks in every one of 10 attempts"
+    );
+}
+
 #[test]
 fn worker_count_never_exceeds_the_batch() {
     let ds = nyt_like(500, 10, 7);

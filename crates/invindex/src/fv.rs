@@ -18,8 +18,9 @@
 //! allocate a scratch per call.
 
 use crate::drop::keep_positions_into;
+use crate::order::{rank_window, PostingOrder};
 use crate::plain::PlainInvertedIndex;
-use ranksim_rankings::{ItemId, QueryScratch, QueryStats, RankingId, RankingStore};
+use ranksim_rankings::{ItemId, Kernel, QueryScratch, QueryStats, RankingId, RankingStore};
 
 /// F&V: returns all indexed rankings within `theta_raw` of the query.
 pub fn filter_validate(
@@ -36,6 +37,7 @@ pub fn filter_validate(
         store,
         query,
         theta_raw,
+        Kernel::default(),
         &mut scratch,
         stats,
         &mut out,
@@ -59,6 +61,7 @@ pub fn filter_validate_drop(
         store,
         query,
         theta_raw,
+        Kernel::default(),
         &mut scratch,
         stats,
         &mut out,
@@ -67,11 +70,13 @@ pub fn filter_validate_drop(
 }
 
 /// Scratch-reusing F&V; appends results to `out`.
+#[allow(clippy::too_many_arguments)]
 pub fn filter_validate_into(
     index: &PlainInvertedIndex,
     store: &RankingStore,
     query: &[ItemId],
     theta_raw: u32,
+    kernel: Kernel,
     scratch: &mut QueryScratch,
     stats: &mut QueryStats,
     out: &mut Vec<RankingId>,
@@ -82,7 +87,7 @@ pub fn filter_validate_into(
     let mut hits = std::mem::take(&mut scratch.hits);
     hits.clear();
     filter_validate_positions_into(
-        index, store, query, &positions, theta_raw, scratch, stats, &mut hits,
+        index, store, query, &positions, theta_raw, kernel, scratch, stats, &mut hits,
     );
     out.extend(hits.iter().map(|&(id, _)| id));
     scratch.hits = hits;
@@ -90,11 +95,13 @@ pub fn filter_validate_into(
 }
 
 /// Scratch-reusing F&V+Drop; appends results to `out`.
+#[allow(clippy::too_many_arguments)]
 pub fn filter_validate_drop_into(
     index: &PlainInvertedIndex,
     store: &RankingStore,
     query: &[ItemId],
     theta_raw: u32,
+    kernel: Kernel,
     scratch: &mut QueryScratch,
     stats: &mut QueryStats,
     out: &mut Vec<RankingId>,
@@ -111,7 +118,7 @@ pub fn filter_validate_drop_into(
     let mut hits = std::mem::take(&mut scratch.hits);
     hits.clear();
     filter_validate_positions_into(
-        index, store, query, &positions, theta_raw, scratch, stats, &mut hits,
+        index, store, query, &positions, theta_raw, kernel, scratch, stats, &mut hits,
     );
     out.extend(hits.iter().map(|&(id, _)| id));
     scratch.hits = hits;
@@ -137,6 +144,7 @@ pub fn filter_validate_positions(
         query,
         positions,
         theta_raw,
+        Kernel::default(),
         &mut scratch,
         stats,
         &mut out,
@@ -148,6 +156,18 @@ pub fn filter_validate_positions(
 /// selected query positions through the epoch-versioned candidate set,
 /// then validates each candidate with one flat-map distance evaluation.
 /// Appends `(id, distance)` pairs to `out`.
+///
+/// On a [`PostingOrder::SuffixBound`] index the filter scans only the
+/// `[q_rank − θ, q_rank + θ]` rank window of each list: a candidate whose
+/// *every* shared item sits outside its window contributes `> θ` through
+/// any one of those items alone (the matched Footrule term is
+/// `|rank − q_rank|`), so never marking it cannot lose a result — any
+/// within-θ candidate is marked through some in-window item. Skipped
+/// entries land in `postings_skipped` rather than `entries_scanned`.
+/// Validation dispatches on `kernel` through
+/// [`ranksim_rankings::scratch::FlatPositionMap::distance_within`]; a
+/// pruned walk (`None`) is a proven miss counted in `validations_pruned`.
+/// Result sets are bit-identical across orderings and kernels.
 #[allow(clippy::too_many_arguments)]
 pub fn filter_validate_positions_into(
     index: &PlainInvertedIndex,
@@ -155,6 +175,7 @@ pub fn filter_validate_positions_into(
     query: &[ItemId],
     positions: &[usize],
     theta_raw: u32,
+    kernel: Kernel,
     scratch: &mut QueryScratch,
     stats: &mut QueryStats,
     out: &mut Vec<(RankingId, u32)>,
@@ -162,16 +183,32 @@ pub fn filter_validate_positions_into(
     debug_assert_eq!(index.k(), query.len());
     let remap = index.remap();
     let QueryScratch { qmap, marks, .. } = scratch;
-    // Filtering phase: union of the selected postings lists.
+    // Filtering phase: union of the selected postings lists (windowed on
+    // a suffix-bound-ordered index).
     marks.begin(store.len());
-    for &p in positions {
-        if let Some(list) = index.list(query[p]) {
-            stats.count_list(list.len());
-            for &id in list {
-                marks.mark(id.0);
+    if index.order() == PostingOrder::SuffixBound {
+        for &p in positions {
+            if let Some((ids, ranks)) = index.list_with_ranks(query[p]) {
+                let (s, e) = rank_window(ranks, p as u32, theta_raw);
+                stats.count_list(e - s);
+                stats.postings_skipped += (ids.len() - (e - s)) as u64;
+                for &id in &ids[s..e] {
+                    marks.mark(id.0);
+                }
+            } else {
+                stats.count_list(0);
             }
-        } else {
-            stats.count_list(0);
+        }
+    } else {
+        for &p in positions {
+            if let Some(list) = index.list(query[p]) {
+                stats.count_list(list.len());
+                for &id in list {
+                    marks.mark(id.0);
+                }
+            } else {
+                stats.count_list(0);
+            }
         }
     }
     stats.candidates += marks.len() as u64;
@@ -180,9 +217,10 @@ pub fn filter_validate_positions_into(
     let out_start = out.len();
     for &id in marks.keys() {
         stats.count_distance();
-        let d = qmap.distance_to(remap, store.items(RankingId(id)));
-        if d <= theta_raw {
-            out.push((RankingId(id), d));
+        match qmap.distance_within(remap, store.items(RankingId(id)), theta_raw, kernel) {
+            Some(d) if d <= theta_raw => out.push((RankingId(id), d)),
+            Some(_) => {}
+            None => stats.validations_pruned += 1,
         }
     }
     stats.results += (out.len() - out_start) as u64;
@@ -191,12 +229,14 @@ pub fn filter_validate_positions_into(
 /// Variant of [`filter_validate_positions_into`] that validates against
 /// the *relaxed* threshold but reports distances, for coarse-index
 /// filtering (query medoids with `θ + θ_C`, Section 4.2).
+#[allow(clippy::too_many_arguments)]
 pub fn filter_validate_relaxed_into(
     index: &PlainInvertedIndex,
     store: &RankingStore,
     query: &[ItemId],
     relaxed_theta_raw: u32,
     drop_lists: bool,
+    kernel: Kernel,
     scratch: &mut QueryScratch,
     stats: &mut QueryStats,
     out: &mut Vec<(RankingId, u32)>,
@@ -222,6 +262,7 @@ pub fn filter_validate_relaxed_into(
         query,
         &positions,
         relaxed_theta_raw,
+        kernel,
         scratch,
         stats,
         out,
@@ -246,6 +287,7 @@ pub fn filter_validate_relaxed(
         query,
         relaxed_theta_raw,
         drop_lists,
+        Kernel::default(),
         &mut scratch,
         stats,
         &mut out,
@@ -305,6 +347,7 @@ mod tests {
                 &store,
                 &q,
                 raw,
+                Kernel::default(),
                 &mut shared,
                 &mut s1,
                 &mut via_shared,
@@ -358,6 +401,100 @@ mod tests {
             assert_eq!(d, qmap.distance_to(store.items(id)));
             assert!(d <= 20);
         }
+    }
+
+    #[test]
+    fn every_order_and_kernel_combination_equals_scan() {
+        use crate::order::PostingOrder;
+        use ranksim_rankings::ItemRemap;
+        use std::sync::Arc;
+        let store = random_store(300, 7, 60, 400);
+        let remap = Arc::new(ItemRemap::build(&store));
+        let indices = [
+            PlainInvertedIndex::build_with_remap_ordered(
+                &store,
+                remap.clone(),
+                store.live_ids(),
+                PostingOrder::Id,
+            ),
+            PlainInvertedIndex::build_with_remap_ordered(
+                &store,
+                remap.clone(),
+                store.live_ids(),
+                PostingOrder::SuffixBound,
+            ),
+        ];
+        let mut scratch = QueryScratch::new();
+        for seed in 0..10u64 {
+            let q = perturbed_query(&store, RankingId((seed * 29 % 300) as u32), 60, seed);
+            for theta in [0.0, 0.1, 0.2, 0.4] {
+                let raw = raw_threshold(theta, 7);
+                for index in &indices {
+                    for kernel in [Kernel::Scalar, Kernel::Simd] {
+                        let mut stats = QueryStats::new();
+                        let mut out = Vec::new();
+                        filter_validate_into(
+                            index,
+                            &store,
+                            &q,
+                            raw,
+                            kernel,
+                            &mut scratch,
+                            &mut stats,
+                            &mut out,
+                        );
+                        assert_equals_scan(&store, &q, raw, out);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_bound_window_skips_postings_without_losing_results() {
+        use crate::order::PostingOrder;
+        use ranksim_rankings::ItemRemap;
+        use std::sync::Arc;
+        let store = random_store(500, 10, 80, 500);
+        let remap = Arc::new(ItemRemap::build(&store));
+        let sb = PlainInvertedIndex::build_with_remap_ordered(
+            &store,
+            remap.clone(),
+            store.live_ids(),
+            PostingOrder::SuffixBound,
+        );
+        let plain = PlainInvertedIndex::build_with_remap(&store, remap, store.live_ids());
+        let q = perturbed_query(&store, RankingId(123), 80, 9);
+        let raw = raw_threshold(0.05, 10);
+        let mut s_sb = QueryStats::new();
+        let mut s_id = QueryStats::new();
+        let a = filter_validate(&plain, &store, &q, raw, &mut s_id);
+        let mut scratch = QueryScratch::new();
+        let mut b = Vec::new();
+        filter_validate_into(
+            &sb,
+            &store,
+            &q,
+            raw,
+            Kernel::Simd,
+            &mut scratch,
+            &mut s_sb,
+            &mut b,
+        );
+        let mut a = a;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(
+            s_sb.postings_skipped > 0,
+            "tight θ must window out postings"
+        );
+        assert!(s_sb.entries_scanned < s_id.entries_scanned);
+        assert_eq!(
+            s_sb.entries_scanned + s_sb.postings_skipped,
+            s_id.entries_scanned,
+            "windowing partitions the scan, it never drops postings silently"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod executors;
 pub mod fv;
 pub mod listmerge;
 pub mod minimal;
+pub mod order;
 pub mod plain;
 
 #[doc(hidden)]
@@ -45,8 +46,11 @@ pub use drop::{keep_positions, keep_positions_into, omega};
 pub use executors::{BlockedPruneExecutor, FvDropExecutor, FvExecutor, ListMergeExecutor};
 pub use minimal::MinimalFv;
 #[doc(hidden)]
-pub use plain::PlainIndexParts;
+pub use order::rank_window;
+pub use order::{ParsePostingOrderError, PostingOrder};
 pub use plain::PlainInvertedIndex;
+#[doc(hidden)]
+pub use plain::{validate_rank_sorted, PlainIndexParts};
 
 #[cfg(test)]
 pub(crate) mod testutil {

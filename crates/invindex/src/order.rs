@@ -1,0 +1,140 @@
+//! Posting-list entry ordering for the CSR index layouts.
+//!
+//! The classic layouts keep each item's postings **id-sorted** — natural
+//! for merging, and what the paper's Section 4/6.2 figures show. The
+//! suffix-bound ordering instead sorts each per-item slice by the rank
+//! the item holds in the posting's ranking (ties by id): since a shared
+//! item at candidate rank `r` contributes at least `|r − q_p|` to the
+//! Footrule distance, a rank-sorted list lets a scan binary-search to the
+//! first entry with `r ≥ q_p − θ` and stop at the first entry with
+//! `r > q_p + θ` — every entry outside that window belongs to a ranking
+//! whose distance through this item alone already exceeds θ. Both
+//! orderings index the same postings; result sets are bit-identical
+//! (window-skipped candidates are provably outside θ, and ListMerge's
+//! finalization over-estimates skipped contributions, see
+//! `crate::listmerge`). Only the scan counters differ.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Build-time ordering of each item's postings slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PostingOrder {
+    /// Ascending ranking id (the classic layout; the default).
+    #[default]
+    Id,
+    /// Ascending `(rank, id)` — enables threshold-window scans with a
+    /// binary-searched head skip and an early tail break.
+    SuffixBound,
+}
+
+impl fmt::Display for PostingOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PostingOrder::Id => "id",
+            PostingOrder::SuffixBound => "suffix-bound",
+        })
+    }
+}
+
+/// Error for unknown posting-order names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePostingOrderError(pub String);
+
+impl fmt::Display for ParsePostingOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown posting order '{}' (expected id|suffix-bound)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePostingOrderError {}
+
+impl FromStr for PostingOrder {
+    type Err = ParsePostingOrderError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "id" => Ok(PostingOrder::Id),
+            "suffix-bound" | "suffixbound" | "suffix_bound" => Ok(PostingOrder::SuffixBound),
+            _ => Err(ParsePostingOrderError(s.trim().to_string())),
+        }
+    }
+}
+
+impl PostingOrder {
+    /// Stable persistence tag (`0` = id, `1` = suffix-bound).
+    #[doc(hidden)]
+    pub fn to_tag(self) -> u32 {
+        match self {
+            PostingOrder::Id => 0,
+            PostingOrder::SuffixBound => 1,
+        }
+    }
+
+    /// Inverse of [`PostingOrder::to_tag`].
+    #[doc(hidden)]
+    pub fn from_tag(tag: u32) -> Result<Self, String> {
+        match tag {
+            0 => Ok(PostingOrder::Id),
+            1 => Ok(PostingOrder::SuffixBound),
+            _ => Err(format!("unknown posting-order tag {tag}")),
+        }
+    }
+}
+
+/// The `[start, end)` sub-range of a rank-sorted slice whose ranks fall
+/// inside the window `[q_rank − theta, q_rank + theta]`, found with two
+/// binary searches over `ranks`.
+#[doc(hidden)]
+#[inline]
+pub fn rank_window(ranks: &[u32], q_rank: u32, theta_raw: u32) -> (usize, usize) {
+    let lo = q_rank.saturating_sub(theta_raw);
+    let hi = q_rank.saturating_add(theta_raw);
+    let start = ranks.partition_point(|&r| r < lo);
+    let end = start + ranks[start..].partition_point(|&r| r <= hi);
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_displays() {
+        assert_eq!("id".parse::<PostingOrder>().unwrap(), PostingOrder::Id);
+        assert_eq!(
+            " Suffix-Bound ".parse::<PostingOrder>().unwrap(),
+            PostingOrder::SuffixBound
+        );
+        assert!("rank".parse::<PostingOrder>().is_err());
+        assert_eq!(PostingOrder::SuffixBound.to_string(), "suffix-bound");
+        assert_eq!(PostingOrder::default(), PostingOrder::Id);
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for o in [PostingOrder::Id, PostingOrder::SuffixBound] {
+            assert_eq!(PostingOrder::from_tag(o.to_tag()).unwrap(), o);
+        }
+        assert!(PostingOrder::from_tag(7).is_err());
+    }
+
+    #[test]
+    fn rank_window_brackets_the_threshold_band() {
+        let ranks = [0u32, 1, 1, 3, 4, 4, 4, 7, 9];
+        let (s, e) = rank_window(&ranks, 4, 2);
+        assert_eq!(&ranks[s..e], &[3, 4, 4, 4]);
+        let (s, e) = rank_window(&ranks, 0, 1);
+        assert_eq!(&ranks[s..e], &[0, 1, 1]);
+        let (s, e) = rank_window(&ranks, 20, 3);
+        assert_eq!(s, e, "window past the tail is empty");
+        let (s, e) = rank_window(&ranks, 5, 100);
+        assert_eq!((s, e), (0, ranks.len()), "huge θ covers everything");
+        let (s, e) = rank_window(&[], 3, 1);
+        assert_eq!((s, e), (0, 0));
+    }
+}

@@ -29,6 +29,7 @@ pub mod executor;
 pub mod footrule;
 pub mod hash;
 pub mod kendall;
+pub mod kernel;
 pub mod ranking;
 pub mod remap;
 pub mod scratch;
@@ -39,6 +40,8 @@ pub use footrule::{
     footrule_items, footrule_pairs, footrule_store, max_distance, min_distance_for_overlap,
     one_side_total, raw_threshold, PositionMap,
 };
+pub use kendall::{kendall_top_k, kendall_top_k_flat, kendall_top_k_with};
+pub use kernel::{Kernel, ParseKernelError, KERNEL_CHUNK};
 #[doc(hidden)]
 pub use ranking::{
     item_vec_from_u32, item_vec_into_u32, ranking_vec_from_u32, ranking_vec_into_u32, StoreParts,

@@ -24,6 +24,7 @@
 //!   seen this epoch.
 
 use crate::footrule::one_side_total;
+use crate::kernel::{Kernel, KERNEL_CHUNK};
 use crate::ranking::{ItemId, RankingId};
 use crate::remap::ItemRemap;
 
@@ -254,6 +255,97 @@ impl FlatPositionMap {
         dist
     }
 
+    /// [`FlatPositionMap::distance_to`] via the chunked, branchless
+    /// [`Kernel::Simd`] formulation: candidate ranks are gathered into a
+    /// small stack buffer with the artificial rank `l = k` standing in
+    /// for items missing from the query, which collapses the matched and
+    /// unmatched cases into one branch-free arithmetic expression
+    /// (`|p − q_p| − (k − q_p)`; with `q_p = k` this is exactly the
+    /// unmatched contribution `k − p`). Bit-identical to the scalar loop
+    /// for every input.
+    pub fn distance_to_chunked(&self, remap: &ItemRemap, candidate: &[ItemId]) -> u32 {
+        debug_assert_eq!(candidate.len() as u32, self.k);
+        let k = self.k as i32;
+        let t_k = one_side_total(self.k as usize) as i32;
+        let mut sum = 0i32;
+        let mut qps = [0i32; KERNEL_CHUNK];
+        let len = candidate.len();
+        let mut p = 0usize;
+        while p < len {
+            let n = KERNEL_CHUNK.min(len - p);
+            for (j, &item) in candidate[p..p + n].iter().enumerate() {
+                qps[j] = self.rank_of(remap, item).map_or(k, |q| q as i32);
+            }
+            for (j, &qp) in qps[..n].iter().enumerate() {
+                let pp = (p + j) as i32;
+                sum += (pp - qp).abs() - (k - qp);
+            }
+            p += n;
+        }
+        (t_k + sum) as u32
+    }
+
+    /// Threshold-aware distance: `Some(d)` when the walk ran to
+    /// completion (`d` is the exact distance, whether or not it is within
+    /// `theta_raw`), `None` **strictly** when the suffix-bound early exit
+    /// proved the candidate outside `theta_raw` before finishing. Callers
+    /// therefore treat `None` as a guaranteed miss and may count it as a
+    /// pruned validation; result sets are bit-identical across kernels by
+    /// construction.
+    ///
+    /// The bound: each remaining position `p` contributes at least
+    /// `p − k` (minimizing `|p − q_p| + q_p` over `q_p ∈ 0..=k` attains
+    /// `p`), so after `j` processed items the final distance is at least
+    /// `partial_j − T(k − j)` with `T(m) = m(m+1)/2`.
+    pub fn distance_within(
+        &self,
+        remap: &ItemRemap,
+        candidate: &[ItemId],
+        theta_raw: u32,
+        kernel: Kernel,
+    ) -> Option<u32> {
+        match kernel {
+            Kernel::Scalar => Some(self.distance_to(remap, candidate)),
+            Kernel::Simd => self.distance_within_chunked(remap, candidate, theta_raw),
+        }
+    }
+
+    /// The [`Kernel::Simd`] arm of [`FlatPositionMap::distance_within`]:
+    /// the chunked branchless walk with the suffix-bound check at each
+    /// chunk boundary.
+    pub fn distance_within_chunked(
+        &self,
+        remap: &ItemRemap,
+        candidate: &[ItemId],
+        theta_raw: u32,
+    ) -> Option<u32> {
+        debug_assert_eq!(candidate.len() as u32, self.k);
+        let k = self.k as i32;
+        let t_k = one_side_total(self.k as usize) as i32;
+        // Any θ at or above the distance ceiling k(k+1) never prunes;
+        // clamping also keeps the comparison in i32 for pathological θ.
+        let theta = theta_raw.min(2 * t_k as u32) as i32;
+        let mut sum = 0i32;
+        let mut qps = [0i32; KERNEL_CHUNK];
+        let len = candidate.len();
+        let mut p = 0usize;
+        while p < len {
+            let n = KERNEL_CHUNK.min(len - p);
+            for (j, &item) in candidate[p..p + n].iter().enumerate() {
+                qps[j] = self.rank_of(remap, item).map_or(k, |q| q as i32);
+            }
+            for (j, &qp) in qps[..n].iter().enumerate() {
+                let pp = (p + j) as i32;
+                sum += (pp - qp).abs() - (k - qp);
+            }
+            p += n;
+            if p < len && t_k + sum - one_side_total(len - p) as i32 > theta {
+                return None;
+            }
+        }
+        Some((t_k + sum) as u32)
+    }
+
     /// Number of common items between the query and `candidate`.
     pub fn overlap(&self, remap: &ItemRemap, candidate: &[ItemId]) -> usize {
         candidate
@@ -434,6 +526,75 @@ mod tests {
         assert_eq!(
             flat.distance_to(&remap, &c),
             PositionMap::new(&q).distance_to(&c)
+        );
+    }
+
+    #[test]
+    fn chunked_kernel_matches_scalar_on_mixed_overlap() {
+        let q = [7u32, 1, 6, 5, 2, 9, 3, 0, 11, 12].map(ItemId);
+        let candidates = [
+            [1u32, 4, 5, 9, 0, 13, 14, 15, 16, 17].map(ItemId),
+            [7u32, 1, 6, 5, 2, 9, 3, 0, 11, 12].map(ItemId),
+            [20u32, 21, 22, 23, 24, 25, 26, 27, 28, 29].map(ItemId),
+            [12u32, 11, 0, 3, 9, 2, 5, 6, 1, 7].map(ItemId),
+        ];
+        let mut raw: Vec<u32> = q.iter().map(|i| i.0).collect();
+        for c in &candidates {
+            raw.extend(c.iter().map(|i| i.0));
+        }
+        let remap = ItemRemap::from_raw_ids(raw);
+        let mut flat = FlatPositionMap::new();
+        flat.build(&remap, &q);
+        for c in &candidates {
+            let exact = flat.distance_to(&remap, c);
+            assert_eq!(flat.distance_to_chunked(&remap, c), exact);
+            // A full-range θ never prunes, so the pruned walk is exact.
+            assert_eq!(
+                flat.distance_within_chunked(&remap, c, u32::MAX),
+                Some(exact)
+            );
+        }
+    }
+
+    #[test]
+    fn distance_within_none_strictly_means_above_theta() {
+        let q = [7u32, 1, 6, 5, 2, 9, 3, 0, 11, 12].map(ItemId);
+        let candidates = [
+            [1u32, 4, 5, 9, 0, 13, 14, 15, 16, 17].map(ItemId),
+            [7u32, 1, 6, 5, 2, 9, 3, 0, 11, 12].map(ItemId),
+            [20u32, 21, 22, 23, 24, 25, 26, 27, 28, 29].map(ItemId),
+        ];
+        let mut raw: Vec<u32> = q.iter().map(|i| i.0).collect();
+        for c in &candidates {
+            raw.extend(c.iter().map(|i| i.0));
+        }
+        let remap = ItemRemap::from_raw_ids(raw);
+        let mut flat = FlatPositionMap::new();
+        flat.build(&remap, &q);
+        for c in &candidates {
+            let exact = flat.distance_to(&remap, c);
+            for theta in 0..=crate::footrule::max_distance(q.len()) {
+                match flat.distance_within(&remap, c, theta, Kernel::Simd) {
+                    Some(d) => assert_eq!(d, exact),
+                    None => assert!(exact > theta, "pruned a candidate within θ"),
+                }
+                assert_eq!(
+                    flat.distance_within(&remap, c, theta, Kernel::Scalar),
+                    Some(exact)
+                );
+                // The membership verdict is kernel-independent.
+                let simd_hit = flat
+                    .distance_within(&remap, c, theta, Kernel::Simd)
+                    .is_some_and(|d| d <= theta);
+                assert_eq!(simd_hit, exact <= theta);
+            }
+        }
+        // The disjoint candidate must actually trigger the early exit at
+        // the paper's benchmark threshold.
+        let theta = crate::footrule::raw_threshold(0.2, q.len());
+        assert_eq!(
+            flat.distance_within(&remap, &candidates[2], theta, Kernel::Simd),
+            None
         );
     }
 

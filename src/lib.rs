@@ -115,8 +115,9 @@ pub mod prelude {
         Planner, RebalanceConfig, RecoveryReport, ShardStrategy, ShardedEngine,
         ShardedEngineBuilder, SnapshotEngine, SnapshotMeta, SyncPolicy, WorkerReport,
     };
+    pub use ranksim_invindex::PostingOrder;
     pub use ranksim_rankings::{
-        footrule_pairs, raw_threshold, ExecStats, ItemId, ItemRemap, PositionMap, QueryExecutor,
-        QueryScratch, QueryStats, Ranking, RankingId, RankingStore,
+        footrule_pairs, raw_threshold, ExecStats, ItemId, ItemRemap, Kernel, PositionMap,
+        QueryExecutor, QueryScratch, QueryStats, Ranking, RankingId, RankingStore,
     };
 }

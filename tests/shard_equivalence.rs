@@ -157,8 +157,12 @@ proptest! {
             let expect = se.query_items(Algorithm::Fv, q, raw, &mut sscratch, &mut seq);
             prop_assert_eq!(&got[qi], &expect, "query {}", qi);
         }
+        // The driver splits work at (query × shard) granularity: each
+        // worker claims one (query, active shard) task, so the claimed
+        // total is queries × active shards, not queries.
+        let active = se.shard_sizes().iter().filter(|&&s| s > 0).count();
         let claimed: u64 = reports.iter().map(|r| r.queries).sum();
-        prop_assert_eq!(claimed as usize, qs.len());
+        prop_assert_eq!(claimed as usize, qs.len() * active);
         prop_assert_eq!(ranksim::core::merge_reports(&reports), seq);
     }
 }
