@@ -25,6 +25,25 @@ use ranksim_core::engine::Algorithm;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The shard-worker body runs before any config parsing or banner:
+    // a worker process is a service spawned by `repro distributed`'s
+    // router (or any external RemoteShardedEngine), not an experiment.
+    if args.first().map(String::as_str) == Some("shard-worker") {
+        match ranksim_core::serve_from_env() {
+            Ok(true) => return,
+            Ok(false) => {
+                eprintln!(
+                    "shard-worker is spawned by the distributed router and needs \
+                     RANKSIM_REMOTE_SNAPSHOT / RANKSIM_REMOTE_SOCKET set"
+                );
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("shard-worker failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut base = ExpConfig::default_scale();
     if let Some(pos) = args.iter().position(|a| a == "--scale") {
         let Some(name) = args.get(pos + 1) else {
@@ -98,6 +117,7 @@ fn main() {
         "serve" => run_serve_cmd(&cfg, t0),
         "recovery" => run_recovery_cmd(&cfg),
         "persist" => run_persist_cmd(&cfg, t0),
+        "distributed" => run_distributed_cmd(&cfg, t0),
         "all" => {
             run_verify(&cfg);
             run_fig3(&cfg);
@@ -112,7 +132,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner churn serve recovery persist all"
+                "unknown experiment '{other}'; expected one of: verify fig3 fig5 fig6 fig7 table5 fig8 fig9 fig10 table6 ablation shard planner churn serve recovery persist distributed all"
             );
             std::process::exit(2);
         }
@@ -389,6 +409,63 @@ fn run_recovery_cmd(cfg: &ExpConfig) {
             std::process::exit(1);
         }
         println!("recovery time budget ok: {worst:.2}s <= {budget_s:.2}s");
+    }
+}
+
+/// The distributed-serving experiment: snapshot-spawned worker
+/// processes behind the exact fan-out/merge router, measuring pruned
+/// fan-out, protocol overhead vs the in-process engine, and
+/// kill-a-worker recovery — written to `BENCH_distributed.json`, with
+/// a self-enforced `RANKSIM_DIST_TIME_BUDGET_S` wall-clock budget.
+fn run_distributed_cmd(cfg: &ExpConfig, t0: std::time::Instant) {
+    let rc = distributed::DistRunConfig::from_env();
+    println!(
+        "== distributed serving: NYT-family n={}, S={} worker processes, {} at θ={} ==",
+        cfg.nyt_n, rc.shards, rc.algorithm, rc.theta
+    );
+    let exe = std::env::current_exe().expect("own binary path");
+    let worker = ranksim_core::WorkerSpec::new(exe).arg("shard-worker");
+    let report = distributed::run_distributed(cfg, rc, worker);
+    println!(
+        "build: {:.2}s   save: {:.2}s   launch {} workers: {:.2}s",
+        report.build_s, report.save_s, report.workers, report.launch_s
+    );
+    println!(
+        "throughput ({} queries): in-process {:.0} q/s, distributed {:.0} q/s ({:.0}% of in-process)",
+        report.queries,
+        report.inproc_qps,
+        report.dist_qps,
+        report.relative_throughput() * 100.0
+    );
+    println!(
+        "fan-out: broadcast {} requests, sent {}, pruned {} ({:.1}% reduction)",
+        report.broadcast_fanout(),
+        report.stats.fanout_sent,
+        report.stats.fanout_pruned,
+        report.fanout_reduction() * 100.0
+    );
+    if report.config.kill_worker {
+        println!(
+            "failover: SIGKILLed worker detected + respawned + reanswered in {:.1} ms",
+            report.kill_recovery_ms
+        );
+    }
+
+    let json_path =
+        std::env::var("RANKSIM_DIST_JSON").unwrap_or_else(|_| "BENCH_distributed.json".into());
+    std::fs::write(&json_path, report.to_json()).expect("write distributed report JSON");
+    println!("report written to {json_path}");
+
+    if let Some(budget_s) = std::env::var("RANKSIM_DIST_TIME_BUDGET_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed > budget_s {
+            eprintln!("DISTRIBUTED TIME BUDGET EXCEEDED: {elapsed:.1}s > {budget_s:.1}s");
+            std::process::exit(1);
+        }
+        println!("time budget ok: {elapsed:.1}s <= {budget_s:.1}s");
     }
 }
 

@@ -14,6 +14,7 @@
 //! Wall-clock numbers are always reported **scaled to 1000 queries** like
 //! the paper's plots, independent of `RANKSIM_QUERIES`.
 
+pub mod distributed;
 pub mod persist;
 pub mod recovery;
 pub mod serve;

@@ -504,6 +504,7 @@ fn build_parts(store: &RankingStore, config: &EngineConfig, remap: Arc<ItemRemap
             costs,
             coarse_theta,
             drop_theta,
+            config.posting_order,
         )
     });
 
@@ -866,9 +867,10 @@ impl Engine {
         if let Some(s) = &parts.planner {
             check_k(s.k, "planner")?;
         }
+        let posting_order = PostingOrder::from_tag(parts.config.posting_order)?;
         let planner = parts
             .planner
-            .map(|s| Planner::from_saved(s, remap.clone()))
+            .map(|s| Planner::from_saved(s, remap.clone(), posting_order))
             .transpose()?;
         let decode_alg = |slot: u32| -> Result<Algorithm, String> {
             if slot == AUTO_SLOT {
@@ -894,7 +896,7 @@ impl Engine {
             compact_tombstone_fraction: parts.config.compact_tombstone_fraction,
             planner_refresh_budget: (parts.config.planner_refresh_budget as usize).max(1),
             kernel: Kernel::from_tag(parts.config.kernel)?,
-            posting_order: PostingOrder::from_tag(parts.config.posting_order)?,
+            posting_order,
         };
         // The mutation overlay must describe this store exactly: the
         // position table spans the id space, every delta entry is a live

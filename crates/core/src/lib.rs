@@ -31,6 +31,7 @@ pub mod cost;
 pub mod engine;
 pub mod persist;
 pub mod planner;
+pub mod remote;
 pub mod shard;
 pub mod snapshot;
 pub mod wal;
@@ -42,9 +43,14 @@ pub use cost::cdf::DistanceCdf;
 pub use cost::model::CostModel;
 pub use engine::{Algorithm, Engine, EngineBuilder, ParseAlgorithmError, QueryTrace};
 pub use persist::{
-    load_engine, load_sharded, save_engine, save_sharded, LoadMode, PersistError, SnapshotMeta,
+    load_engine, load_sharded, load_sharded_manifest, save_engine, save_sharded,
+    shard_snapshot_file, LoadMode, PersistError, ShardedManifest, SnapshotMeta,
 };
 pub use planner::{PlanDecision, PlanStats, Planner, THETA_BUCKETS};
+pub use remote::{
+    serve_from_env, serve_shard, RemoteError, RemoteOptions, RemoteShardedEngine, RemoteStats,
+    WorkerHello, WorkerSpec,
+};
 pub use shard::{
     RebalanceConfig, ShardStrategy, ShardedEngine, ShardedEngineBuilder, ShardedScratch,
 };

@@ -55,7 +55,7 @@ use crate::wal::{crc32, WalError};
 use ranksim_adaptsearch::{AdaptCostParams, AdaptIndexParts};
 use ranksim_invindex::{AugmentedIndexParts, BlockedIndexParts, PlainIndexParts, PostingOrder};
 use ranksim_metricspace::{BkTreeParts, PartitioningParts};
-use ranksim_rankings::{RemapParts, StoreParts};
+use ranksim_rankings::{RankingId, RemapParts, StoreParts};
 
 /// File magic: "RSSN" (RankSim SNapshot).
 pub const MAGIC: [u8; 4] = *b"RSSN";
@@ -1329,6 +1329,81 @@ pub fn load_sharded(dir: &Path, mode: LoadMode) -> Result<ShardedEngine, Persist
     ShardedEngine::from_sharded_parts(parts, engines).map_err(|detail| PersistError::Corrupt {
         section: "manifest",
         detail,
+    })
+}
+
+/// The router-facing view of a sharded snapshot directory: everything a
+/// process that fans queries out to **per-shard worker processes** needs
+/// without loading any shard engine into its own address space — the
+/// per-shard snapshot paths to spawn workers from, and the local→global
+/// ranking-id maps to translate worker answers through.
+#[derive(Debug, Clone)]
+pub struct ShardedManifest {
+    /// The ranking size every shard serves.
+    pub k: usize,
+    /// Configured shard count (including empty shards).
+    pub num_shards: usize,
+    /// Which shards hold rankings (and thus a snapshot file + worker).
+    pub engine_present: Vec<bool>,
+    /// Per shard: the global id of each local slot, ascending — the
+    /// translation a router applies to worker-local result ids.
+    pub globals: Vec<Vec<RankingId>>,
+}
+
+impl ShardedManifest {
+    /// Total rankings across all shards.
+    pub fn len(&self) -> usize {
+        self.globals.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the snapshot holds no rankings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The snapshot file of shard `i` inside a sharded snapshot directory
+/// (what [`save_sharded`] wrote and a shard worker process loads).
+pub fn shard_snapshot_file(dir: &Path, i: usize) -> PathBuf {
+    shard_file(dir, i)
+}
+
+/// Reads **only the manifest** of a sharded snapshot directory written
+/// by [`save_sharded`]: the cheap, engine-free open a distributed
+/// router performs before spawning one worker process per present
+/// shard (each worker then loads its own `shard-{i}.rssn` via
+/// [`load_engine`]). The manifest section's CRC is always verified —
+/// it is small, and the id-translation maps must not be trusted blind.
+pub fn load_sharded_manifest(dir: &Path) -> Result<ShardedManifest, PersistError> {
+    let buf = read_aligned(&manifest_file(dir))?;
+    let sections = parse_sections(buf.bytes(), LoadMode::Verify)?;
+    let payload = sections
+        .iter()
+        .find(|(t, _)| *t == SEC_MANIFEST)
+        .map(|(_, p)| *p)
+        .ok_or(PersistError::MissingSection {
+            section: "manifest",
+        })?;
+    let parts = dec_manifest(payload)?;
+    let num_shards = parts.globals.len();
+    if parts.engine_present.len() != num_shards {
+        return Err(PersistError::Corrupt {
+            section: "manifest",
+            detail: format!(
+                "presence flags ({}) disagree with global maps ({num_shards})",
+                parts.engine_present.len()
+            ),
+        });
+    }
+    Ok(ShardedManifest {
+        k: parts.k as usize,
+        num_shards,
+        engine_present: parts.engine_present,
+        globals: parts
+            .globals
+            .into_iter()
+            .map(|g| g.into_iter().map(RankingId).collect())
+            .collect(),
     })
 }
 

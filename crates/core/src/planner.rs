@@ -39,6 +39,7 @@ use crate::cost::calibrate::CalibratedCosts;
 use crate::cost::model::CostModel;
 use crate::engine::{Algorithm, QueryTrace};
 use ranksim_invindex::drop::omega;
+use ranksim_invindex::PostingOrder;
 use ranksim_rankings::{max_distance, ExecStats, ItemId, ItemRemap, QueryScratch, RankingStore};
 
 /// Number of θ ranges with independent recalibration state. Raw
@@ -110,6 +111,14 @@ const PER_ITEM_OVERHEAD_POSTINGS: f64 = 12.0;
 /// primitive (three epoch-cell updates per posting instead of one mark).
 /// A prior only — the recalibration loop refines it online.
 const LISTMERGE_POSTING_FACTOR: f64 = 3.0;
+/// ListMerge locality penalty under [`PostingOrder::SuffixBound`]:
+/// suffix-bound postings are no longer id-sorted, so ListMerge's
+/// counter-merge loses its sequential epoch-cell access pattern —
+/// measured at ~0.90× throughput at loose θ (see `docs/perf.md`,
+/// "Posting order"). The prior prices that regression in so `Auto` on a
+/// suffix-bound engine stops preferring a measurably regressing arm;
+/// the recalibration loop refines it online like every other factor.
+const LISTMERGE_SUFFIX_BOUND_PENALTY: f64 = 1.0 / 0.90;
 /// Per-posting work of the blocked scans (rank-block bookkeeping + NRA
 /// bound updates). Prior, refined online.
 const BLOCKED_POSTING_FACTOR: f64 = 2.0;
@@ -224,6 +233,19 @@ fn fill_coarse_table(
     }
 }
 
+/// The ListMerge cost multiplier for one posting order (see
+/// [`LISTMERGE_SUFFIX_BOUND_PENALTY`]). Only ListMerge's tight
+/// counter-merge loop is locality-bound enough to price the ordering:
+/// the windowed scans (blocked, suffix-bound early exits) are exactly
+/// what the ordering *helps*, already captured by their learned skip
+/// rates.
+fn listmerge_scale(order: PostingOrder) -> f64 {
+    match order {
+        PostingOrder::SuffixBound => LISTMERGE_SUFFIX_BOUND_PENALTY,
+        _ => 1.0,
+    }
+}
+
 /// The per-engine query planner (one per shard in a sharded engine —
 /// shards differ in size and distribution, so the same query may
 /// legitimately take different paths on different shards).
@@ -284,13 +306,23 @@ pub struct Planner {
     /// Mutations applied since the last full statistics refresh (the
     /// distance-CDF refresh budget counts these).
     pending_mutations: usize,
+    /// ListMerge cost multiplier derived from the engine's
+    /// [`PostingOrder`]: [`LISTMERGE_SUFFIX_BOUND_PENALTY`] under
+    /// `SuffixBound` (its non-id-sorted postings break ListMerge's
+    /// sequential counter-merge locality), `1.0` otherwise. Derived
+    /// configuration, not learned state — it is re-derived from the
+    /// engine config on snapshot reload instead of being persisted.
+    listmerge_scale: f64,
 }
 
 impl Planner {
     /// Builds the planner for a corpus: samples the distance CDF,
     /// estimates the Zipf skew, reads per-item posting lengths off the
     /// corpus, and precomputes the θ-indexed coarse cost tables for the
-    /// engine's actual `θ_C` settings.
+    /// engine's actual `θ_C` settings. `posting_order` is the engine's
+    /// CSR posting-slice ordering — an input to the ListMerge cost term,
+    /// which loses its sequential-scan locality under non-id-sorted
+    /// postings (see [`LISTMERGE_SUFFIX_BOUND_PENALTY`]).
     pub fn build(
         store: &RankingStore,
         remap: Arc<ItemRemap>,
@@ -298,6 +330,7 @@ impl Planner {
         costs: CalibratedCosts,
         coarse_theta_c_raw: u32,
         coarse_drop_theta_c_raw: u32,
+        posting_order: PostingOrder,
     ) -> Self {
         assert!(
             !candidates.is_empty(),
@@ -358,6 +391,7 @@ impl Planner {
                 coarse_theta_c_raw,
                 coarse_drop_theta_c_raw,
                 pending_mutations: 0,
+                listmerge_scale: listmerge_scale(posting_order),
             };
         }
         // CDF sample size scales with the corpus but stays bounded; the
@@ -410,6 +444,7 @@ impl Planner {
             coarse_theta_c_raw,
             coarse_drop_theta_c_raw,
             pending_mutations: 0,
+            listmerge_scale: listmerge_scale(posting_order),
         }
     }
 
@@ -448,6 +483,7 @@ impl Planner {
             coarse_theta_c_raw: self.coarse_theta_c_raw,
             coarse_drop_theta_c_raw: self.coarse_drop_theta_c_raw,
             pending_mutations: self.pending_mutations,
+            listmerge_scale: self.listmerge_scale,
         }
     }
 
@@ -494,7 +530,14 @@ impl Planner {
     /// a restarted engine plans warm: buckets that finished exploring
     /// serve the incumbent fast path immediately instead of re-running
     /// the forced exploration rounds.
-    pub(crate) fn from_saved(saved: PlannerSaved, remap: Arc<ItemRemap>) -> Result<Self, String> {
+    /// `posting_order` is re-derived from the engine's (separately
+    /// persisted) config rather than stored in [`PlannerSaved`]: it is
+    /// configuration, and deriving it keeps the snapshot format stable.
+    pub(crate) fn from_saved(
+        saved: PlannerSaved,
+        remap: Arc<ItemRemap>,
+        posting_order: PostingOrder,
+    ) -> Result<Self, String> {
         let k = saved.k as usize;
         if k == 0 {
             return Err("planner k must be positive".into());
@@ -583,6 +626,7 @@ impl Planner {
             coarse_theta_c_raw: saved.coarse_theta_c_raw,
             coarse_drop_theta_c_raw: saved.coarse_drop_theta_c_raw,
             pending_mutations: saved.pending_mutations as usize,
+            listmerge_scale: listmerge_scale(posting_order),
         })
     }
 
@@ -1100,7 +1144,9 @@ impl Planner {
                 let kept = &freqs[..self.kept(theta_raw).min(freqs.len())];
                 scan_scale * merge * sum(kept) + foot_scale * foot * self.union_estimate(kept)
             }
-            Algorithm::ListMerge => scan_scale * LISTMERGE_POSTING_FACTOR * merge * sum(freqs),
+            Algorithm::ListMerge => {
+                scan_scale * self.listmerge_scale * LISTMERGE_POSTING_FACTOR * merge * sum(freqs)
+            }
             Algorithm::BlockedPrune => {
                 BLOCKED_POSTING_FACTOR * merge * sum(freqs)
                     + foot_scale
@@ -1175,7 +1221,7 @@ mod tests {
     use super::*;
     use crate::engine::EngineBuilder;
     use ranksim_datasets::{nyt_like, workload, WorkloadParams};
-    use ranksim_rankings::{raw_threshold, QueryStats};
+    use ranksim_rankings::{raw_threshold, QueryStats, RankingId};
 
     fn planner_for(n: usize, candidates: &[Algorithm]) -> (crate::engine::Engine, QueryScratch) {
         let ds = nyt_like(n, 10, 77);
@@ -1341,6 +1387,54 @@ mod tests {
         // Presentation order puts Fv before ListMerge.
         assert_eq!(d.algorithm, Algorithm::Fv);
         assert_eq!(d.predicted_ns, 0.0);
+    }
+
+    /// Posting order is an input to the ListMerge cost term: on a
+    /// suffix-bound engine the arm must price in the documented ~0.90×
+    /// locality regression (postings are no longer id-sorted, breaking
+    /// the counter-merge's sequential access), while every other arm's
+    /// prior is identical across the two orders. Pinned on both orders
+    /// so a regression in either direction (penalty lost, or penalty
+    /// leaking into unrelated arms) fails by name.
+    #[test]
+    fn listmerge_prior_prices_the_suffix_bound_locality_regression() {
+        let build = |order: PostingOrder| {
+            let ds = nyt_like(1200, 10, 21);
+            EngineBuilder::new(ds.store)
+                .coarse_threshold(0.5)
+                .coarse_drop_threshold(0.06)
+                .calibrated_costs(CalibratedCosts::nominal(10))
+                .posting_order(order)
+                .build()
+        };
+        let id_engine = build(PostingOrder::Id);
+        let sb_engine = build(PostingOrder::SuffixBound);
+        let id_planner = id_engine.planner().expect("default build plans");
+        let sb_planner = sb_engine.planner().expect("default build plans");
+        let mut scratch = id_engine.scratch();
+        let q: Vec<ItemId> = id_engine.store().items(RankingId(7)).to_vec();
+        // Loose θ — exactly where the measured regression lives.
+        for theta in [0.1, 0.2, 0.3] {
+            let raw = raw_threshold(theta, 10);
+            let id_lm = id_planner.raw_model_cost(Algorithm::ListMerge, &q, raw, &mut scratch);
+            let sb_lm = sb_planner.raw_model_cost(Algorithm::ListMerge, &q, raw, &mut scratch);
+            assert!(
+                sb_lm > id_lm,
+                "suffix-bound ListMerge must price above id-order at θ={theta}: {sb_lm} vs {id_lm}"
+            );
+            // The penalty applies to the posting term only (the fixed
+            // per-query floor is order-independent), so the priced
+            // ratio sits between 1 and the full penalty.
+            assert!(
+                sb_lm <= id_lm * LISTMERGE_SUFFIX_BOUND_PENALTY + 1e-6,
+                "penalty overshoots the documented factor at θ={theta}"
+            );
+            for arm in [Algorithm::Fv, Algorithm::FvDrop, Algorithm::Coarse] {
+                let a = id_planner.raw_model_cost(arm, &q, raw, &mut scratch);
+                let b = sb_planner.raw_model_cost(arm, &q, raw, &mut scratch);
+                assert_eq!(a, b, "{arm} prior must be posting-order-independent");
+            }
+        }
     }
 
     /// The satellite calibration check: the θ at which the *predicted*

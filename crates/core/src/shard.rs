@@ -39,6 +39,7 @@ use crate::planner::PlanStats;
 use ranksim_invindex::PostingOrder;
 use ranksim_metricspace::KnnHeap;
 use ranksim_rankings::{ItemId, Kernel, QueryScratch, QueryStats, RankingId, RankingStore};
+use std::time::{Duration, Instant};
 
 /// How rankings are routed to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -852,6 +853,40 @@ impl ShardedEngine {
         theta_raw: u32,
         threads: usize,
     ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
+        self.query_batch_inner(algorithm, queries, theta_raw, threads, None)
+    }
+
+    /// [`ShardedEngine::query_batch_reported`] with a wall-clock
+    /// `budget`, matching [`Engine::query_batch_deadline`]'s contract at
+    /// the **query** level despite the (query × shard) task split: a
+    /// query is answered only when *every* one of its per-shard tasks
+    /// ran. If the deadline fires on any task of a query — even while
+    /// that query's sibling tasks on other shards completed — the whole
+    /// query fails typed: empty result set, query index recorded (once,
+    /// in one report) in [`WorkerReport::timed_out`]. Completed sibling
+    /// partials are discarded, never merged — a partial merge would be a
+    /// silently truncated result set, indistinguishable from a smaller
+    /// true answer.
+    pub fn query_batch_deadline(
+        &self,
+        algorithm: Algorithm,
+        queries: &[Vec<ItemId>],
+        theta_raw: u32,
+        threads: usize,
+        budget: Duration,
+    ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
+        let deadline = Instant::now() + budget;
+        self.query_batch_inner(algorithm, queries, theta_raw, threads, Some(deadline))
+    }
+
+    fn query_batch_inner(
+        &self,
+        algorithm: Algorithm,
+        queries: &[Vec<ItemId>],
+        theta_raw: u32,
+        threads: usize,
+        deadline: Option<Instant>,
+    ) -> (Vec<Vec<RankingId>>, Vec<WorkerReport>) {
         let active: Vec<usize> = self
             .shards
             .iter()
@@ -864,7 +899,7 @@ impl ShardedEngine {
             return (vec![Vec::new(); queries.len()], Vec::new());
         }
         let active = &active;
-        let (tasks, reports) = run_stealing(queries.len() * na, threads, None, || {
+        let (tasks, mut reports) = run_stealing(queries.len() * na, threads, deadline, || {
             let mut scratch = self.scratch();
             move |t: usize, report: &mut WorkerReport| {
                 let (qi, si) = (t / na, active[t % na]);
@@ -886,10 +921,36 @@ impl ShardedEngine {
                     .collect()
             }
         });
+        // The stealing pool recorded timed-out *task* indices. Lift them
+        // to query granularity: one task missed ⇒ the whole query timed
+        // out. Each query is reported once (first report that saw one of
+        // its tasks), so [`merge_reports`] counts it exactly once.
+        let mut query_timed_out = vec![false; queries.len()];
+        for report in &reports {
+            for &t in &report.timed_out {
+                query_timed_out[t / na] = true;
+            }
+        }
+        let mut reported = vec![false; queries.len()];
+        for report in &mut reports {
+            let tasks = std::mem::take(&mut report.timed_out);
+            for t in tasks {
+                let qi = t / na;
+                if !reported[qi] {
+                    reported[qi] = true;
+                    report.timed_out.push(qi);
+                }
+            }
+        }
         let mut results: Vec<Vec<RankingId>> = Vec::with_capacity(queries.len());
         results.resize_with(queries.len(), Vec::new);
         for (t, mut part) in tasks.into_iter().enumerate() {
-            results[t / na].append(&mut part);
+            let qi = t / na;
+            // Discard completed partials of a timed-out query: answers
+            // are all-shards-or-typed-failure, never a truncated merge.
+            if !query_timed_out[qi] {
+                results[qi].append(&mut part);
+            }
         }
         for r in &mut results {
             r.sort_unstable();

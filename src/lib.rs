@@ -110,10 +110,12 @@ pub use ranksim_rankings as rankings;
 pub mod prelude {
     pub use ranksim_core::engine::{Algorithm, Engine, EngineBuilder, QueryTrace};
     pub use ranksim_core::{
-        load_engine, load_sharded, save_engine, save_sharded, CalibratedCosts, CoarseIndex,
-        CostModel, EngineSnapshot, Health, LoadMode, MutationError, PersistError, PlanStats,
-        Planner, RebalanceConfig, RecoveryReport, ShardStrategy, ShardedEngine,
-        ShardedEngineBuilder, SnapshotEngine, SnapshotMeta, SyncPolicy, WorkerReport,
+        load_engine, load_sharded, load_sharded_manifest, save_engine, save_sharded,
+        serve_from_env, shard_snapshot_file, CalibratedCosts, CoarseIndex, CostModel,
+        EngineSnapshot, Health, LoadMode, MutationError, PersistError, PlanStats, Planner,
+        RebalanceConfig, RecoveryReport, RemoteError, RemoteOptions, RemoteShardedEngine,
+        RemoteStats, ShardStrategy, ShardedEngine, ShardedEngineBuilder, ShardedManifest,
+        SnapshotEngine, SnapshotMeta, SyncPolicy, WorkerReport, WorkerSpec,
     };
     pub use ranksim_invindex::PostingOrder;
     pub use ranksim_rankings::{

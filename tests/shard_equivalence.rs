@@ -166,3 +166,144 @@ proptest! {
         prop_assert_eq!(ranksim::core::merge_reports(&reports), seq);
     }
 }
+
+// ---------------------------------------------------------------------
+// Deadline semantics under the (query × shard) task split.
+//
+// The split means one query owns several stealable tasks; a deadline
+// that fires on one of them while sibling tasks completed must fail the
+// *whole* query — typed `timed_out`, empty result set — never return a
+// silently truncated merge of the shards that happened to finish.
+// ---------------------------------------------------------------------
+
+/// A two-shard medoid engine with one deliberately heavy shard: medoid A
+/// and medoid B are item-disjoint, and every later ranking overlaps A
+/// heavily, so shard 0 swallows the whole corpus while shard 1 holds the
+/// lone medoid B. Scanning shard 0 costs orders of magnitude more than
+/// shard 1 — the straggler-task shape the deadline contract is about.
+fn skewed_sharded(n: usize, seed: u64) -> (ShardedEngine, Vec<Vec<ItemId>>) {
+    use rand::Rng;
+    const K: usize = 8;
+    let mut rng = proptest::rng_from_seed(seed);
+    let mut b = ShardedEngineBuilder::new(K, 2, ShardStrategy::Medoid)
+        .coarse_threshold(0.4)
+        .algorithms(&[Algorithm::Fv]);
+    let medoid_a: Vec<ItemId> = (0u32..K as u32).map(ItemId).collect();
+    let medoid_b: Vec<ItemId> = (100u32..100 + K as u32).map(ItemId).collect();
+    b.push_ranking(&medoid_a);
+    b.push_ranking(&medoid_b);
+    let mut near_a = || -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = Vec::with_capacity(K);
+        while items.len() < K {
+            let cand = ItemId(rng.random_range(0..12u32));
+            if !items.contains(&cand) {
+                items.push(cand);
+            }
+        }
+        items
+    };
+    let mut queries = Vec::new();
+    for i in 0..n {
+        let items = near_a();
+        if i % (n / 6).max(1) == 0 && queries.len() < 6 {
+            queries.push(items.clone());
+        }
+        b.push_ranking(&items);
+    }
+    let se = b.build();
+    assert!(
+        se.shard_sizes()[0] > n && se.shard_sizes()[1] == 1,
+        "medoid routing must concentrate the corpus on shard 0 (got {:?})",
+        se.shard_sizes()
+    );
+    (se, queries)
+}
+
+/// The regression pin: a tiny budget on the skewed corpus expires while
+/// shard-0 tasks are mid-scan, so some queries have completed per-shard
+/// partials when their sibling task times out. Every such query must
+/// come back empty and flagged — under the pre-fix behavior the
+/// completed partials were merged, returning truncated result sets with
+/// no failure marker.
+#[test]
+fn sharded_deadline_fails_whole_queries_never_truncates() {
+    let (se, queries) = skewed_sharded(6000, 0x5EED_D15C);
+    let raw = raw_threshold(0.35, 8);
+    let (oracle, _) = se.query_batch(Algorithm::Fv, &queries, raw, 1);
+    assert!(
+        oracle.iter().all(|r| !r.is_empty()),
+        "self-queries must match at θ=0.35 for truncation to be observable"
+    );
+
+    let (got, reports) = se.query_batch_deadline(
+        Algorithm::Fv,
+        &queries,
+        raw,
+        1,
+        std::time::Duration::from_micros(100),
+    );
+    let mut flagged: Vec<usize> = reports.iter().flat_map(|r| r.timed_out.clone()).collect();
+    flagged.sort_unstable();
+    assert!(
+        !flagged.is_empty(),
+        "a 100µs budget cannot cover a 6000-ranking shard scan"
+    );
+    let deduped = {
+        let mut f = flagged.clone();
+        f.dedup();
+        f
+    };
+    assert_eq!(
+        flagged, deduped,
+        "each timed-out query is reported exactly once across all workers"
+    );
+    for (qi, result) in got.iter().enumerate() {
+        if flagged.binary_search(&qi).is_ok() {
+            assert!(
+                result.is_empty(),
+                "query {qi} timed out on at least one shard task; merging its completed \
+                 sibling partials would be a silently truncated result set"
+            );
+        } else {
+            assert_eq!(
+                result, &oracle[qi],
+                "query {qi} ran on every shard and must be bit-identical to the oracle"
+            );
+        }
+    }
+}
+
+/// Zero budget: every query (not every *task*) is flagged exactly once
+/// and answered empty.
+#[test]
+fn sharded_deadline_zero_budget_times_out_every_query() {
+    let (se, queries) = skewed_sharded(300, 0xBEEF);
+    let raw = raw_threshold(0.2, 8);
+    let (got, reports) =
+        se.query_batch_deadline(Algorithm::Fv, &queries, raw, 2, std::time::Duration::ZERO);
+    assert!(got.iter().all(|r| r.is_empty()));
+    let mut flagged: Vec<usize> = reports.iter().flat_map(|r| r.timed_out.clone()).collect();
+    flagged.sort_unstable();
+    assert_eq!(
+        flagged,
+        (0..queries.len()).collect::<Vec<_>>(),
+        "every query is flagged once at query granularity, not once per shard task"
+    );
+}
+
+/// A generous budget is indistinguishable from the plain batch driver.
+#[test]
+fn sharded_deadline_generous_budget_matches_plain_batch() {
+    let (se, queries) = skewed_sharded(300, 0xCAFE);
+    let raw = raw_threshold(0.3, 8);
+    let (expect, _) = se.query_batch(Algorithm::Fv, &queries, raw, 2);
+    let (got, reports) = se.query_batch_deadline(
+        Algorithm::Fv,
+        &queries,
+        raw,
+        2,
+        std::time::Duration::from_secs(120),
+    );
+    assert_eq!(got, expect);
+    assert!(reports.iter().all(|r| r.timed_out.is_empty()));
+}
